@@ -1,0 +1,28 @@
+.PHONY: all build test bench bench-full examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	FULL=1 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/pressure_spike.exe
+	dune exec examples/multi_jvm.exe
+	dune exec examples/custom_workload.exe
+	dune exec examples/trace_compare.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
