@@ -1,0 +1,117 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) from the simulation, and offers a Bechamel suite that
+   measures the wall-clock cost of each experiment's workload kernel.
+
+   Usage:
+     bench/main.exe                 -- everything, quick sweeps
+     bench/main.exe table1|fig2|fig3|fig45|fig6|fig7|ablation|all
+     bench/main.exe bechamel        -- Bechamel microbenchmarks
+     FULL=1 bench/main.exe all      -- full (slow) sweeps *)
+
+let mode () =
+  match Sys.getenv_opt "FULL" with
+  | Some ("1" | "true" | "yes") -> Harness.Experiments.Full
+  | Some _ | None -> Harness.Experiments.Quick
+
+(* One Bechamel test per table/figure: each measures the real time of a
+   miniature instance of that experiment's simulation kernel. *)
+let bechamel_tests () =
+  let open Bechamel in
+  let mini_spec volume =
+    {
+      (Workload.Spec.scale_volume Workload.Benchmarks.pseudojbb volume) with
+      Workload.Spec.immortal_bytes = 300_000;
+      window_bytes = 120_000;
+    }
+  in
+  let run_once ~collector ~pressure () =
+    let spec = mini_spec 0.02 in
+    let heap_bytes = 2 * 1024 * 1024 in
+    let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+    let setup =
+      match pressure with
+      | `None -> Harness.Run.setup ~collector ~spec ~heap_bytes ()
+      | `Steady ->
+          Harness.Run.setup ~collector ~spec ~heap_bytes
+            ~frames:(heap_pages + 128)
+            ~pressure:
+              (Workload.Pressure.Steady
+                 { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 })
+            ()
+    in
+    match Harness.Run.run setup with
+    | Harness.Metrics.Completed _ -> ()
+    | Harness.Metrics.Exhausted msg | Harness.Metrics.Thrashed msg ->
+        failwith msg
+  in
+  let staged f = Staged.stage f in
+  [
+    Test.make ~name:"table1:minheap-probe"
+      (staged (fun () ->
+           ignore
+             (Harness.Minheap.find ~volume_scale:0.02 ~collector:"BC"
+                ~spec:Workload.Benchmarks.jess ())));
+    Test.make ~name:"fig2:no-pressure-BC"
+      (staged (run_once ~collector:"BC" ~pressure:`None));
+    Test.make ~name:"fig3:steady-BC"
+      (staged (run_once ~collector:"BC" ~pressure:`Steady));
+    Test.make ~name:"fig4+5:steady-GenMS"
+      (staged (run_once ~collector:"GenMS" ~pressure:`Steady));
+    Test.make ~name:"fig6:steady-BC-resize"
+      (staged (run_once ~collector:"BC-resize" ~pressure:`Steady));
+    Test.make ~name:"fig7:pair-BC"
+      (staged (fun () ->
+           let spec = mini_spec 0.02 in
+           let heap_bytes = 2 * 1024 * 1024 in
+           let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+           let s =
+             Harness.Run.setup ~collector:"BC" ~spec ~heap_bytes
+               ~frames:(2 * heap_pages) ()
+           in
+           ignore (Harness.Run.run_pair s s)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"experiments" (bechamel_tests ()))
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+          Printf.printf "%-40s %12.3f ms/run\n" name (est /. 1e6)
+      | Some [] | None -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+let () =
+  let m = mode () in
+  let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match target with
+  | "table1" -> Harness.Experiments.table1 m
+  | "fig2" -> Harness.Experiments.figure2 m
+  | "fig3" -> Harness.Experiments.figure3 m
+  | "fig4" | "fig5" | "fig45" -> Harness.Experiments.figure45 m
+  | "fig6" -> Harness.Experiments.figure6 m
+  | "fig7" -> Harness.Experiments.figure7 m
+  | "ablation" -> Harness.Experiments.ablation m
+  | "ssd" -> Harness.Experiments.ssd m
+  | "recovery" -> Harness.Experiments.recovery m
+  | "mixed" -> Harness.Experiments.mixed m
+  | "all" -> Harness.Experiments.all m
+  | "bechamel" -> run_bechamel ()
+  | other ->
+      Printf.eprintf
+        "unknown target %S (try table1 fig2 fig3 fig45 fig6 fig7 ablation \
+         ssd all bechamel)\n"
+        other;
+      exit 1

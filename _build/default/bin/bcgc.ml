@@ -1,0 +1,262 @@
+(* bcgc: command-line driver for the bookmarking-collection simulator.
+
+   Subcommands:
+     run     -- run one collector on one workload and print metrics
+     list    -- list collectors and workloads
+     bench   -- regenerate a paper table/figure (same as bench/main.exe)
+     minheap -- measure a workload's minimum heap for a collector *)
+
+open Cmdliner
+
+let collector_arg =
+  let doc = "Collector name (see `bcgc list')." in
+  Arg.(value & opt string "BC" & info [ "c"; "collector" ] ~docv:"NAME" ~doc)
+
+let workload_arg =
+  let doc = "Workload name (see `bcgc list')." in
+  Arg.(
+    value & opt string "pseudoJBB" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let heap_arg =
+  let doc = "Heap size in KB." in
+  Arg.(value & opt int 8192 & info [ "heap-kb" ] ~docv:"KB" ~doc)
+
+let frames_arg =
+  let doc =
+    "Physical memory in pages (default: ample, i.e. no memory pressure)."
+  in
+  Arg.(value & opt (some int) None & info [ "frames" ] ~docv:"PAGES" ~doc)
+
+let pin_arg =
+  let doc =
+    "Steady memory pressure: pin this many pages once 10% of the workload \
+     has run."
+  in
+  Arg.(value & opt (some int) None & info [ "pin" ] ~docv:"PAGES" ~doc)
+
+let volume_arg =
+  let doc = "Scale the workload's allocation volume." in
+  Arg.(value & opt float 1.0 & info [ "volume" ] ~docv:"FACTOR" ~doc)
+
+let verbose_arg =
+  let doc = "Also print a BMU curve." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let spec_file_arg =
+  let doc = "Load the workload from a key=value spec file instead of -w." in
+  Arg.(
+    value & opt (some string) None & info [ "spec-file" ] ~docv:"FILE" ~doc)
+
+let find_spec name =
+  match Workload.Benchmarks.find name with
+  | spec -> spec
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %S; try `bcgc list'\n" name;
+      exit 1
+
+let resolve_spec workload spec_file =
+  match spec_file with
+  | Some path -> (
+      try Workload.Spec.of_file path
+      with Failure msg | Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1)
+  | None -> find_spec workload
+
+let run_cmd collector workload spec_file heap_kb frames pin volume verbose =
+  let spec =
+    Workload.Spec.scale_volume (resolve_spec workload spec_file) volume
+  in
+  let heap_bytes = heap_kb * 1024 in
+  let pressure =
+    match pin with
+    | None -> Workload.Pressure.None_
+    | Some pin_pages ->
+        Workload.Pressure.Steady { after_progress = 0.1; pin_pages }
+  in
+  let setup =
+    Harness.Run.setup ~collector ~spec ~heap_bytes ?frames ~pressure ()
+  in
+  match Harness.Run.run setup with
+  | Harness.Metrics.Completed m ->
+      Format.printf "%a@." Harness.Metrics.pp m;
+      if verbose then begin
+        let windows =
+          List.init 9 (fun i ->
+              int_of_float (1e6 *. Float.pow 10.0 (float_of_int i /. 2.0)))
+        in
+        let curve =
+          Harness.Bmu.curve ~pauses:m.Harness.Metrics.pauses
+            ~total_ns:m.Harness.Metrics.elapsed_ns ~windows
+        in
+        Format.printf "BMU:";
+        List.iter
+          (fun (w, u) ->
+            Format.printf " %.1fms:%.3f" (float_of_int w /. 1e6) u)
+          curve;
+        Format.printf "@."
+      end;
+      0
+  | Harness.Metrics.Exhausted msg ->
+      Printf.eprintf "heap exhausted: %s\n" msg;
+      1
+  | Harness.Metrics.Thrashed msg ->
+      Printf.eprintf "thrashed: %s\n" msg;
+      1
+
+let list_cmd () =
+  print_endline "collectors:";
+  List.iter (Printf.printf "  %s\n") Harness.Registry.names;
+  print_endline "collector ablation variants:";
+  List.iter (Printf.printf "  %s\n") Harness.Registry.ablation_names;
+  print_endline "workloads:";
+  List.iter
+    (fun spec -> Format.printf "  %a@." Workload.Spec.pp spec)
+    Workload.Benchmarks.all;
+  0
+
+let minheap_cmd collector workload volume =
+  let spec = find_spec workload in
+  match Harness.Minheap.find ~volume_scale:volume ~collector ~spec () with
+  | Some bytes ->
+      Printf.printf "%s/%s minimum heap: %d bytes (%d KB)\n" collector
+        workload bytes (bytes / 1024);
+      0
+  | None ->
+      Printf.printf "%s/%s: no workable heap found\n" collector workload;
+      1
+
+let trace_record_cmd workload volume heap_kb output =
+  let spec = Workload.Spec.scale_volume (find_spec workload) volume in
+  let m_clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~clock:m_clock ~frames:(4 * heap_kb / 4 + 2048) () in
+  let proc = Vmsim.Vmm.create_process vmm ~name:"record" in
+  let heap = Heapsim.Heap.create vmm proc in
+  let c = Harness.Registry.create ~name:"MarkSweep" ~heap_bytes:(heap_kb * 1024) heap in
+  let trace = Workload.Trace.create () in
+  let mutator = Workload.Mutator.create ~trace spec c in
+  while not (Workload.Mutator.step mutator ~ops:1024) do () done;
+  Workload.Trace.save trace output;
+  Printf.printf "recorded %d events (%d ops) to %s
+"
+    (Workload.Trace.length trace)
+    (Workload.Mutator.ops_done mutator)
+    output;
+  0
+
+let trace_replay_cmd collector input heap_kb frames pin =
+  let trace = Workload.Trace.load input in
+  let heap_bytes = heap_kb * 1024 in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames =
+    Option.value frames ~default:((4 * heap_pages) + 2048)
+  in
+  let clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~clock ~frames () in
+  let proc = Vmsim.Vmm.create_process vmm ~name:"replay" in
+  let heap = Heapsim.Heap.create vmm proc in
+  let c = Harness.Registry.create ~name:collector ~heap_bytes heap in
+  let signalmem =
+    Workload.Signalmem.create vmm (Heapsim.Heap.address_space heap)
+  in
+  let start_ns = Vmsim.Clock.now clock in
+  (try
+     Workload.Trace.replay trace c ~on_slice:(fun slice ->
+         match pin with
+         | Some pages when slice = 4 -> Workload.Signalmem.pin_pages signalmem pages
+         | Some _ | None -> ())
+   with
+  | Gc_common.Collector.Heap_exhausted msg ->
+      Printf.eprintf "heap exhausted: %s
+" msg;
+      exit 1
+  | Vmsim.Vmm.Thrashing msg ->
+      Printf.eprintf "thrashed: %s
+" msg;
+      exit 1);
+  let m =
+    Harness.Metrics.of_run ~collector:c ~workload:("replay:" ^ input)
+      ~start_ns ~end_ns:(Vmsim.Clock.now clock)
+  in
+  Format.printf "%a@." Harness.Metrics.pp m;
+  0
+
+let bench_cmd target full =
+  let mode =
+    if full then Harness.Experiments.Full else Harness.Experiments.Quick
+  in
+  (match target with
+  | "table1" -> Harness.Experiments.table1 mode
+  | "fig2" -> Harness.Experiments.figure2 mode
+  | "fig3" -> Harness.Experiments.figure3 mode
+  | "fig4" | "fig5" | "fig45" -> Harness.Experiments.figure45 mode
+  | "fig6" -> Harness.Experiments.figure6 mode
+  | "fig7" -> Harness.Experiments.figure7 mode
+  | "ablation" -> Harness.Experiments.ablation mode
+  | "ssd" -> Harness.Experiments.ssd mode
+  | "recovery" -> Harness.Experiments.recovery mode
+  | "mixed" -> Harness.Experiments.mixed mode
+  | _ -> Harness.Experiments.all mode);
+  0
+
+let run_t =
+  Term.(
+    const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ heap_arg
+    $ frames_arg $ pin_arg $ volume_arg $ verbose_arg)
+
+let cmd_run =
+  Cmd.v (Cmd.info "run" ~doc:"Run one collector on one workload") run_t
+
+let cmd_list =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List collectors and workloads")
+    Term.(const list_cmd $ const ())
+
+let cmd_minheap =
+  Cmd.v
+    (Cmd.info "minheap" ~doc:"Measure the minimum workable heap")
+    Term.(const minheap_cmd $ collector_arg $ workload_arg $ volume_arg)
+
+let cmd_trace_record =
+  let output =
+    Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "trace-record"
+       ~doc:"Record a workload's heap-operation trace to a file")
+    Term.(const trace_record_cmd $ workload_arg $ volume_arg $ heap_arg $ output)
+
+let cmd_trace_replay =
+  let input =
+    Arg.(value & opt string "trace.txt" & info [ "i"; "input" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "trace-replay"
+       ~doc:"Replay a recorded trace against a collector")
+    Term.(
+      const trace_replay_cmd $ collector_arg $ input $ heap_arg $ frames_arg
+      $ pin_arg)
+
+let cmd_bench =
+  let target = Arg.(value & pos 0 string "all" & info [] ~docv:"TARGET") in
+  let full = Arg.(value & flag & info [ "full" ]) in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate a paper table or figure")
+    Term.(const bench_cmd $ target $ full)
+
+let () =
+  let info =
+    Cmd.info "bcgc" ~version:"1.0.0"
+      ~doc:"Bookmarking collection (PLDI 2005) simulator"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            cmd_run;
+            cmd_list;
+            cmd_minheap;
+            cmd_bench;
+            cmd_trace_record;
+            cmd_trace_replay;
+          ]))

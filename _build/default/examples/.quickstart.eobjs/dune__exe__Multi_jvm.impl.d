@@ -1,0 +1,1 @@
+examples/multi_jvm.ml: Float Format Harness List Vmsim Workload

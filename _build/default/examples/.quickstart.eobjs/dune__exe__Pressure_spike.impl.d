@@ -1,0 +1,1 @@
+examples/pressure_spike.ml: Format Harness List Vmsim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bookmarking Format Gc_common Harness Heapsim Vmsim Workload

@@ -1,0 +1,1 @@
+examples/trace_compare.ml: Format Gc_common Harness Heapsim List Vmsim Workload

@@ -1,0 +1,44 @@
+(* The "Slashdot effect" (§5.3.2): a server JVM is humming along when a
+   neighbouring process suddenly claims most of the machine's memory.
+   Compare how the bookmarking collector and generational mark-sweep ride
+   out the spike.
+
+   Run with: dune exec examples/pressure_spike.exe *)
+
+let run collector =
+  let spec =
+    Workload.Spec.scale_volume Workload.Benchmarks.pseudojbb 0.4
+  in
+  let heap_bytes = 77 * 1024 * 1024 / 8 in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 256 in
+  (* the spike: pin 30MB/8 up front, then 1MB/8 per step until only 45%
+     of the heap fits in memory *)
+  let pressure =
+    Workload.Pressure.Ramp
+      {
+        after_progress = 0.15;
+        initial_pages = 960;
+        pages_per_step = 32;
+        step_ns = 3_000_000;
+        max_pages = frames - (heap_pages * 45 / 100);
+      }
+  in
+  match
+    Harness.Run.run
+      (Harness.Run.setup ~collector ~spec ~heap_bytes ~frames ~pressure ())
+  with
+  | Harness.Metrics.Completed m ->
+      Format.printf
+        "%-10s finished in %6.2fs | avg pause %8.2fms | max pause %8.2fms | \
+         %5d major faults (%d during GC)@."
+        collector
+        (Harness.Metrics.elapsed_s m)
+        m.Harness.Metrics.avg_pause_ms m.Harness.Metrics.max_pause_ms
+        m.Harness.Metrics.major_faults m.Harness.Metrics.gc_major_faults
+  | Harness.Metrics.Exhausted msg -> Format.printf "%s exhausted: %s@." collector msg
+  | Harness.Metrics.Thrashed msg -> Format.printf "%s thrashed: %s@." collector msg
+
+let () =
+  Format.printf "pseudoJBB with a memory spike down to 45%% of the heap:@.@.";
+  List.iter run [ "BC"; "BC-resize"; "GenMS"; "GenCopy"; "CopyMS" ]

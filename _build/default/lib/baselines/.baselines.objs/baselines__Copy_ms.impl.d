@@ -1,0 +1,1 @@
+lib/baselines/copy_ms.ml: Gc_common Gen_shared Heapsim Mark_sweep Printf Repro_util Space_tag Trace_util Vmsim

@@ -1,0 +1,1 @@
+lib/baselines/copy_ms.mli: Gc_common

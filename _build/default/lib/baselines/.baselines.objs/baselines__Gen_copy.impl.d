@@ -1,0 +1,1 @@
+lib/baselines/gen_copy.ml: Array Gc_common Gen_shared Heapsim Printf Repro_util Space_tag Trace_util

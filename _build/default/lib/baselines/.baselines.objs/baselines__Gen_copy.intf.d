@@ -1,0 +1,1 @@
+lib/baselines/gen_copy.mli: Gc_common

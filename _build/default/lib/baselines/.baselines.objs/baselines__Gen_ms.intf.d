@@ -1,0 +1,1 @@
+lib/baselines/gen_ms.mli: Gc_common

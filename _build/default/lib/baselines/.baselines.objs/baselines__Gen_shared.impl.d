@@ -1,0 +1,1 @@
+lib/baselines/gen_shared.ml: Gc_common Heapsim Repro_util

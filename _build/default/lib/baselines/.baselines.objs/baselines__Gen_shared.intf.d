@@ -1,0 +1,1 @@
+lib/baselines/gen_shared.mli: Gc_common Heapsim Repro_util

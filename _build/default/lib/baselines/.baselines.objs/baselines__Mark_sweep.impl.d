@@ -1,0 +1,1 @@
+lib/baselines/mark_sweep.ml: Gc_common Heapsim Printf Space_tag Trace_util Vmsim

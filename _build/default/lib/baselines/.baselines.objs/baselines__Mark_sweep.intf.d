@@ -1,0 +1,1 @@
+lib/baselines/mark_sweep.mli: Gc_common

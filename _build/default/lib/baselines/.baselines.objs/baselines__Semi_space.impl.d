@@ -1,0 +1,1 @@
+lib/baselines/semi_space.ml: Array Gc_common Heapsim Printf Repro_util Space_tag Trace_util

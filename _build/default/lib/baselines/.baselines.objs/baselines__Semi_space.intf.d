@@ -1,0 +1,1 @@
+lib/baselines/semi_space.mli: Gc_common

@@ -1,0 +1,1 @@
+lib/baselines/space_tag.mli:

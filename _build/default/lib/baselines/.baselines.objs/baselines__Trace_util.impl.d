@@ -1,0 +1,1 @@
+lib/baselines/trace_util.ml: Gc_common Heapsim

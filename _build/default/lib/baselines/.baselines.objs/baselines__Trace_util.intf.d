@@ -1,0 +1,1 @@
+lib/baselines/trace_util.mli: Heapsim

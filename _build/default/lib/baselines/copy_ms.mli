@@ -1,0 +1,9 @@
+(** CopyMS (Jikes RVM): bump allocation into a copy space, whole-heap
+    collections that evacuate survivors into a mark-sweep mature space.
+
+    "A variant of GenMS which performs only whole heap garbage
+    collections" — no remembered sets, no nursery barrier. *)
+
+val factory : Gc_common.Collector.factory
+
+val name : string

@@ -1,0 +1,14 @@
+(** Whole-heap segregated-fit mark-sweep (Jikes RVM's MarkSweep plan).
+
+    No nursery, no copying: every collection marks the full transitive
+    closure and sweeps every heap page. Under memory pressure this is the
+    paper's worst performer — marking and sweeping fault on every evicted
+    heap page. *)
+
+val max_cell : int
+(** Largest cell handled by the mark-sweep space; bigger objects go to the
+    large object space. *)
+
+val factory : Gc_common.Collector.factory
+
+val name : string

@@ -1,0 +1,9 @@
+(** Two-space copying collection (Jikes RVM's SemiSpace plan).
+
+    Half the heap is a copy reserve; every collection evacuates the live
+    set into the other half with a Cheney-style trace. VM-oblivious: the
+    from-space pages stay mapped and polluted until reused. *)
+
+val factory : Gc_common.Collector.factory
+
+val name : string

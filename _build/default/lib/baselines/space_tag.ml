@@ -1,0 +1,5 @@
+let nursery = 1
+
+let mature = 2
+
+let los = 3

@@ -1,0 +1,13 @@
+(** Space tags stored in each object's collector-defined space word.
+
+    Shared across collectors so tests and tracing helpers can reason about
+    object placement uniformly. *)
+
+val nursery : int
+(** Bump-allocated young space (also semispace / copy space). *)
+
+val mature : int
+(** Mark-sweep or mature semispace. *)
+
+val los : int
+(** Large object space. *)

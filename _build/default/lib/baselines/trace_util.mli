@@ -1,0 +1,14 @@
+(** Tracing helpers shared by the baseline collectors.
+
+    These collectors are {e VM-oblivious}: marking touches every visited
+    object's pages regardless of residency, which is exactly the paging
+    behaviour the paper attributes to them. *)
+
+val mark_all : Heapsim.Heap.t -> unit
+(** Mark the transitive closure of the mutator roots, touching every
+    visited object (faulting on evicted ones) and charging per-object
+    work. Mark bits are left set; sweeps clear them. *)
+
+val copy_object : Heapsim.Heap.t -> Heapsim.Obj_id.t -> new_addr:int -> unit
+(** Move an object: touch its old pages (read) and new pages (write),
+    charge the copy, and update placement. *)

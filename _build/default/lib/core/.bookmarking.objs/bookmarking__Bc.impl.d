@@ -1,0 +1,1 @@
+lib/core/bc.ml: Array Baselines Fun Gc_common Hashtbl Heapsim List Option Printf Repro_util Residency Superpage Sys Vmsim

@@ -1,0 +1,1 @@
+lib/core/bc.mli: Gc_common Residency Superpage

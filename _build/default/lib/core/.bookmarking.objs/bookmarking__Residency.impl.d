@@ -1,0 +1,1 @@
+lib/core/residency.ml: List Repro_util

@@ -1,0 +1,1 @@
+lib/core/superpage.ml: Array Gc_common Hashtbl Heapsim List Printf Repro_util Vmsim

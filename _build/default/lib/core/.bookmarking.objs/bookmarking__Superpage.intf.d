@@ -1,0 +1,1 @@
+lib/core/superpage.mli: Heapsim Repro_util

@@ -1,0 +1,1360 @@
+module Vec = Repro_util.Vec
+module Bitset = Repro_util.Bitset
+module Collector = Gc_common.Collector
+module Charge = Gc_common.Charge
+module Gc_stats = Gc_common.Gc_stats
+module Gc_config = Gc_common.Gc_config
+module Space_tag = Baselines.Space_tag
+
+let name = "BC"
+
+let resizing_only_name = "BC-resize"
+
+let los_threshold = Gc_common.Size_class.max_cell
+
+(* Never shrink the target footprint below this many pages. *)
+let footprint_floor_pages = 32
+
+type ledger_entry = {
+  sps : Superpage.sp list;  (* incoming counters incremented *)
+  targets : Heapsim.Obj_id.t list;  (* resident targets whose bookmark
+                                       count we incremented *)
+  self : Heapsim.Obj_id.t list;  (* conservative self-bookmarks *)
+  nonsp : bool;  (* counted one global cover for non-resident targets
+                    outside the superpage space (nursery / LOS) *)
+}
+
+type t = {
+  heap : Heapsim.Heap.t;
+  config : Gc_config.t;
+  opts : Gc_config.bc_opts;
+  stats : Gc_stats.t;
+  nursery : Gc_common.Bump_space.t;
+  nursery_objects : Heapsim.Obj_id.t Vec.t;
+  sp_space : Superpage.t;
+  los : Gc_common.Large_object_space.t;
+  cards : Gc_common.Card_table.t;
+  wbuf : Gc_common.Write_buffer.t;
+  residency : Residency.t;
+  discarded : Bitset.t;  (* madvised pages: non-resident but cheap to reuse *)
+  sp_seen : Bitset.t;  (* superpage indexes whose pages are tracked *)
+  ledger : (int, ledger_entry) Hashtbl.t;
+      (* evicted page -> exactly which superpage counters and which
+         objects' bookmark counts its eviction scan incremented. The paper
+         recomputes this from the reloaded page's pointers; we keep an
+         exact ledger so the invariants survive object motion between
+         eviction and reload. *)
+  bookmark_counts : (int, int) Hashtbl.t;
+      (* object id -> number of evicted pages whose summary covers it;
+         the object-header bookmark bit is set iff the count is positive.
+         The paper stores only the bit and clears approximately; exact
+         counts keep clearing sound in every interleaving. *)
+  empty_candidates : int Vec.t;
+  pending_roots : Heapsim.Obj_id.t Vec.t;
+      (* objects bookmarked while a trace is running; re-seeded so mid-GC
+         evictions cannot hide connectivity *)
+  mutable target_footprint : int option;  (* pages; None = config limit *)
+  mutable epoch : int;
+  mutable in_gc : bool;
+  mutable gc_requested : bool;
+  sp_deferred : (int, Heapsim.Obj_id.t list ref) Hashtbl.t;
+      (* superpage index -> self-covers waiting for its incoming counter
+         to reach zero (§3.4.2's deferred conservative clearing) *)
+  nonsp_deferred : Heapsim.Obj_id.t Vec.t;
+  mutable nonsp_incoming : int;
+      (* evicted pages with pointers to non-resident nursery/LOS targets *)
+  mutable evicted_count : int;
+  mutable failsafe_count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Residency                                                           *)
+
+let resident_ok t page =
+  Residency.is_resident t.residency page || Bitset.mem t.discarded page
+
+let obj_resident t id =
+  let ok = ref true in
+  Heapsim.Heap.iter_pages t.heap id (fun page ->
+      if not (resident_ok t page) then ok := false);
+  !ok
+
+(* Track the pages of a freshly placed object in the residency map. *)
+let note_placed t id =
+  Heapsim.Heap.iter_pages t.heap id (fun page ->
+      Bitset.clear t.discarded page;
+      Residency.mark_resident t.residency page)
+
+let track_new_superpage t (sp : Superpage.sp) =
+  if not (Bitset.mem t.sp_seen sp.Superpage.index) then begin
+    Bitset.set t.sp_seen sp.Superpage.index;
+    for
+      page = sp.Superpage.first_page
+      to sp.Superpage.first_page + Vmsim.Page.pages_per_superpage - 1
+    do
+      Bitset.clear t.discarded page;
+      Residency.mark_resident t.residency page
+    done;
+    (* metadata write: the header page is touched and stays resident *)
+    Vmsim.Vmm.touch (Heapsim.Heap.vmm t.heap) ~write:true
+      sp.Superpage.first_page
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Heap sizing (§3.3.3)                                                *)
+
+let effective_heap_pages t =
+  let config_pages = Gc_config.heap_pages t.config in
+  match t.target_footprint with
+  | None -> config_pages
+  | Some target -> min config_pages (max target footprint_floor_pages)
+
+let min_nursery_pages =
+  Vmsim.Page.count_for_bytes Baselines.Gen_shared.min_nursery_bytes
+
+let mature_pages t =
+  Superpage.pages_acquired t.sp_space
+  + Gc_common.Large_object_space.pages_in_use t.los
+
+let total_pages t = mature_pages t + Gc_common.Bump_space.used_pages t.nursery
+
+let nursery_limit t =
+  let effective_bytes = effective_heap_pages t * Vmsim.Page.size in
+  match t.config.Gc_config.nursery with
+  | Gc_config.Fixed n -> max n Baselines.Gen_shared.min_nursery_bytes
+  | Gc_config.Appel ->
+      let free = effective_bytes - (mature_pages t * Vmsim.Page.size) in
+      max (free / 2) Baselines.Gen_shared.min_nursery_bytes
+
+let grow_sp t () =
+  let needed = mature_pages t + Vmsim.Page.pages_per_superpage in
+  if needed <= effective_heap_pages t - min_nursery_pages then true
+  else begin
+    let config_pages = Gc_config.heap_pages t.config in
+    if needed <= config_pages - min_nursery_pages then begin
+      (* growing past the footprint target "when this is necessary for
+         program completion" (§3.3.3) — at the price of paging *)
+      t.target_footprint <- Some (needed + min_nursery_pages);
+      true
+    end
+    else false
+  end
+
+let shrink_target t =
+  (* "uses the new estimate as the target footprint" (§3.3.3): the target
+     tracks the current footprint rather than ratcheting monotonically *)
+  let current = Residency.footprint_pages t.residency in
+  t.target_footprint <- Some (max footprint_floor_pages (current - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Empty-page discarding (§3.3.2, §3.4.3)                              *)
+
+let page_has_objects t page =
+  Heapsim.Page_map.count_on (Heapsim.Heap.page_map t.heap) page > 0
+
+let header_in_use t page =
+  Superpage.is_header_page t.sp_space page
+  &&
+  match Superpage.sp_of_page t.sp_space page with
+  | Some sp -> sp.Superpage.cells_total > 0
+  | None -> false
+
+let discardable t page =
+  Residency.is_resident t.residency page
+  && (not (header_in_use t page))
+  && (not (page_has_objects t page))
+  && (Superpage.owns_page t.sp_space page
+     ||
+     let first = Gc_common.Bump_space.first_page t.nursery in
+     page >= first && page < first + Gc_common.Bump_space.npages t.nursery)
+
+let discard_page t page =
+  Vmsim.Vmm.madvise_dontneed (Heapsim.Heap.vmm t.heap) page;
+  Residency.mark_evicted t.residency page;
+  Bitset.set t.discarded page
+
+(* Discard [page] and, aggressively, every discardable page sharing its
+   residency-bitmap word (§3.4.3). Returns how many pages were freed. *)
+let discard_with_peers t page =
+  if t.opts.Gc_config.aggressive_discard then begin
+    let peers =
+      Residency.word_empty_peers t.residency page (discardable t)
+    in
+    List.iter (discard_page t) peers;
+    List.length peers
+  end
+  else begin
+    discard_page t page;
+    1
+  end
+
+(* Pop a validated empty page from the candidate store. *)
+let rec find_discardable t =
+  if Vec.is_empty t.empty_candidates then None
+  else begin
+    let page = Vec.pop t.empty_candidates in
+    if discardable t page then Some page else find_discardable t
+  end
+
+let count_valid_candidates t ~limit =
+  let n = ref 0 in
+  let i = ref (Vec.length t.empty_candidates - 1) in
+  while !n < limit && !i >= 0 do
+    if discardable t (Vec.get t.empty_candidates !i) then incr n;
+    decr i
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Bookmarking (§3.4)                                                  *)
+
+(* Add one evicted-page cover to an object's bookmark. *)
+let bookmark_ref t id =
+  let objects = Heapsim.Heap.objects t.heap in
+  let n = Option.value (Hashtbl.find_opt t.bookmark_counts id) ~default:0 in
+  Hashtbl.replace t.bookmark_counts id (n + 1);
+  if n = 0 then begin
+    Heapsim.Object_table.set_bookmarked objects id true;
+    if t.in_gc then Vec.push t.pending_roots id
+  end
+
+(* Release one cover; the bit clears when the last cover goes (§3.4.2). *)
+let bookmark_unref t id =
+  let objects = Heapsim.Heap.objects t.heap in
+  if Heapsim.Object_table.is_live objects id then
+    match Hashtbl.find_opt t.bookmark_counts id with
+    | Some n when n > 1 -> Hashtbl.replace t.bookmark_counts id (n - 1)
+    | Some _ ->
+        Hashtbl.remove t.bookmark_counts id;
+        Heapsim.Object_table.set_bookmarked objects id false
+    | None -> ()
+
+(* Scan a victim page, bookmark the targets of its outgoing references,
+   bump the targets' superpage incoming counters (once per target
+   superpage), conservatively bookmark the page's own objects, then
+   surrender the page. *)
+let bookmark_and_evict t victim =
+  let heap = t.heap in
+  let objects = Heapsim.Heap.objects heap in
+  let vmm = Heapsim.Heap.vmm heap in
+  (* scanning reads the victim page (still resident) *)
+  Vmsim.Vmm.touch vmm ~write:false victim;
+  let incremented : (int, Superpage.sp) Hashtbl.t = Hashtbl.create 8 in
+  let counted = ref [] in
+  let selves = ref [] in
+  let nonsp = ref false in
+  let on_page = Heapsim.Page_map.objects_on (Heapsim.Heap.page_map heap) victim in
+  Array.iter
+    (fun id ->
+      Charge.object_visit heap;
+      Heapsim.Object_table.iter_refs objects id (fun _field target ->
+          (* stale references out of floating garbage may dangle *)
+          if Heapsim.Object_table.is_live objects target then begin
+            (* counters live in always-resident superpage headers, so they
+               are updated for every target — even non-resident ones; the
+               bookmark bit lives in the target's own header and is only
+               set when that is resident (conservative page bookmarks plus
+               the counter cover the rest) *)
+            (match Superpage.sp_of_addr t.sp_space
+                     (Heapsim.Object_table.addr objects target)
+             with
+            | Some tsp when not (Hashtbl.mem incremented tsp.Superpage.index)
+              ->
+                Hashtbl.add incremented tsp.Superpage.index tsp;
+                tsp.Superpage.incoming <- tsp.Superpage.incoming + 1
+            | Some _ -> ()
+            | None ->
+                (* nursery / LOS target: one global cover per victim page
+                   keeps their conservative self-bookmarks deferred *)
+                if not (obj_resident t target) then nonsp := true);
+            if obj_resident t target then begin
+              bookmark_ref t target;
+              counted := target :: !counted
+            end
+          end);
+      (* conservative bookmark on the evictee itself *)
+      bookmark_ref t id;
+      selves := id :: !selves)
+    on_page;
+  if !nonsp then t.nonsp_incoming <- t.nonsp_incoming + 1;
+  (match Hashtbl.find_opt t.ledger victim with
+  | None -> ()
+  | Some stale ->
+      (* the page was surrendered, reloaded behind our back and is being
+         evicted again: release the previous increments first *)
+      List.iter
+        (fun (sp : Superpage.sp) ->
+          if sp.Superpage.incoming > 0 then
+            sp.Superpage.incoming <- sp.Superpage.incoming - 1)
+        stale.sps;
+      List.iter (bookmark_unref t) stale.targets;
+      List.iter (bookmark_unref t) stale.self;
+      if stale.nonsp && t.nonsp_incoming > 0 then
+        t.nonsp_incoming <- t.nonsp_incoming - 1);
+  Hashtbl.replace t.ledger victim
+    {
+      sps = Hashtbl.fold (fun _ sp acc -> sp :: acc) incremented [];
+      targets = !counted;
+      self = !selves;
+      nonsp = !nonsp;
+    };
+  Residency.mark_evicted t.residency victim;
+  Bitset.clear t.discarded victim;
+  Superpage.note_page_evicted t.sp_space victim;
+  t.evicted_count <- t.evicted_count + 1;
+  (* prevent the eviction race (§3.4), then surrender the page *)
+  Vmsim.Vmm.mprotect vmm victim ~protect:true;
+  Vmsim.Vmm.vm_relinquish vmm [ victim ]
+
+(* A page of ours came back (mutator fault or protection-fault upcall):
+   update residency, release its ledger entry, clear now-unnecessary
+   bookmarks (§3.4.2) and re-remember its old-to-young pointers. *)
+let page_reloaded t page =
+  let heap = t.heap in
+  let objects = Heapsim.Heap.objects heap in
+  let vmm = Heapsim.Heap.vmm heap in
+  if not (resident_ok t page) then begin
+    if t.evicted_count > 0 then t.evicted_count <- t.evicted_count - 1;
+    Residency.mark_resident t.residency page;
+    Bitset.clear t.discarded page;
+    if Vmsim.Vmm.is_protected vmm page then
+      Vmsim.Vmm.mprotect vmm page ~protect:false;
+    Superpage.note_page_resident t.sp_space page ~resident:(resident_ok t);
+    let on_page = Heapsim.Page_map.objects_on (Heapsim.Heap.page_map heap) page in
+    Array.iter
+      (fun id ->
+        Charge.object_visit heap;
+        (* the page's pointers may include old-to-young edges whose
+           bookmarks we are about to release: re-remember them *)
+        if Heapsim.Object_table.nrefs objects id > 0 then
+          Gc_common.Card_table.mark_addr t.cards
+            (Heapsim.Object_table.addr objects id))
+      on_page;
+    (match Hashtbl.find_opt t.ledger page with
+    | None -> ()
+    | Some entry ->
+        Hashtbl.remove t.ledger page;
+        List.iter
+          (fun (sp : Superpage.sp) ->
+            assert (sp.Superpage.incoming > 0);
+            sp.Superpage.incoming <- sp.Superpage.incoming - 1;
+            (* a superpage whose incoming count reaches zero releases its
+               deferred conservative bookmarks (§3.4.2) *)
+            if sp.Superpage.incoming = 0 then
+              match Hashtbl.find_opt t.sp_deferred sp.Superpage.index with
+              | None -> ()
+              | Some ids ->
+                  Hashtbl.remove t.sp_deferred sp.Superpage.index;
+                  List.iter (bookmark_unref t) !ids)
+          entry.sps;
+        if entry.nonsp then begin
+          t.nonsp_incoming <- t.nonsp_incoming - 1;
+          if t.nonsp_incoming = 0 then begin
+            Vec.iter (bookmark_unref t) t.nonsp_deferred;
+            Vec.clear t.nonsp_deferred
+          end
+        end;
+        (* release the covers of this page's resident targets *)
+        List.iter (bookmark_unref t) entry.targets;
+        (* conservative self-bookmarks: released only once no evicted
+           page can still point into this page's container (§3.4.2) *)
+        if t.opts.Gc_config.conservative_clear then begin
+          match Superpage.sp_of_page t.sp_space page with
+          | Some sp ->
+              if sp.Superpage.incoming = 0 then
+                List.iter (bookmark_unref t) entry.self
+              else begin
+                let ids =
+                  match Hashtbl.find_opt t.sp_deferred sp.Superpage.index with
+                  | Some ids -> ids
+                  | None ->
+                      let ids = ref [] in
+                      Hashtbl.add t.sp_deferred sp.Superpage.index ids;
+                      ids
+                in
+                ids := entry.self @ !ids
+              end
+          | None ->
+              if t.nonsp_incoming = 0 then
+                List.iter (bookmark_unref t) entry.self
+              else
+                List.iter (Vec.push t.nonsp_deferred) entry.self
+        end)
+  end
+  else if Vmsim.Vmm.is_protected vmm page then
+    (* protection-fault race window: the page never left memory *)
+    Vmsim.Vmm.mprotect vmm page ~protect:false
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+
+let follow_ok t id =
+  (not t.opts.Gc_config.bookmarks_enabled) || obj_resident t id
+
+(* Secondary roots: every bookmarked object (§3.4.1). The paper finds
+   them by scanning superpages with a nonzero incoming count plus the
+   nursery and LOS; we iterate the exact bookmarked set, charging a visit
+   per candidate, which models the same scan cost without re-deriving the
+   set from page contents. *)
+let bookmark_roots t enqueue =
+  if
+    t.opts.Gc_config.bookmarks_enabled
+    && Hashtbl.length t.bookmark_counts > 0
+  then begin
+    let objects = Heapsim.Heap.objects t.heap in
+    Hashtbl.iter
+      (fun id _count ->
+        Charge.object_visit t.heap;
+        if Heapsim.Object_table.is_live objects id then enqueue id)
+      t.bookmark_counts
+  end
+
+(* An object is marked in the current collection cycle iff its scratch
+   word holds the cycle's epoch. Epochs never need clearing, so marks
+   left by an aborted collection cannot poison the next one (the moral
+   equivalent of flipping the mark sense per cycle, as MMTk does). *)
+let is_marked t id =
+  Heapsim.Object_table.scratch (Heapsim.Heap.objects t.heap) id = t.epoch
+
+let set_mark t id =
+  Heapsim.Object_table.set_scratch (Heapsim.Heap.objects t.heap) id t.epoch
+
+(* Full-heap marking: never follows references to evicted objects (their
+   liveness is covered by bookmarks); with bookmarks disabled it behaves
+   like a stock tracer and faults. *)
+let mark_heap t ~follow =
+  let objects = Heapsim.Heap.objects t.heap in
+  let trace roots =
+    Gc_common.Tracer.run ~roots ~visit:(fun id ~enqueue ->
+        if
+          Heapsim.Object_table.is_live objects id
+          && follow id
+          && not (is_marked t id)
+        then begin
+          set_mark t id;
+          Charge.object_visit t.heap;
+          Heapsim.Heap.touch_object t.heap ~write:true id;
+          Heapsim.Object_table.iter_refs objects id (fun _ target ->
+              enqueue target)
+        end)
+  in
+  trace (fun enqueue ->
+      Heapsim.Heap.iter_roots t.heap enqueue;
+      bookmark_roots t enqueue);
+  while not (Vec.is_empty t.pending_roots) do
+    let pending = Vec.to_list t.pending_roots in
+    Vec.clear t.pending_roots;
+    trace (fun enqueue -> List.iter enqueue pending)
+  done
+
+let obj_pages_allowed heap id ~resident =
+  let ok = ref true in
+  Heapsim.Heap.iter_pages heap id (fun page ->
+      if not (resident page) then ok := false);
+  !ok
+
+(* Sweep the mature superpages, visiting only pages allowed by
+   [resident]; evicted pages are left untouched, their objects preserved
+   (§3.4.1). Newly empty data pages become discard candidates. *)
+let sweep_superpages t ~resident =
+  let heap = t.heap in
+  let objects = Heapsim.Heap.objects heap in
+  let page_map = Heapsim.Heap.page_map heap in
+  let vmm = Heapsim.Heap.vmm heap in
+  Superpage.iter_sps t.sp_space (fun sp ->
+      for
+        page = sp.Superpage.first_page
+        to sp.Superpage.first_page + Vmsim.Page.pages_per_superpage - 1
+      do
+        if resident page && Heapsim.Page_map.count_on page_map page > 0 then begin
+          Charge.page_sweep heap;
+          Vmsim.Vmm.touch vmm ~write:true page;
+          Array.iter
+            (fun id ->
+              (* process each object from its first page only, and only
+                 when every page it spans may be visited *)
+              if
+                Heapsim.Heap.first_page heap id = page
+                && obj_pages_allowed heap id ~resident
+                && (not (is_marked t id))
+                && not (Heapsim.Object_table.bookmarked objects id)
+              then begin
+                let addr = Heapsim.Object_table.addr objects id in
+                Heapsim.Heap.free_object heap id;
+                Superpage.free_cell t.sp_space sp ~addr
+              end)
+            (Heapsim.Page_map.objects_on page_map page);
+          if
+            Heapsim.Page_map.count_on page_map page = 0
+            && page <> sp.Superpage.first_page
+          then Vec.push t.empty_candidates page
+        end
+      done)
+
+(* Sweep the large object space in place: unmarked, unbookmarked, fully
+   visitable objects are freed; evicted ones are preserved. *)
+let sweep_los t ~resident =
+  let heap = t.heap in
+  let objects = Heapsim.Heap.objects heap in
+  let vmm = Heapsim.Heap.vmm heap in
+  let survivors = Vec.create () in
+  Gc_common.Large_object_space.iter_objects t.los (fun id ->
+      Charge.object_visit heap;
+      if
+        is_marked t id
+        || Heapsim.Object_table.bookmarked objects id
+        || not (obj_pages_allowed heap id ~resident)
+      then Vec.push survivors id
+      else begin
+        let first_page = Heapsim.Heap.first_page heap id in
+        let npages =
+          Gc_common.Large_object_space.range_pages t.los ~first_page
+        in
+        Heapsim.Heap.free_object heap id;
+        for page = first_page to first_page + npages - 1 do
+          Residency.mark_evicted t.residency page;
+          Bitset.clear t.discarded page
+        done;
+        Vmsim.Vmm.unmap_range vmm ~first_page ~npages;
+        Gc_common.Large_object_space.forget_range t.los ~first_page
+      end);
+  Gc_common.Large_object_space.replace_objects t.los survivors
+
+(* ------------------------------------------------------------------ *)
+(* Evacuation into the mature space                                    *)
+
+let sp_kind_of = function `Scalar -> Superpage.Scalar | `Array -> Superpage.Array
+
+(* Copy one nursery object into a mature cell. *)
+let sp_copy_young t id =
+  let objects = Heapsim.Heap.objects t.heap in
+  let size = Heapsim.Object_table.size objects id in
+  let kind = sp_kind_of (Heapsim.Object_table.kind objects id) in
+  match
+    Superpage.alloc t.sp_space ~bytes:size ~kind ~grow:(grow_sp t)
+      ~resident:(resident_ok t)
+  with
+  | None ->
+      raise
+        (Collector.Heap_exhausted
+           (name ^ ": mature space cannot absorb nursery survivors"))
+  | Some (addr, sp) ->
+      track_new_superpage t sp;
+      Baselines.Trace_util.copy_object t.heap id ~new_addr:addr;
+      Heapsim.Object_table.set_space objects id Space_tag.mature;
+      note_placed t id
+
+(* Seeds for a nursery collection: the filtered write buffer, the card
+   table (skipping — and re-marking — cards on evicted pages; their
+   nursery referents are covered by bookmarks) and bookmarked nursery
+   objects (§3.1, §3.4). *)
+let remembered_roots t enqueue =
+  let objects = Heapsim.Heap.objects t.heap in
+  let follow_src src =
+    (not t.opts.Gc_config.bookmarks_enabled) || obj_resident t src
+  in
+  Gc_common.Write_buffer.drain t.wbuf (fun ~src ~field ->
+      if
+        Heapsim.Object_table.is_live objects src
+        && field < Heapsim.Object_table.nrefs objects src
+        && follow_src src
+      then begin
+        Charge.object_visit t.heap;
+        Heapsim.Heap.touch_object t.heap ~write:false src;
+        enqueue (Heapsim.Object_table.get_ref objects src field)
+      end);
+  let page_map = Heapsim.Heap.page_map t.heap in
+  let requeue = ref [] in
+  Gc_common.Card_table.drain t.cards (fun card_addr ->
+      let page = Vmsim.Page.of_addr card_addr in
+      if
+        (not t.opts.Gc_config.bookmarks_enabled)
+        || resident_ok t page
+      then begin
+        Vmsim.Vmm.touch (Heapsim.Heap.vmm t.heap) ~write:false page;
+        Heapsim.Page_map.iter_on page_map page (fun id ->
+            let a = Heapsim.Object_table.addr objects id in
+            let sz = Heapsim.Object_table.size objects id in
+            if
+              a < card_addr + Gc_common.Card_table.card_bytes
+              && a + sz > card_addr
+            then begin
+              Charge.object_visit t.heap;
+              Heapsim.Object_table.iter_refs objects id (fun _ target ->
+                  enqueue target)
+            end)
+      end
+      else requeue := card_addr :: !requeue);
+  List.iter (Gc_common.Card_table.mark_addr t.cards) !requeue;
+  Vec.iter
+    (fun id ->
+      if
+        Heapsim.Object_table.is_live objects id
+        && Heapsim.Object_table.bookmarked objects id
+      then enqueue id)
+    t.nursery_objects
+
+let in_young t id =
+  Heapsim.Object_table.space (Heapsim.Heap.objects t.heap) id
+  = Space_tag.nursery
+
+(* Retire the (now fully evacuated or dead) nursery: its touched pages
+   become discard candidates. *)
+let retire_nursery_pages t =
+  let used = Gc_common.Bump_space.used_pages t.nursery in
+  let first = Gc_common.Bump_space.first_page t.nursery in
+  Gc_common.Bump_space.reset t.nursery;
+  for page = first to first + used - 1 do
+    Vec.push t.empty_candidates page
+  done
+
+let oracle_enabled =
+  match Sys.getenv_opt "BC_ORACLE" with Some _ -> true | None -> false
+
+(* Debugging aid (set BC_ORACLE=1): after every collection, walk the
+   object graph from the roots and fail loudly if a reachable object was
+   freed. Far stronger than any assertion when bisecting a new bookmark
+   or compaction change; off by default because it is O(live) per GC. *)
+let oracle t tag =
+  if oracle_enabled then begin
+    let objects = Heapsim.Heap.objects t.heap in
+    let seen = Hashtbl.create 1024 in
+    let rec visit src id =
+      if id >= 0 && not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        if not (Heapsim.Object_table.is_live objects id) then
+          failwith
+            (Printf.sprintf "BC %s freed reachable #%d (from #%d)" tag id src)
+        else
+          Heapsim.Object_table.iter_refs objects id (fun _ tgt -> visit id tgt)
+      end
+    in
+    Heapsim.Heap.iter_roots t.heap (fun id -> visit (-2) id)
+  end
+
+let with_gc t f =
+  t.in_gc <- true;
+  Fun.protect ~finally:(fun () -> t.in_gc <- false) f
+
+(* Under extreme pressure even nursery pages may have been surrendered;
+   a collection must reload them (paying the faults) before it can
+   evacuate and reset the nursery. *)
+let reload_nursery t =
+  let vmm = Heapsim.Heap.vmm t.heap in
+  let first = Gc_common.Bump_space.first_page t.nursery in
+  let used = Gc_common.Bump_space.used_pages t.nursery in
+  for page = first to first + used - 1 do
+    if not (resident_ok t page) then Vmsim.Vmm.touch vmm ~write:false page
+  done
+
+let minor t =
+  Gc_common.Pause.run t.stats t.heap Gc_stats.Minor (fun () ->
+      reload_nursery t;
+      with_gc t @@ fun () ->
+      Charge.setup t.heap;
+      t.epoch <- t.epoch + 1;
+      let run extra =
+        Baselines.Gen_shared.minor_trace t.heap ~epoch:t.epoch
+          ~in_young:(in_young t)
+          ~copy_young:(fun id -> sp_copy_young t id)
+          ~extra_roots:extra
+      in
+      run (remembered_roots t);
+      (* eviction during the trace may have bookmarked nursery objects *)
+      while not (Vec.is_empty t.pending_roots) do
+        let pending = Vec.to_list t.pending_roots in
+        Vec.clear t.pending_roots;
+        run (fun enqueue -> List.iter enqueue pending)
+      done;
+      Baselines.Gen_shared.reap_young t.heap t.nursery_objects ~epoch:t.epoch;
+      retire_nursery_pages t;
+      oracle t "minor";
+      Gc_stats.note_heap_pages t.stats (total_pages t))
+
+(* Evacuate marked nursery survivors after a full mark; the sweep that
+   just ran has refilled the mature free lists. Abort-safe: when a copy
+   fails (heap exhausted), the not-yet-moved survivors stay registered as
+   nursery objects. *)
+let evacuate_nursery t =
+  let objects = Heapsim.Heap.objects t.heap in
+  let keep = Vec.create () in
+  Vec.iter
+    (fun id ->
+      if
+        Heapsim.Object_table.is_live objects id
+        && (is_marked t id || Heapsim.Object_table.bookmarked objects id)
+      then Vec.push keep id
+      else if Heapsim.Object_table.is_live objects id then
+        Heapsim.Heap.free_object t.heap id)
+    t.nursery_objects;
+  Vec.clear t.nursery_objects;
+  let n = Vec.length keep in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       sp_copy_young t (Vec.get keep !i);
+       incr i
+     done
+   with e ->
+     (* the rest are still nursery residents *)
+     for j = !i to n - 1 do
+       Vec.push t.nursery_objects (Vec.get keep j)
+     done;
+     raise e);
+  retire_nursery_pages t
+
+let clear_remembered t =
+  Gc_common.Write_buffer.drain t.wbuf (fun ~src:_ ~field:_ -> ());
+  Gc_common.Card_table.drain t.cards (fun _ -> ())
+
+(* Recycle empty superpages and offer all their pages — headers included —
+   for discarding. *)
+let recycle_and_offer t =
+  Superpage.recycle_empty t.sp_space ~resident:(resident_ok t);
+  Superpage.iter_sps t.sp_space (fun sp ->
+      if sp.Superpage.cells_total = 0 then
+        for
+          page = sp.Superpage.first_page
+          to sp.Superpage.first_page + Vmsim.Page.pages_per_superpage - 1
+        do
+          Vec.push t.empty_candidates page
+        done)
+
+let full t =
+  Gc_common.Pause.run t.stats t.heap Gc_stats.Full (fun () ->
+      reload_nursery t;
+      with_gc t @@ fun () ->
+      Charge.setup t.heap;
+      t.epoch <- t.epoch + 1;
+      mark_heap t ~follow:(follow_ok t);
+      let resident =
+        if t.opts.Gc_config.bookmarks_enabled then resident_ok t
+        else fun _ -> true
+      in
+      sweep_superpages t ~resident;
+      sweep_los t ~resident;
+      (* recycle what the sweep emptied before evacuating the nursery:
+         the survivors may need those superpages *)
+      recycle_and_offer t;
+      evacuate_nursery t;
+      clear_remembered t;
+      recycle_and_offer t;
+      oracle t "full";
+      Gc_stats.note_heap_pages t.stats (total_pages t))
+
+(* ------------------------------------------------------------------ *)
+(* Compacting collection (§3.2, §3.4.1)                                *)
+
+let compact t =
+  Gc_common.Pause.run t.stats t.heap Gc_stats.Compacting (fun () ->
+      reload_nursery t;
+      with_gc t @@ fun () ->
+      Charge.setup t.heap;
+      t.epoch <- t.epoch + 1;
+      mark_heap t ~follow:(follow_ok t);
+      let resident =
+        if t.opts.Gc_config.bookmarks_enabled then resident_ok t
+        else fun _ -> true
+      in
+      let objects = Heapsim.Heap.objects t.heap in
+      let page_map = Heapsim.Heap.page_map t.heap in
+      let nsp = Superpage.sp_count t.sp_space in
+      let marked_on = Array.make (max nsp 1) 0 in
+      let dead_on = Array.make (max nsp 1) 0 in
+      let forced = Array.make (max nsp 1) false in
+      let is_target = Array.make (max nsp 1) false in
+      let nclasses = Gc_common.Size_class.count * 2 in
+      let demand = Array.make nclasses 0 in
+      let idx_of (sp : Superpage.sp) =
+        (sp.Superpage.cls * 2)
+        + match sp.Superpage.kind with Superpage.Scalar -> 0 | Superpage.Array -> 1
+      in
+      (* per-superpage census of marked and dead objects *)
+      let census (sp : Superpage.sp) f =
+        for
+          page = sp.Superpage.first_page
+          to sp.Superpage.first_page + Vmsim.Page.pages_per_superpage - 1
+        do
+          if resident page then
+            Heapsim.Page_map.iter_on page_map page (fun id ->
+                if
+                  Heapsim.Heap.first_page t.heap id = page
+                  && obj_pages_allowed t.heap id ~resident
+                then f id)
+        done
+      in
+      Superpage.iter_sps t.sp_space (fun sp ->
+          let i = sp.Superpage.index in
+          if
+            sp.Superpage.incoming > 0
+            || sp.Superpage.evicted_data_pages > 0
+          then forced.(i) <- true;
+          census sp (fun id ->
+              if is_marked t id then begin
+                marked_on.(i) <- marked_on.(i) + 1;
+                demand.(idx_of sp) <- demand.(idx_of sp) + 1;
+                if Heapsim.Object_table.bookmarked objects id then
+                  forced.(i) <- true
+              end
+              else if not (Heapsim.Object_table.bookmarked objects id) then
+                dead_on.(i) <- dead_on.(i) + 1));
+      (* select the minimum target set per (class, kind) *)
+      let by_idx = Hashtbl.create 32 in
+      Superpage.iter_sps t.sp_space (fun sp ->
+          if sp.Superpage.cells_total > 0 then begin
+            let key = idx_of sp in
+            let existing =
+              Option.value (Hashtbl.find_opt by_idx key) ~default:[]
+            in
+            Hashtbl.replace by_idx key (sp :: existing)
+          end);
+      let target_pools = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun key sps ->
+          let capacity (sp : Superpage.sp) =
+            marked_on.(sp.Superpage.index)
+            + dead_on.(sp.Superpage.index)
+            + Vec.length sp.Superpage.free
+          in
+          let covered = ref 0 in
+          let pool = Vec.create () in
+          let choose sp =
+            is_target.(sp.Superpage.index) <- true;
+            Vec.push pool sp;
+            covered := !covered + capacity sp
+          in
+          let forced_sps, others =
+            List.partition (fun (sp : Superpage.sp) -> forced.(sp.Superpage.index)) sps
+          in
+          List.iter choose forced_sps;
+          let sorted =
+            List.sort
+              (fun (a : Superpage.sp) (b : Superpage.sp) ->
+                compare marked_on.(b.Superpage.index) marked_on.(a.Superpage.index))
+              others
+          in
+          List.iter
+            (fun sp -> if !covered < demand.(key) then choose sp)
+            sorted;
+          Hashtbl.replace target_pools key pool)
+        by_idx;
+      (* sweep the dead; epoch marks survive for the move pass *)
+      sweep_superpages t ~resident;
+      sweep_los t ~resident;
+      (* forward marked objects off the non-target superpages *)
+      let pool_alloc key =
+        match Hashtbl.find_opt target_pools key with
+        | None -> None
+        | Some pool ->
+            let rec go i =
+              if i >= Vec.length pool then None
+              else
+                match
+                  Superpage.alloc_on t.sp_space (Vec.get pool i)
+                    ~resident:(resident_ok t)
+                with
+                | Some addr -> Some addr
+                | None -> go (i + 1)
+            in
+            go 0
+      in
+      Superpage.iter_sps t.sp_space (fun sp ->
+          if (not is_target.(sp.Superpage.index)) && sp.Superpage.cells_total > 0
+          then
+            census sp (fun id ->
+                if
+                  is_marked t id
+                  && not (Heapsim.Object_table.bookmarked objects id)
+                then begin
+                  let key = idx_of sp in
+                  let addr =
+                    match pool_alloc key with
+                    | Some addr -> Some addr
+                    | None -> (
+                        (* selection shortfall: fall back to a fresh cell *)
+                        match
+                          Superpage.alloc t.sp_space
+                            ~bytes:(Heapsim.Object_table.size objects id)
+                            ~kind:(sp_kind_of (Heapsim.Object_table.kind objects id))
+                            ~grow:(grow_sp t) ~resident:(resident_ok t)
+                        with
+                        | Some (addr, nsp) ->
+                            track_new_superpage t nsp;
+                            Some addr
+                        | None -> None)
+                  in
+                  match addr with
+                  | None ->
+                      raise
+                        (Collector.Heap_exhausted
+                           (name ^ ": compaction ran out of target space"))
+                  | Some addr ->
+                      Baselines.Trace_util.copy_object t.heap id ~new_addr:addr;
+                      note_placed t id
+                end));
+      recycle_and_offer t;
+      evacuate_nursery t;
+      clear_remembered t;
+      recycle_and_offer t;
+      oracle t "compact";
+      Gc_stats.note_heap_pages t.stats (total_pages t))
+
+(* ------------------------------------------------------------------ *)
+(* Completeness fail-safe (§3.5)                                       *)
+
+let failsafe t =
+  Gc_common.Pause.run t.stats t.heap Gc_stats.Full (fun () ->
+      reload_nursery t;
+      with_gc t @@ fun () ->
+      t.failsafe_count <- t.failsafe_count + 1;
+      Charge.setup t.heap;
+      let objects = Heapsim.Heap.objects t.heap in
+      (* discard every bookmark and counter; the traversal below rebuilds
+         exact liveness, touching evicted pages as it goes *)
+      Heapsim.Object_table.iter_live objects (fun id ->
+          Heapsim.Object_table.set_bookmarked objects id false);
+      Hashtbl.reset t.bookmark_counts;
+      Superpage.iter_sps t.sp_space (fun sp -> sp.Superpage.incoming <- 0);
+      Hashtbl.reset t.ledger;
+      Hashtbl.reset t.sp_deferred;
+      Vec.clear t.nonsp_deferred;
+      t.nonsp_incoming <- 0;
+      let everywhere _ = true in
+      t.epoch <- t.epoch + 1;
+      mark_heap t ~follow:everywhere;
+      sweep_superpages t ~resident:everywhere;
+      sweep_los t ~resident:everywhere;
+      recycle_and_offer t;
+      evacuate_nursery t;
+      clear_remembered t;
+      t.target_footprint <- None;
+      recycle_and_offer t;
+      Gc_stats.note_heap_pages t.stats (total_pages t))
+
+(* ------------------------------------------------------------------ *)
+(* VM cooperation handlers (§3.3–§3.4)                                 *)
+
+let maybe_request_gc t =
+  if
+    (not t.in_gc)
+    && count_valid_candidates t ~limit:(t.opts.Gc_config.reserve_pages + 1)
+       <= t.opts.Gc_config.reserve_pages
+  then t.gc_requested <- true
+
+let in_nursery_region t page =
+  let first = Gc_common.Bump_space.first_page t.nursery in
+  page >= first && page < first + Gc_common.Bump_space.npages t.nursery
+
+let our_page t page =
+  in_nursery_region t page
+  || Superpage.owns_page t.sp_space page
+  || Gc_common.Large_object_space.owns_page t.los page
+
+(* §7: the victim's outgoing-pointer count, used to prefer evicting
+   pointer-free pages (no false garbage, nothing to bookmark). Objects
+   without reference fields need no scan (the superpage header says so),
+   so only pointer-bearing objects are charged. *)
+let pointer_score t page =
+  let objects = Heapsim.Heap.objects t.heap in
+  let score = ref 0 in
+  Heapsim.Page_map.iter_on (Heapsim.Heap.page_map t.heap) page (fun id ->
+      if Heapsim.Object_table.nrefs objects id > 0 then begin
+        Charge.object_visit t.heap;
+        Heapsim.Object_table.iter_refs objects id (fun _ _ -> incr score)
+      end);
+  !score
+
+(* Pick the eviction victim among the kernel's choice and the next
+   coldest candidates, minimising outgoing pointers; ties keep the
+   kernel's (LRU) preference. *)
+let choose_victim t victim =
+  let n = t.opts.Gc_config.pointer_aware_victims in
+  if n <= 0 then victim
+  else begin
+    let evictable page =
+      page = victim
+      || (our_page t page
+         && (not (header_in_use t page))
+         && (not (in_nursery_region t page && page_has_objects t page))
+         && Residency.is_resident t.residency page)
+    in
+    let candidates =
+      victim
+      :: List.filter evictable
+           (Vmsim.Vmm.coldest_pages (Heapsim.Heap.vmm t.heap)
+              ~owner:(Heapsim.Heap.process t.heap) ~n)
+    in
+    let best, _ =
+      List.fold_left
+        (fun (best, best_score) page ->
+          let score = pointer_score t page in
+          if score < best_score then (page, score) else (best, best_score))
+        (victim, pointer_score t victim)
+        candidates
+    in
+    best
+  end
+
+let handle_eviction_notice t victim =
+  let vmm = Heapsim.Heap.vmm t.heap in
+  if our_page t victim then begin
+    if header_in_use t victim then
+      (* metadata of a live superpage must stay resident: veto (§3.4) *)
+      Vmsim.Vmm.touch vmm ~write:false victim
+    else begin
+      (* the heap footprint exceeds available memory: shrink (§3.3.3) *)
+      shrink_target t;
+      if discardable t victim then begin
+        ignore (discard_with_peers t victim);
+        maybe_request_gc t
+      end
+      else begin
+        match find_discardable t with
+        | Some page ->
+            ignore (discard_with_peers t page);
+            maybe_request_gc t
+        | None ->
+            (* no empty page in the store: ask for a collection at the
+               next allocation (the reserve discipline of §3.4.3 — a
+               collection inside the eviction path would need frames the
+               machine does not have), and deal with the victim now *)
+            t.gc_requested <- true;
+            if in_nursery_region t victim && page_has_objects t victim then
+              (* nursery pages are about to be reused: veto (§3.4). If
+                 everything is vetoed the kernel's desperation pass will
+                 still make progress, and the collection just requested
+                 turns these pages into discardable ones. *)
+              Vmsim.Vmm.touch vmm ~write:false victim
+            else if t.opts.Gc_config.bookmarks_enabled then begin
+              let chosen = choose_victim t victim in
+              if chosen <> victim then
+                (* keep the kernel's choice in memory instead *)
+                Vmsim.Vmm.touch vmm ~write:false victim;
+              bookmark_and_evict t chosen
+            end
+            else begin
+              (* resizing-only variant: let the page go to disk *)
+              Residency.mark_evicted t.residency victim;
+              Bitset.clear t.discarded victim;
+              Superpage.note_page_evicted t.sp_space victim;
+              t.evicted_count <- t.evicted_count + 1
+            end
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let mature_can_absorb t =
+  let growable_bytes =
+    max 0 (effective_heap_pages t - min_nursery_pages - mature_pages t)
+    * Vmsim.Page.size
+  in
+  Superpage.free_bytes t.sp_space + growable_bytes
+  >= Gc_common.Bump_space.used_bytes t.nursery
+
+(* Escalation ladder: nursery GC, full GC, compaction, growing past the
+   footprint target (at the price of paging), and finally the
+   completeness fail-safe. *)
+(* Pressure bursts overshoot the footprint estimate (evictions are
+   batched), so reclaim the slack the kernel is no longer using: raise the
+   target by the machine's free frames (§7 sketches this regrowth). *)
+let maybe_regrow t =
+  if not t.opts.Gc_config.regrow then ()
+  else
+    match t.target_footprint with
+    | None -> ()
+    | Some target ->
+      let free = Vmsim.Vmm.free_frames (Heapsim.Heap.vmm t.heap) in
+      if free > 32 then t.target_footprint <- Some (target + free - 16)
+
+(* Under memory pressure, the space-minimising collection is the
+   compacting one (§2: BC "minimizes space consumption by performing
+   compaction when under memory pressure"). *)
+let full_or_compact t =
+  if t.target_footprint <> None && t.opts.Gc_config.compaction_enabled then
+    compact t
+  else full t
+
+let escalations t =
+  [
+    (fun () ->
+      maybe_regrow t;
+      if t.gc_requested then begin
+        t.gc_requested <- false;
+        full_or_compact t
+      end
+      else if mature_can_absorb t then begin
+        try minor t
+        with Collector.Heap_exhausted _ ->
+          (* a full trace recovers the aborted nursery collection *)
+          full t
+      end
+      else full_or_compact t);
+    (fun () -> full t);
+    (fun () -> if t.opts.Gc_config.compaction_enabled then compact t);
+    (fun () ->
+      if t.target_footprint <> None then begin
+        t.target_footprint <- None;
+        full t
+      end);
+    (fun () ->
+      if t.opts.Gc_config.bookmarks_enabled && t.evicted_count > 0 then
+        failsafe t);
+  ]
+
+let rec run_escalations t try_alloc = function
+  | [] -> None
+  | stage :: rest -> (
+      (match stage () with
+      | () -> ()
+      | exception Collector.Heap_exhausted _ -> ());
+      match try_alloc () with
+      | Some addr -> Some addr
+      | None -> run_escalations t try_alloc rest)
+
+let alloc t ~size ~nrefs ~kind =
+  Collector.charge_alloc t.heap ~bytes:size;
+  Gc_stats.record_alloc t.stats ~bytes:size;
+  let objects = Heapsim.Heap.objects t.heap in
+  if size > los_threshold then begin
+    let grow ~npages = mature_pages t + npages <= effective_heap_pages t in
+    let try_alloc () =
+      Gc_common.Large_object_space.alloc t.los ~bytes:size ~grow
+    in
+    let addr =
+      match try_alloc () with
+      | Some addr -> Some addr
+      | None -> run_escalations t try_alloc (List.tl (escalations t))
+    in
+    match addr with
+    | None -> raise (Collector.Heap_exhausted (name ^ ": large object"))
+    | Some addr ->
+        let id = Heapsim.Object_table.alloc objects ~size ~nrefs ~kind in
+        Heapsim.Heap.place t.heap id ~addr;
+        Heapsim.Object_table.set_space objects id Space_tag.los;
+        Gc_common.Large_object_space.note_object t.los id;
+        note_placed t id;
+        Heapsim.Heap.touch_object t.heap ~write:true id;
+        id
+  end
+  else begin
+    let try_alloc () =
+      Gc_common.Bump_space.alloc t.nursery ~bytes:size
+        ~limit_bytes:(nursery_limit t)
+    in
+    let addr =
+      match try_alloc () with
+      | Some addr -> Some addr
+      | None -> run_escalations t try_alloc (escalations t)
+    in
+    match addr with
+    | None ->
+        raise
+          (Collector.Heap_exhausted
+             (Printf.sprintf "%s: cannot allocate %d bytes in %d-byte heap"
+                name size t.config.Gc_config.heap_bytes))
+    | Some addr ->
+        let id = Heapsim.Object_table.alloc objects ~size ~nrefs ~kind in
+        Heapsim.Heap.place t.heap id ~addr;
+        Heapsim.Object_table.set_space objects id Space_tag.nursery;
+        Vec.push t.nursery_objects id;
+        note_placed t id;
+        Heapsim.Heap.touch_object t.heap ~write:true id;
+        id
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (tests)                                          *)
+
+let check_invariants t =
+  let objects = Heapsim.Heap.objects t.heap in
+  (* incoming counters equal the ledger's per-superpage totals *)
+  let expected = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _page entry ->
+      List.iter
+        (fun (sp : Superpage.sp) ->
+          let i = sp.Superpage.index in
+          Hashtbl.replace expected i
+            (1 + Option.value (Hashtbl.find_opt expected i) ~default:0))
+        entry.sps)
+    t.ledger;
+  Superpage.iter_sps t.sp_space (fun sp ->
+      let want =
+        Option.value (Hashtbl.find_opt expected sp.Superpage.index) ~default:0
+      in
+      if sp.Superpage.incoming <> want then
+        failwith
+          (Printf.sprintf
+             "BC invariant: superpage %d incoming=%d but ledger says %d"
+             sp.Superpage.index sp.Superpage.incoming want));
+  (* evicted pages tracked by the ledger are indeed non-resident *)
+  Hashtbl.iter
+    (fun page _ ->
+      if Residency.is_resident t.residency page then
+        failwith (Printf.sprintf "BC invariant: ledger page %d is resident" page))
+    t.ledger;
+  (* the bookmark bit mirrors a positive bookmark count *)
+  Heapsim.Object_table.iter_live objects (fun id ->
+      let bit = Heapsim.Object_table.bookmarked objects id in
+      let counted = Hashtbl.mem t.bookmark_counts id in
+      if bit <> counted then
+        failwith
+          (Printf.sprintf "BC invariant: object #%d bit=%b counted=%b" id bit
+             counted));
+  (* per-superpage cell accounting: free + blocked + live occupants never
+     exceed the carved cell count *)
+  Superpage.iter_sps t.sp_space (fun sp ->
+      if sp.Superpage.cells_total > 0 then begin
+        let occupied = Superpage.live_count t.sp_space sp in
+        let free = Vec.length sp.Superpage.free in
+        let blocked = Vec.length sp.Superpage.blocked in
+        if free + blocked + occupied > sp.Superpage.cells_total then
+          failwith
+            (Printf.sprintf
+               "BC invariant: superpage %d cells %d < free %d + blocked %d + \
+                live %d"
+               sp.Superpage.index sp.Superpage.cells_total free blocked
+               occupied)
+      end);
+  (* every live object has a placement, and mature objects sit on a
+     superpage of their own size class *)
+  Heapsim.Object_table.iter_live objects (fun id ->
+      let addr = Heapsim.Object_table.addr objects id in
+      assert (addr >= 0);
+      if Heapsim.Object_table.space objects id = Space_tag.mature then
+        match Superpage.sp_of_addr t.sp_space addr with
+        | None -> failwith "BC invariant: mature object outside superpages"
+        | Some sp ->
+            let cell = Gc_common.Size_class.cell_size sp.Superpage.cls in
+            if Heapsim.Object_table.size objects id > cell then
+              failwith "BC invariant: object larger than its cell")
+
+(* ------------------------------------------------------------------ *)
+(* Factory and debug access                                            *)
+
+type debug = {
+  superpages : Superpage.t;
+  residency : Residency.t;
+  evicted_pages : unit -> int;
+  bookmarked_count : unit -> int;
+  incoming_total : unit -> int;
+  ledger_total : unit -> int;
+  failsafe_count : unit -> int;
+  target_footprint : unit -> int option;
+}
+
+let debug_registry : (Gc_stats.t * debug) list ref = ref []
+
+let make_debug t =
+  {
+    superpages = t.sp_space;
+    residency = t.residency;
+    evicted_pages = (fun () -> t.evicted_count);
+    bookmarked_count =
+      (fun () ->
+        let objects = Heapsim.Heap.objects t.heap in
+        let n = ref 0 in
+        Heapsim.Object_table.iter_live objects (fun id ->
+            if Heapsim.Object_table.bookmarked objects id then incr n);
+        !n);
+    incoming_total =
+      (fun () ->
+        let n = ref 0 in
+        Superpage.iter_sps t.sp_space (fun sp ->
+            n := !n + sp.Superpage.incoming);
+        !n);
+    ledger_total =
+      (fun () ->
+        Hashtbl.fold (fun _ e acc -> acc + List.length e.sps) t.ledger 0);
+    failsafe_count = (fun () -> t.failsafe_count);
+    target_footprint = (fun () -> t.target_footprint);
+  }
+
+let debug_of (c : Collector.t) =
+  match List.find_opt (fun (stats, _) -> stats == c.Collector.stats) !debug_registry with
+  | Some (_, debug) -> debug
+  | None -> invalid_arg "Bc.debug_of: not a bookmarking collector instance"
+
+let factory config heap =
+  let opts = config.Gc_config.bc in
+  let cards = Gc_common.Card_table.create () in
+  let objects = Heapsim.Heap.objects heap in
+  let wbuf =
+    Gc_common.Write_buffer.create ~cards
+      ~src_addr:(fun id -> Heapsim.Object_table.addr objects id)
+      ~filterable:(fun id ->
+        Heapsim.Object_table.is_live objects id
+        && Heapsim.Object_table.space objects id <> Space_tag.nursery)
+      ()
+  in
+  let t =
+    {
+      heap;
+      config;
+      opts;
+      stats = Gc_stats.create ();
+      nursery =
+        Gc_common.Bump_space.create heap ~name:"nursery"
+          ~npages:(Gc_config.heap_pages config);
+      nursery_objects = Vec.create ();
+      sp_space = Superpage.create heap;
+
+      los = Gc_common.Large_object_space.create heap ~name:"los";
+      cards;
+      wbuf;
+      residency = Residency.create ();
+      discarded = Bitset.create ();
+      sp_seen = Bitset.create ();
+      ledger = Hashtbl.create 64;
+      bookmark_counts = Hashtbl.create 64;
+      sp_deferred = Hashtbl.create 16;
+      nonsp_deferred = Vec.create ();
+      nonsp_incoming = 0;
+      empty_candidates = Vec.create ();
+      pending_roots = Vec.create ();
+      target_footprint = None;
+      epoch = 0;
+      in_gc = false;
+      gc_requested = false;
+      evicted_count = 0;
+      failsafe_count = 0;
+    }
+  in
+  Superpage.set_on_acquire t.sp_space (fun sp -> track_new_superpage t sp);
+  Heapsim.Heap.set_write_barrier heap (fun ~src ~field ~old_target:_ ~target ->
+      if
+        (not (Heapsim.Obj_id.is_null target))
+        && Heapsim.Object_table.space objects target = Space_tag.nursery
+        && Heapsim.Object_table.space objects src <> Space_tag.nursery
+      then Gc_common.Write_buffer.record t.wbuf ~src ~field);
+  (* register for paging signals (§4.1) *)
+  Vmsim.Process.register (Heapsim.Heap.process heap)
+    {
+      Vmsim.Process.on_eviction_notice = (fun page -> handle_eviction_notice t page);
+      on_resident = (fun page -> page_reloaded t page);
+      on_protection_fault = (fun page -> page_reloaded t page);
+    };
+  let display_name =
+    if opts.Gc_config.bookmarks_enabled then
+      match config.Gc_config.nursery with
+      | Gc_config.Appel -> name
+      | Gc_config.Fixed _ -> name ^ "-fixed"
+    else resizing_only_name
+  in
+  let collector =
+    {
+      Collector.name = display_name;
+      heap;
+      config;
+      alloc = (fun ~size ~nrefs ~kind -> alloc t ~size ~nrefs ~kind);
+      collect = (fun () -> full t);
+      stats = t.stats;
+      footprint_pages = (fun () -> total_pages t);
+      check_invariants = (fun () -> check_invariants t);
+    }
+  in
+  debug_registry := (t.stats, make_debug t) :: !debug_registry;
+  collector

@@ -1,0 +1,24 @@
+module Bitset = Repro_util.Bitset
+
+type t = { bits : Bitset.t; mutable footprint : int }
+
+let create () = { bits = Bitset.create (); footprint = 0 }
+
+let mark_resident t page =
+  if not (Bitset.mem t.bits page) then begin
+    Bitset.set t.bits page;
+    t.footprint <- t.footprint + 1
+  end
+
+let mark_evicted t page =
+  if Bitset.mem t.bits page then begin
+    Bitset.clear t.bits page;
+    t.footprint <- t.footprint - 1
+  end
+
+let is_resident t page = Bitset.mem t.bits page
+
+let footprint_pages t = t.footprint
+
+let word_empty_peers t page is_empty =
+  List.filter is_empty (Bitset.word_peers t.bits page)

@@ -1,0 +1,26 @@
+(** BC's in-runtime page residency bit array (§3.3.1).
+
+    "To limit overhead due to communication with the virtual memory
+    manager, BC tracks page residency internally." The collector consults
+    this — never the kernel — when deciding which pointers to follow, and
+    keeps it synchronised from allocation, eviction notices and reload
+    events. The footprint estimate drives heap-size limiting (§3.3.3). *)
+
+type t
+
+val create : unit -> t
+
+val mark_resident : t -> int -> unit
+
+val mark_evicted : t -> int -> unit
+
+val is_resident : t -> int -> bool
+
+val footprint_pages : t -> int
+(** Number of pages currently believed resident. *)
+
+val word_empty_peers : t -> int -> (int -> bool) -> int list
+(** [word_empty_peers t page is_empty] lists the pages sharing [page]'s
+    bit-array word that are resident and satisfy [is_empty] — the
+    aggressive-discard granularity of §3.4.3. [page] itself is included
+    when it qualifies. *)

@@ -1,0 +1,307 @@
+module Vec = Repro_util.Vec
+
+type kind = Scalar | Array
+
+type sp = {
+  index : int;
+  first_page : int;
+  mutable cls : int;
+  mutable kind : kind;
+  mutable cells_total : int;
+  free : int Vec.t;
+  blocked : int Vec.t;
+  mutable on_partial : bool;
+  mutable incoming : int;
+  mutable evicted_data_pages : int;
+}
+
+let header_bytes = 24
+
+let usable_bytes = Vmsim.Page.superpage_size - header_bytes
+
+type t = {
+  heap : Heapsim.Heap.t;
+  mutable on_acquire : sp -> unit;
+  sps : sp Vec.t;
+  by_quad : (int, sp) Hashtbl.t;  (* page / pages_per_superpage -> sp *)
+  partial : sp Vec.t array;  (* class * 2 + kind *)
+  empty_pool : sp Vec.t;
+  mutable free_cell_bytes : int;
+}
+
+let kind_idx = function Scalar -> 0 | Array -> 1
+
+let partial_idx cls kind = (cls * 2) + kind_idx kind
+
+let create ?(on_acquire = fun _ -> ()) heap =
+  {
+    heap;
+    on_acquire;
+    sps = Vec.create ();
+    by_quad = Hashtbl.create 64;
+    partial = Array.init (Gc_common.Size_class.count * 2) (fun _ -> Vec.create ());
+    empty_pool = Vec.create ();
+    free_cell_bytes = 0;
+  }
+
+let heap t = t.heap
+
+let set_on_acquire t f = t.on_acquire <- f
+
+let quad page = page / Vmsim.Page.pages_per_superpage
+
+let sp_of_page t page = Hashtbl.find_opt t.by_quad (quad page)
+
+let sp_of_addr t addr = sp_of_page t (Vmsim.Page.of_addr addr)
+
+let owns_page t page = Hashtbl.mem t.by_quad (quad page)
+
+let is_header_page t page =
+  match sp_of_page t page with
+  | Some sp -> sp.first_page = page
+  | None -> false
+
+let data_pages sp = [ sp.first_page + 1; sp.first_page + 2; sp.first_page + 3 ]
+
+let iter_sps t f = Vec.iter f t.sps
+
+let sp_count t = Vec.length t.sps
+
+let pages_acquired t = Vec.length t.sps * Vmsim.Page.pages_per_superpage
+
+let free_bytes t =
+  t.free_cell_bytes + (Vec.length t.empty_pool * usable_bytes)
+
+let cell_size sp = Gc_common.Size_class.cell_size sp.cls
+
+let base_addr sp = Vmsim.Page.addr_of sp.first_page + header_bytes
+
+(* Carve an empty superpage into cells of the given class and kind. *)
+let assign_class t sp cls kind =
+  let cell = Gc_common.Size_class.cell_size cls in
+  let ncells = usable_bytes / cell in
+  sp.cls <- cls;
+  sp.kind <- kind;
+  sp.cells_total <- ncells;
+  Vec.clear sp.free;
+  Vec.clear sp.blocked;
+  let base = base_addr sp in
+  for i = 0 to ncells - 1 do
+    Vec.push sp.free (base + (i * cell))
+  done;
+  t.free_cell_bytes <- t.free_cell_bytes + (ncells * cell)
+
+let acquire t cls kind ~grow =
+  if not (Vec.is_empty t.empty_pool) then begin
+    let sp = Vec.pop t.empty_pool in
+    assign_class t sp cls kind;
+    Some sp
+  end
+  else if grow () then begin
+    let first_page =
+      Heapsim.Address_space.reserve_aligned
+        (Heapsim.Heap.address_space t.heap)
+        ~npages:Vmsim.Page.pages_per_superpage
+        ~align:Vmsim.Page.pages_per_superpage
+    in
+    Vmsim.Vmm.map_range (Heapsim.Heap.vmm t.heap)
+      (Heapsim.Heap.process t.heap) ~first_page
+      ~npages:Vmsim.Page.pages_per_superpage;
+    let sp =
+      {
+        index = Vec.length t.sps;
+        first_page;
+        cls;
+        kind;
+        cells_total = 0;
+        free = Vec.create ();
+        blocked = Vec.create ();
+        on_partial = false;
+        incoming = 0;
+        evicted_data_pages = 0;
+      }
+    in
+    Vec.push t.sps sp;
+    Hashtbl.add t.by_quad (quad first_page) sp;
+    assign_class t sp cls kind;
+    t.on_acquire sp;
+    Some sp
+  end
+  else None
+
+let rec pop_partial t idx cls =
+  let v = t.partial.(idx) in
+  if Vec.is_empty v then None
+  else begin
+    let sp = Vec.top v in
+    if sp.cls <> cls || partial_idx sp.cls sp.kind <> idx || Vec.is_empty sp.free
+    then begin
+      ignore (Vec.pop v);
+      sp.on_partial <- false;
+      pop_partial t idx cls
+    end
+    else Some sp
+  end
+
+(* Pop a free cell whose pages are all usable; park others on [blocked]. *)
+let pop_usable_cell t sp ~resident =
+  let cell = cell_size sp in
+  let cell_ok addr =
+    let rec ok page =
+      page > Vmsim.Page.of_addr (addr + cell - 1) || (resident page && ok (page + 1))
+    in
+    ok (Vmsim.Page.of_addr addr)
+  in
+  let rec loop () =
+    if Vec.is_empty sp.free then None
+    else begin
+      let addr = Vec.pop sp.free in
+      if cell_ok addr then begin
+        t.free_cell_bytes <- t.free_cell_bytes - cell;
+        Some addr
+      end
+      else begin
+        Vec.push sp.blocked addr;
+        t.free_cell_bytes <- t.free_cell_bytes - cell;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let alloc t ~bytes ~kind ~grow ~resident =
+  match Gc_common.Size_class.class_of_size bytes with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Superpage.alloc: %d bytes belongs in the LOS" bytes)
+  | Some cls ->
+      let idx = partial_idx cls kind in
+      let rec from_partial () =
+        match pop_partial t idx cls with
+        | None -> (
+            match acquire t cls kind ~grow with
+            | None -> None
+            | Some sp ->
+                sp.on_partial <- true;
+                Vec.push t.partial.(idx) sp;
+                from_partial ())
+        | Some sp -> (
+            match pop_usable_cell t sp ~resident with
+            | Some addr -> Some (addr, sp)
+            | None ->
+                (* every remaining free cell was blocked *)
+                ignore (Vec.pop t.partial.(idx));
+                sp.on_partial <- false;
+                from_partial ())
+      in
+      from_partial ()
+
+let alloc_on t sp ~resident = pop_usable_cell t sp ~resident
+
+let free_cell t sp ~addr =
+  Vec.push sp.free addr;
+  t.free_cell_bytes <- t.free_cell_bytes + cell_size sp;
+  if (not sp.on_partial) && sp.cells_total > 0 then begin
+    sp.on_partial <- true;
+    Vec.push t.partial.(partial_idx sp.cls sp.kind) sp
+  end
+
+let cells_overlapping_page sp page =
+  if sp.cells_total = 0 then 0
+  else begin
+    let cell = cell_size sp in
+    let base = base_addr sp in
+    let lo = Vmsim.Page.addr_of page in
+    let hi = lo + Vmsim.Page.size - 1 in
+    let n = ref 0 in
+    for i = 0 to sp.cells_total - 1 do
+      let a = base + (i * cell) in
+      if a <= hi && a + cell - 1 >= lo then incr n
+    done;
+    !n
+  end
+
+let note_page_evicted t page =
+  match sp_of_page t page with
+  | None -> ()
+  | Some sp ->
+      sp.evicted_data_pages <- sp.evicted_data_pages + 1;
+      (* park free cells overlapping the now-evicted page *)
+      let cell = cell_size sp in
+      let lo = Vmsim.Page.addr_of page in
+      let hi = lo + Vmsim.Page.size - 1 in
+      let kept = ref 0 in
+      let n = Vec.length sp.free in
+      for i = 0 to n - 1 do
+        let a = Vec.get sp.free i in
+        if a <= hi && a + cell - 1 >= lo then begin
+          Vec.push sp.blocked a;
+          t.free_cell_bytes <- t.free_cell_bytes - cell
+        end
+        else begin
+          Vec.set sp.free !kept a;
+          incr kept
+        end
+      done;
+      while Vec.length sp.free > !kept do
+        ignore (Vec.pop sp.free)
+      done
+
+let note_page_resident t page ~resident =
+  match sp_of_page t page with
+  | None -> ()
+  | Some sp ->
+      if sp.evicted_data_pages > 0 then
+        sp.evicted_data_pages <- sp.evicted_data_pages - 1;
+      (* un-park blocked cells that are now fully usable *)
+      let cell = cell_size sp in
+      let cell_ok addr =
+        let rec ok page =
+          page > Vmsim.Page.of_addr (addr + cell - 1)
+          || (resident page && ok (page + 1))
+        in
+        ok (Vmsim.Page.of_addr addr)
+      in
+      let kept = ref 0 in
+      let n = Vec.length sp.blocked in
+      for i = 0 to n - 1 do
+        let a = Vec.get sp.blocked i in
+        if cell_ok a then free_cell t sp ~addr:a
+        else begin
+          Vec.set sp.blocked !kept a;
+          incr kept
+        end
+      done;
+      while Vec.length sp.blocked > !kept do
+        ignore (Vec.pop sp.blocked)
+      done
+
+let live_count t sp =
+  let page_map = Heapsim.Heap.page_map t.heap in
+  let seen = Hashtbl.create 8 in
+  let count = ref 0 in
+  for page = sp.first_page to sp.first_page + Vmsim.Page.pages_per_superpage - 1
+  do
+    Heapsim.Page_map.iter_on page_map page (fun id ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          incr count
+        end)
+  done;
+  !count
+
+let recycle_empty t ~resident =
+  iter_sps t (fun sp ->
+      if
+        sp.cells_total > 0 && sp.incoming = 0 && sp.evicted_data_pages = 0
+        && live_count t sp = 0
+        && List.for_all resident (data_pages sp)
+      then begin
+        t.free_cell_bytes <-
+          t.free_cell_bytes - (Vec.length sp.free * cell_size sp);
+        Vec.clear sp.free;
+        Vec.clear sp.blocked;
+        sp.cells_total <- 0;
+        sp.on_partial <- false;
+        Vec.push t.empty_pool sp
+      end)

@@ -1,0 +1,1 @@
+lib/gc_common/bump_space.ml: Heapsim Vmsim

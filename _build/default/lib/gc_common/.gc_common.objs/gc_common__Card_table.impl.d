@@ -1,0 +1,1 @@
+lib/gc_common/card_table.ml: Repro_util

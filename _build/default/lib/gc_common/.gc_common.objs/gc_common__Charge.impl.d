@@ -1,0 +1,1 @@
+lib/gc_common/charge.ml: Heapsim Vmsim

@@ -1,0 +1,1 @@
+lib/gc_common/charge.mli: Heapsim

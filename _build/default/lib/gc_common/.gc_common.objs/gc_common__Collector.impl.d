@@ -1,0 +1,1 @@
+lib/gc_common/collector.ml: Gc_config Gc_stats Heapsim Vmsim

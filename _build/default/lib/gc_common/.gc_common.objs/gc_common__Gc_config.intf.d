@@ -1,0 +1,1 @@
+lib/gc_common/gc_config.mli:

@@ -1,0 +1,1 @@
+lib/gc_common/gc_stats.ml: Float Format List Repro_util Vmsim

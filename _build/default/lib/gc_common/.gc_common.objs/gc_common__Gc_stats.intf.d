@@ -1,0 +1,1 @@
+lib/gc_common/gc_stats.mli: Format Vmsim

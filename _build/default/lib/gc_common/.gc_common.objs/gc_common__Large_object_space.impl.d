@@ -1,0 +1,1 @@
+lib/gc_common/large_object_space.ml: Charge Hashtbl Heapsim Repro_util Vmsim

@@ -1,0 +1,1 @@
+lib/gc_common/large_object_space.mli: Heapsim Repro_util

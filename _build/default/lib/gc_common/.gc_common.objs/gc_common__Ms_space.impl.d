@@ -1,0 +1,1 @@
+lib/gc_common/ms_space.ml: Array Charge Hashtbl Heapsim Printf Repro_util Size_class Vmsim

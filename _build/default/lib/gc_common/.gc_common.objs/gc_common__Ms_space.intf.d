@@ -1,0 +1,1 @@
+lib/gc_common/ms_space.mli: Heapsim

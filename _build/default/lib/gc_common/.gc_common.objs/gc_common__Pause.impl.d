@@ -1,0 +1,1 @@
+lib/gc_common/pause.ml: Fun Gc_stats Heapsim Vmsim

@@ -1,0 +1,1 @@
+lib/gc_common/pause.mli: Gc_stats Heapsim

@@ -1,0 +1,1 @@
+lib/gc_common/remset.ml: Repro_util

@@ -1,0 +1,1 @@
+lib/gc_common/tracer.ml: Heapsim Repro_util

@@ -1,0 +1,1 @@
+lib/gc_common/write_buffer.ml: Card_table Heapsim Repro_util Size_class Vmsim

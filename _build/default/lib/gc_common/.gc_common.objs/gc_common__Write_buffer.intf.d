@@ -1,0 +1,1 @@
+lib/gc_common/write_buffer.mli: Card_table Heapsim

@@ -1,0 +1,27 @@
+module Vec = Repro_util.Vec
+module Bitset = Repro_util.Bitset
+
+let card_bytes = 512
+
+type t = { bits : Bitset.t; dirty : int Vec.t }
+
+let create () = { bits = Bitset.create (); dirty = Vec.create () }
+
+let mark_addr t addr =
+  let card = addr / card_bytes in
+  if not (Bitset.mem t.bits card) then begin
+    Bitset.set t.bits card;
+    Vec.push t.dirty card
+  end
+
+let is_marked_addr t addr = Bitset.mem t.bits (addr / card_bytes)
+
+let dirty_count t = Vec.length t.dirty
+
+let drain t f =
+  Vec.iter
+    (fun card ->
+      Bitset.clear t.bits card;
+      f (card * card_bytes))
+    t.dirty;
+  Vec.clear t.dirty

@@ -1,0 +1,23 @@
+(** A card table over the simulated address space.
+
+    BC's filtered write buffers (§3.1) spill into card marks: when a write
+    buffer fills, entries from the mature space are dropped and the source
+    object's card is marked instead; nursery collection then scans objects
+    on dirty cards. Cards are 512 bytes. *)
+
+type t
+
+val card_bytes : int
+
+val create : unit -> t
+
+val mark_addr : t -> int -> unit
+(** Mark the card containing a byte address. *)
+
+val is_marked_addr : t -> int -> bool
+
+val dirty_count : t -> int
+
+val drain : t -> (int -> unit) -> unit
+(** Call the callback with the first byte address of every dirty card,
+    clearing the table. *)

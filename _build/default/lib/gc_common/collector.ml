@@ -1,0 +1,19 @@
+exception Heap_exhausted of string
+
+type t = {
+  name : string;
+  heap : Heapsim.Heap.t;
+  config : Gc_config.t;
+  alloc : size:int -> nrefs:int -> kind:[ `Scalar | `Array ] -> Heapsim.Obj_id.t;
+  collect : unit -> unit;
+  stats : Gc_stats.t;
+  footprint_pages : unit -> int;
+  check_invariants : unit -> unit;
+}
+
+type factory = Gc_config.t -> Heapsim.Heap.t -> t
+
+let charge_alloc heap ~bytes =
+  let costs = Heapsim.Heap.costs heap in
+  Vmsim.Clock.advance (Heapsim.Heap.clock heap)
+    (costs.Vmsim.Costs.alloc_ns + (bytes * costs.Vmsim.Costs.alloc_byte_ns))

@@ -1,0 +1,31 @@
+(** The collector interface seen by workloads and the harness.
+
+    A collector instance is a record of closures over its private state;
+    all collectors — the bookmarking collector and the five baselines —
+    present this same interface. *)
+
+exception Heap_exhausted of string
+(** Raised by [alloc] when a request cannot be satisfied even after a full
+    collection at the configured maximum heap size. *)
+
+type t = {
+  name : string;
+  heap : Heapsim.Heap.t;
+  config : Gc_config.t;
+  alloc : size:int -> nrefs:int -> kind:[ `Scalar | `Array ] -> Heapsim.Obj_id.t;
+      (** Allocate, placing and (first-)touching the object; may trigger
+          collections. Raises {!Heap_exhausted}. *)
+  collect : unit -> unit;  (** Force a full collection. *)
+  stats : Gc_stats.t;
+  footprint_pages : unit -> int;
+      (** Pages currently mapped by the heap's spaces (high-level footprint,
+          not residency). *)
+  check_invariants : unit -> unit;
+      (** Internal consistency checks for tests; may be expensive. *)
+}
+
+type factory = Gc_config.t -> Heapsim.Heap.t -> t
+(** Collectors are factories from a configuration and a fresh heap. *)
+
+val charge_alloc : Heapsim.Heap.t -> bytes:int -> unit
+(** Charge the mutator-side allocation cost (shared by all collectors). *)

@@ -1,0 +1,36 @@
+type nursery_policy = Appel | Fixed of int
+
+type bc_opts = {
+  bookmarks_enabled : bool;
+  reserve_pages : int;
+  aggressive_discard : bool;
+  conservative_clear : bool;
+  compaction_enabled : bool;
+  pointer_aware_victims : int;
+  regrow : bool;
+}
+
+type t = {
+  heap_bytes : int;
+  nursery : nursery_policy;
+  bc : bc_opts;
+  cooperative_discard : bool;
+}
+
+let default_bc_opts =
+  {
+    bookmarks_enabled = true;
+    reserve_pages = 8;
+    aggressive_discard = true;
+    conservative_clear = true;
+    compaction_enabled = true;
+    pointer_aware_victims = 0;
+    regrow = true;
+  }
+
+let make ?(nursery = Appel) ?(bc = default_bc_opts)
+    ?(cooperative_discard = false) ~heap_bytes () =
+  if heap_bytes <= 0 then invalid_arg "Gc_config.make: heap_bytes";
+  { heap_bytes; nursery; bc; cooperative_discard }
+
+let heap_pages t = Vmsim.Page.count_for_bytes t.heap_bytes

@@ -1,0 +1,57 @@
+(** Collector configuration. *)
+
+type nursery_policy =
+  | Appel  (** variable-size nursery: all space not used by the mature
+               generation (the paper's default generational setup) *)
+  | Fixed of int  (** fixed-size nursery in bytes (Figure 5(b) uses 4 MB,
+                      scaled) *)
+
+(** Options specific to the bookmarking collector. The defaults are the
+    paper's full BC; switching [bookmarks_enabled] off gives the
+    "BC w/Resizing only" variant of Figure 5. *)
+type bc_opts = {
+  bookmarks_enabled : bool;
+  reserve_pages : int;
+      (** size of the empty-page store kept to absorb eviction bursts
+          (§3.4.3) *)
+  aggressive_discard : bool;
+      (** discard all contiguous empty pages recorded on the same bit-array
+          word as the first discardable page (§3.4.3) *)
+  conservative_clear : bool;
+      (** clear conservatively-set bookmarks when a reloaded page's
+          superpage has no incoming bookmarks (§3.4.2) *)
+  compaction_enabled : bool;
+      (** compact when mark-sweep frees too little (§3.2) *)
+  pointer_aware_victims : int;
+      (** §7 (future work): when positive, consider this many of the
+          coldest pages as eviction candidates and prefer the one with
+          the fewest outgoing pointers (less false garbage, cheaper
+          scans); 0 keeps the kernel's LRU choice *)
+  regrow : bool;
+      (** §7 (future work): raise the footprint target again when the
+          machine has free frames, so a brief pressure spike does not
+          permanently limit throughput. Off reproduces the paper's
+          published behaviour (the target only shrinks). *)
+}
+
+type t = {
+  heap_bytes : int;  (** maximum heap size (the experiment's heap knob) *)
+  nursery : nursery_policy;
+  bc : bc_opts;
+  cooperative_discard : bool;
+      (** for the generational baselines: register for eviction notices
+          and discard empty pages, Cooper-style (§6, Cooper et al. 1992)
+          — but never bookmark or shrink the heap *)
+}
+
+val default_bc_opts : bc_opts
+
+val make :
+  ?nursery:nursery_policy ->
+  ?bc:bc_opts ->
+  ?cooperative_discard:bool ->
+  heap_bytes:int ->
+  unit ->
+  t
+
+val heap_pages : t -> int

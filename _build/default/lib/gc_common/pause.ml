@@ -1,0 +1,9 @@
+let run stats heap kind f =
+  let pstats = Vmsim.Process.stats (Heapsim.Heap.process heap) in
+  let before = pstats.Vmsim.Vm_stats.major_faults in
+  Gc_stats.time_pause stats (Heapsim.Heap.clock heap) kind (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Gc_stats.add_gc_faults stats
+            (pstats.Vmsim.Vm_stats.major_faults - before))
+        f)

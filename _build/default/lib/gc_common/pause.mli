@@ -1,0 +1,10 @@
+(** Pause accounting wrapper: records the collection's virtual-time
+    interval {e and} the major faults the collector incurred during it —
+    the paper's key observable (BC's collections fault on no pages). *)
+
+val run :
+  Gc_stats.t ->
+  Heapsim.Heap.t ->
+  Gc_stats.pause_kind ->
+  (unit -> 'a) ->
+  'a

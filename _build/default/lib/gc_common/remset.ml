@@ -1,0 +1,22 @@
+module Vec = Repro_util.Vec
+
+type t = { srcs : int Vec.t; fields : int Vec.t }
+
+let create () = { srcs = Vec.create (); fields = Vec.create () }
+
+let record t ~src ~field =
+  Vec.push t.srcs src;
+  Vec.push t.fields field
+
+let length t = Vec.length t.srcs
+
+let drain t f =
+  for i = 0 to Vec.length t.srcs - 1 do
+    f ~src:(Vec.get t.srcs i) ~field:(Vec.get t.fields i)
+  done;
+  Vec.clear t.srcs;
+  Vec.clear t.fields
+
+let clear t =
+  Vec.clear t.srcs;
+  Vec.clear t.fields

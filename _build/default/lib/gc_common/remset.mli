@@ -1,0 +1,18 @@
+(** A sequential store buffer remembering old-to-young pointer slots.
+
+    GenMS and GenCopy append a (source, field) slot on every interesting
+    pointer store and drain the buffer at each nursery collection. The
+    buffer is unbounded, as in MMTk. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> src:Heapsim.Obj_id.t -> field:int -> unit
+
+val length : t -> int
+
+val drain : t -> (src:Heapsim.Obj_id.t -> field:int -> unit) -> unit
+(** Iterate all slots then clear the buffer. *)
+
+val clear : t -> unit

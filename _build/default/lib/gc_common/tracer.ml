@@ -1,0 +1,10 @@
+module Vec = Repro_util.Vec
+
+let run ~roots ~visit =
+  let stack = Vec.create () in
+  let enqueue id = if not (Heapsim.Obj_id.is_null id) then Vec.push stack id in
+  roots enqueue;
+  while not (Vec.is_empty stack) do
+    let id = Vec.pop stack in
+    visit id ~enqueue
+  done

@@ -1,0 +1,12 @@
+(** Generic transitive-closure worklist for tracing collections.
+
+    The collector supplies [visit]; the tracer owns the grey stack. A
+    typical [visit] checks and sets the mark bit, touches the object's
+    pages, charges the visit, then enqueues interesting referents. *)
+
+val run :
+  roots:((Heapsim.Obj_id.t -> unit) -> unit) ->
+  visit:(Heapsim.Obj_id.t -> enqueue:(Heapsim.Obj_id.t -> unit) -> unit) ->
+  unit
+(** [run ~roots ~visit] seeds the worklist with [roots] and calls [visit]
+    until the worklist drains. Null ids are filtered before [visit]. *)

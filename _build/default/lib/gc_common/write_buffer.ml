@@ -1,0 +1,58 @@
+module Vec = Repro_util.Vec
+
+let entries_per_page = Vmsim.Page.size / Size_class.word
+
+type t = {
+  cards : Card_table.t;
+  src_addr : Heapsim.Obj_id.t -> int;
+  filterable : Heapsim.Obj_id.t -> bool;
+  srcs : int Vec.t;
+  fields : int Vec.t;
+  mutable overflows : int;
+}
+
+let create ~cards ~src_addr ~filterable () =
+  {
+    cards;
+    src_addr;
+    filterable;
+    srcs = Vec.create ();
+    fields = Vec.create ();
+    overflows = 0;
+  }
+
+let length t = Vec.length t.srcs
+
+let overflow_count t = t.overflows
+
+(* Filter: move mature-space slots into the card table and compact the
+   survivors in place. *)
+let process t =
+  t.overflows <- t.overflows + 1;
+  let n = Vec.length t.srcs in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    let src = Vec.get t.srcs i in
+    if t.filterable src then Card_table.mark_addr t.cards (t.src_addr src)
+    else begin
+      Vec.set t.srcs !kept src;
+      Vec.set t.fields !kept (Vec.get t.fields i);
+      incr kept
+    end
+  done;
+  while Vec.length t.srcs > !kept do
+    ignore (Vec.pop t.srcs);
+    ignore (Vec.pop t.fields)
+  done
+
+let record t ~src ~field =
+  if Vec.length t.srcs >= entries_per_page then process t;
+  Vec.push t.srcs src;
+  Vec.push t.fields field
+
+let drain t f =
+  for i = 0 to Vec.length t.srcs - 1 do
+    f ~src:(Vec.get t.srcs i) ~field:(Vec.get t.fields i)
+  done;
+  Vec.clear t.srcs;
+  Vec.clear t.fields

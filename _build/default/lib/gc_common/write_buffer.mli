@@ -1,0 +1,33 @@
+(** BC's page-sized write buffer (§3.1).
+
+    Pointer stores append slots; when the buffer fills, it is processed:
+    slots whose source lies in the mature space are converted into card
+    marks and the remaining slots are compacted, so the buffer "often
+    consumes just a single page". *)
+
+type t
+
+val entries_per_page : int
+(** Slots per buffer page: page size / word size (1024). *)
+
+val create :
+  cards:Card_table.t ->
+  src_addr:(Heapsim.Obj_id.t -> int) ->
+  filterable:(Heapsim.Obj_id.t -> bool) ->
+  unit ->
+  t
+(** [filterable src] says whether a slot from [src] may be replaced by a
+    card mark (true for mature-space sources). [src_addr] locates the
+    source for card marking. *)
+
+val record : t -> src:Heapsim.Obj_id.t -> field:int -> unit
+(** Append a slot, processing the buffer first when it is full. *)
+
+val drain : t -> (src:Heapsim.Obj_id.t -> field:int -> unit) -> unit
+(** Iterate the surviving slots and clear the buffer (cards are drained
+    separately by the collector). *)
+
+val length : t -> int
+
+val overflow_count : t -> int
+(** How many times the buffer filled and was filtered. *)

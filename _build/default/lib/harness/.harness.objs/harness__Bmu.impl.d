@@ -1,0 +1,1 @@
+lib/harness/bmu.ml: Float List

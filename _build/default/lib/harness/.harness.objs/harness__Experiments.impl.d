@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Bmu Float Gc_common Heapsim List Metrics Minheap Option Printf Registry Repro_util Run Table Vmsim Workload

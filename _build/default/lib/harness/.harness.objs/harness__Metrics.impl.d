@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Format Gc_common Heapsim List Vmsim

@@ -1,0 +1,1 @@
+lib/harness/minheap.ml: Metrics Option Run Workload

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Baselines Bookmarking Gc_common Printf Workload

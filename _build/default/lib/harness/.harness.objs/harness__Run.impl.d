@@ -1,0 +1,1 @@
+lib/harness/run.ml: Gc_common Heapsim List Metrics Option Registry Vmsim Workload

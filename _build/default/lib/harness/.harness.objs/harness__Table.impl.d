@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array Chart Filename Fun List Printf String Sys

@@ -1,0 +1,51 @@
+(* Pause time inside [s, s+w], computed from sorted pause intervals. *)
+let pause_overlap pauses ~s ~w =
+  List.fold_left
+    (fun acc (start, dur) ->
+      let lo = max s start and hi = min (s + w) (start + dur) in
+      acc + max 0 (hi - lo))
+    0 pauses
+
+let min_mu ~pauses ~total_ns ~window_ns =
+  if window_ns <= 0 then 0.0
+  else if window_ns >= total_ns then begin
+    let total_pause = List.fold_left (fun acc (_, d) -> acc + d) 0 pauses in
+    Float.max 0.0
+      (1.0 -. (float_of_int total_pause /. float_of_int (max total_ns 1)))
+  end
+  else begin
+    (* candidate window positions: aligned to pause starts and to pause
+       ends minus the window, plus the extremes — the minimum is attained
+       at one of these *)
+    let candidates =
+      0 :: (total_ns - window_ns)
+      :: List.concat_map
+           (fun (start, dur) -> [ start; start + dur - window_ns ])
+           pauses
+    in
+    let worst = ref 0 in
+    List.iter
+      (fun s ->
+        let s = max 0 (min s (total_ns - window_ns)) in
+        let p = pause_overlap pauses ~s ~w:window_ns in
+        if p > !worst then worst := p)
+      candidates;
+    Float.max 0.0 (1.0 -. (float_of_int !worst /. float_of_int window_ns))
+  end
+
+let curve ~pauses ~total_ns ~windows =
+  let sorted = List.sort_uniq compare windows in
+  let mus =
+    List.map (fun w -> (w, min_mu ~pauses ~total_ns ~window_ns:w)) sorted
+  in
+  (* BMU(w) = min over windows of size >= w: suffix minimum *)
+  let rev = List.rev mus in
+  let running = ref 1.0 in
+  let bmu_rev =
+    List.map
+      (fun (w, mu) ->
+        if mu < !running then running := mu;
+        (w, !running))
+      rev
+  in
+  List.rev bmu_rev

@@ -1,0 +1,16 @@
+(** Bounded mutator utilization (Cheng–Blelloch MU, Sachindran's BMU),
+    the metric of Figure 6.
+
+    For a window size [w], mutator utilization is the fraction of a
+    [w]-long window not spent in GC pauses; BMU([w]) is the minimum over
+    all windows of size [w] {e or greater} — equivalently, the running
+    maximum of minimum-MU from small windows up. *)
+
+val min_mu : pauses:(int * int) list -> total_ns:int -> window_ns:int -> float
+(** Minimum mutator utilization over all windows of exactly [window_ns]
+    within [0, total_ns]. [pauses] are (start, duration) pairs. *)
+
+val curve :
+  pauses:(int * int) list -> total_ns:int -> windows:int list -> (int * float) list
+(** BMU at each window size (windows need not be sorted; the result is, and
+    is monotonically non-decreasing in the window size). *)

@@ -1,0 +1,71 @@
+let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+let render ?(height = 12) ?(width = 60) ?(log_y = true) ~columns ~rows () =
+  let values =
+    List.concat_map (fun (_, cells) -> List.filter_map Fun.id cells) rows
+  in
+  if values = [] then "(no data)\n"
+  else begin
+    let scale v = if log_y then Float.log (Float.max v 1e-9) else v in
+    let lo = List.fold_left (fun acc v -> Float.min acc (scale v)) infinity values in
+    let hi = List.fold_left (fun acc v -> Float.max acc (scale v)) neg_infinity values in
+    let span = if hi -. lo < 1e-12 then 1.0 else hi -. lo in
+    let nrows = List.length rows in
+    let grid = Array.make_matrix height width ' ' in
+    let x_of i =
+      if nrows <= 1 then 0 else i * (width - 1) / (nrows - 1)
+    in
+    let y_of v =
+      let frac = (scale v -. lo) /. span in
+      let y = int_of_float (Float.round (frac *. float_of_int (height - 1))) in
+      height - 1 - max 0 (min (height - 1) y)
+    in
+    List.iteri
+      (fun row_idx (_, cells) ->
+        List.iteri
+          (fun col_idx cell ->
+            match cell with
+            | None -> ()
+            | Some v ->
+                let x = x_of row_idx and y = y_of v in
+                let c = letters.[col_idx mod String.length letters] in
+                (* later series overwrite; ties show the last letter *)
+                grid.(y).(x) <- c)
+          cells)
+      rows;
+    let buf = Buffer.create 1024 in
+    let top = List.fold_left Float.max neg_infinity values in
+    let bottom = List.fold_left Float.min infinity values in
+    Array.iteri
+      (fun y line ->
+        let label =
+          if y = 0 then Printf.sprintf "%10.3g |" top
+          else if y = height - 1 then Printf.sprintf "%10.3g |" bottom
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun x -> line.(x)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    (* x labels: first and last *)
+    (match (rows, List.rev rows) with
+    | (first, _) :: _, (last, _) :: _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10s  %s%s%s\n" "" first
+             (String.make (max 1 (width - String.length first - String.length last)) ' ')
+             last)
+    | _ -> ());
+    List.iteri
+      (fun i col ->
+        Buffer.add_string buf
+          (Printf.sprintf "%12s = %s\n"
+             (String.make 1 letters.[i mod String.length letters])
+             col))
+      columns;
+    Buffer.contents buf
+  end
+
+let print ?height ?width ?log_y ~title ~columns ~rows () =
+  Printf.printf "\n-- %s --\n%s" title
+    (render ?height ?width ?log_y ~columns ~rows ())

@@ -1,0 +1,29 @@
+(** Minimal ASCII charts for rendering the paper's figures in a
+    terminal.
+
+    Each column of a data series becomes a letter plotted over a grid;
+    the y axis is logarithmic by default, which suits paging data whose
+    interesting structure spans orders of magnitude. *)
+
+val render :
+  ?height:int ->
+  ?width:int ->
+  ?log_y:bool ->
+  columns:string list ->
+  rows:(string * float option list) list ->
+  unit ->
+  string
+(** [render ~columns ~rows ()] returns the chart (legend included) as a
+    string. [height] defaults to 12 grid lines, [width] to 60 cells,
+    [log_y] to true. Missing points ([None]) are left blank. *)
+
+val print :
+  ?height:int ->
+  ?width:int ->
+  ?log_y:bool ->
+  title:string ->
+  columns:string list ->
+  rows:(string * float option list) list ->
+  unit ->
+  unit
+(** Print [render] output under a title. *)

@@ -1,0 +1,566 @@
+module Spec = Workload.Spec
+module Pressure = Workload.Pressure
+
+type mode = Quick | Full
+
+(* --------------------------------------------------------------- *)
+(* Sweep parameters per mode                                        *)
+
+type params = {
+  label : string;
+  suite_volume : float;  (* volume scale for the 9-benchmark sweeps *)
+  pjbb_volume : float;  (* volume scale for the pseudoJBB experiments *)
+  minheap_volume : float;
+  f2_multipliers : float list;  (* of the paper's min heap *)
+  f3_heap_mb : float list;  (* scaled MB (paper MB / 8) *)
+  dyn_available : float list;  (* fraction of the heap kept available *)
+  f6_available : (string * float) list;
+  f7_available : float list;  (* fraction of the two heaps combined *)
+  include_marksweep : bool;
+}
+
+let params = function
+  | Quick ->
+      {
+        label = "quick";
+        suite_volume = 0.12;
+        pjbb_volume = 0.5;
+        minheap_volume = 0.15;
+        f2_multipliers = [ 1.25; 1.5; 2.0; 3.0 ];
+        f3_heap_mb = [ 10.0; 12.5; 16.25 ];
+        dyn_available = [ 1.0; 0.7; 0.5; 0.4; 0.33 ];
+        f6_available = [ ("moderate", 0.75); ("severe", 0.45) ];
+        f7_available = [ 0.8; 0.55 ];
+        include_marksweep = false;
+      }
+  | Full ->
+      {
+        label = "full";
+        suite_volume = 0.5;
+        pjbb_volume = 1.0;
+        minheap_volume = 0.3;
+        f2_multipliers = [ 1.1; 1.25; 1.5; 1.75; 2.0; 2.5; 3.0 ];
+        f3_heap_mb = [ 10.0; 11.25; 12.5; 13.75; 15.0; 16.25 ];
+        dyn_available = [ 1.1; 0.9; 0.75; 0.6; 0.5; 0.4; 0.33 ];
+        f6_available = [ ("moderate", 0.75); ("severe", 0.45) ];
+        f7_available = [ 0.9; 0.75; 0.6; 0.5 ];
+        include_marksweep = true;
+      }
+
+let mb x = int_of_float (x *. 1_048_576.)
+
+let baseline_collectors _p =
+  [ "BC"; "GenMS"; "GenCopy"; "CopyMS"; "MarkSweep"; "SemiSpace" ]
+
+(* Collectors compared under pressure (the paper omits MarkSweep there:
+   "runs with this collector can take hours"). *)
+let pressure_collectors = [ "BC"; "BC-resize"; "GenMS"; "GenCopy"; "CopyMS"; "SemiSpace" ]
+
+(* --------------------------------------------------------------- *)
+(* Table 1                                                          *)
+
+let table1 mode =
+  let p = params mode in
+  Printf.printf "\n== Table 1: benchmark statistics (all bytes = paper/8, %s mode) ==\n"
+    p.label;
+  let rows =
+    List.map
+      (fun spec ->
+        let min_heap =
+          Minheap.find ~volume_scale:p.minheap_volume ~collector:"BC" ~spec ()
+        in
+        [
+          spec.Spec.name;
+          Table.fmt_bytes spec.Spec.total_alloc_bytes;
+          Table.fmt_bytes spec.Spec.paper_min_heap_bytes;
+          (match min_heap with
+          | Some b -> Table.fmt_bytes b
+          | None -> "-");
+          (match min_heap with
+          | Some b ->
+              Printf.sprintf "%.2f"
+                (float_of_int b /. float_of_int spec.Spec.paper_min_heap_bytes)
+          | None -> "-");
+        ])
+      Workload.Benchmarks.all
+  in
+  Table.print_table
+    ~header:
+      [ "Benchmark"; "Total Alloc"; "Paper Min Heap"; "Measured Min Heap"; "ratio" ]
+    ~rows
+
+(* --------------------------------------------------------------- *)
+(* Shared runners                                                   *)
+
+let elapsed_opt = function
+  | Metrics.Completed m -> Some (Metrics.elapsed_s m)
+  | Metrics.Exhausted _ | Metrics.Thrashed _ -> None
+
+let pause_opt = function
+  | Metrics.Completed m -> Some m.Metrics.avg_pause_ms
+  | Metrics.Exhausted _ | Metrics.Thrashed _ -> None
+
+let run_plain ~collector ~spec ~heap_bytes =
+  Run.run (Run.setup ~collector ~spec ~heap_bytes ())
+
+(* --------------------------------------------------------------- *)
+(* Figure 2                                                         *)
+
+let figure2 mode =
+  let p = params mode in
+  let collectors = baseline_collectors p in
+  (* the heap-size axis is relative to each benchmark's measured minimum
+     heap (Table 1's measured column), as in the paper *)
+  let min_heaps =
+    List.map
+      (fun spec ->
+        let measured =
+          Minheap.find ~volume_scale:p.minheap_volume ~collector:"BC" ~spec ()
+        in
+        ( spec,
+          Option.value measured ~default:spec.Spec.paper_min_heap_bytes ))
+      Workload.Benchmarks.all
+  in
+  let rows =
+    List.map
+      (fun mult ->
+        (* per benchmark, elapsed per collector; then geomean of the
+           ratios to BC over the benchmarks where both completed *)
+        let per_bench =
+          List.map
+            (fun (spec, min_heap) ->
+              let spec = Spec.scale_volume spec p.suite_volume in
+              let heap_bytes = int_of_float (mult *. float_of_int min_heap) in
+              List.map
+                (fun collector ->
+                  elapsed_opt (run_plain ~collector ~spec ~heap_bytes))
+                collectors)
+            min_heaps
+        in
+        let cells =
+          List.mapi
+            (fun i _collector ->
+              let ratios =
+                List.filter_map
+                  (fun bench_results ->
+                    match (List.nth bench_results 0, List.nth bench_results i) with
+                    | Some bc, Some c -> Some (c /. bc)
+                    | _ -> None)
+                  per_bench
+              in
+              if ratios = [] then None
+              else Some (Repro_util.Summary.geomean ratios))
+            collectors
+        in
+        (Printf.sprintf "%.2fx" mult, cells))
+      p.f2_multipliers
+  in
+  Table.print_series
+    ~title:
+      "Figure 2: geomean execution time relative to BC (no memory pressure)"
+    ~x_label:"heap" ~columns:collectors ~rows
+
+(* --------------------------------------------------------------- *)
+(* Figure 3                                                         *)
+
+let steady_setup ~collector ~spec ~heap_bytes =
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 128 in
+  let pressure =
+    Pressure.Steady { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 }
+  in
+  Run.setup ~collector ~spec ~heap_bytes ~frames ~pressure ()
+
+let figure3 mode =
+  let p = params mode in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let results =
+    List.map
+      (fun heap_mb ->
+        let heap_bytes = mb heap_mb in
+        ( heap_mb,
+          List.map
+            (fun collector ->
+              Run.run (steady_setup ~collector ~spec ~heap_bytes))
+            pressure_collectors ))
+      p.f3_heap_mb
+  in
+  Table.print_series
+    ~title:
+      "Figure 3(a): steady pressure (40% of heap available): execution time \
+       (s), pseudoJBB"
+    ~x_label:"heap(MB/8)" ~columns:pressure_collectors
+    ~rows:
+      (List.map
+         (fun (heap_mb, outcomes) ->
+           (Printf.sprintf "%.2f" heap_mb, List.map elapsed_opt outcomes))
+         results);
+  Table.print_series
+    ~title:"Figure 3(b): steady pressure: average GC pause (ms), pseudoJBB"
+    ~x_label:"heap(MB/8)" ~columns:pressure_collectors
+    ~rows:
+      (List.map
+         (fun (heap_mb, outcomes) ->
+           (Printf.sprintf "%.2f" heap_mb, List.map pause_opt outcomes))
+         results)
+
+(* --------------------------------------------------------------- *)
+(* Figures 4, 5, 6: dynamic pressure                                *)
+
+let pjbb_heap_bytes = 77 * 1_048_576 / Workload.Benchmarks.scale
+
+let dynamic_setup ?costs ~collector ~spec ~available_frac () =
+  let heap_bytes = pjbb_heap_bytes in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 256 in
+  let available = int_of_float (available_frac *. float_of_int heap_pages) in
+  let pin_target = max 0 (frames - available) in
+  let initial_pages = min pin_target (mb 3.75 / Vmsim.Page.size) in
+  (* The paper ramps 1 MB every 100 ms against minutes-long runs; our
+     virtual runs are shorter, so the step interval is scaled for the ramp
+     to complete within roughly the first 40% of an unpressured run. *)
+  let expected_ns = spec.Spec.total_alloc_bytes * 5 in
+  let steps = max 1 ((pin_target - initial_pages + 31) / 32) in
+  let step_ns = max 1_000_000 (2 * expected_ns / (5 * steps)) in
+  let pressure =
+    Pressure.Ramp
+      {
+        after_progress = 0.1;
+        initial_pages;
+        pages_per_step = 32;  (* 1 MB/8 per step *)
+        step_ns;
+        max_pages = pin_target;
+      }
+  in
+  Run.setup ?costs ~collector ~spec ~heap_bytes ~frames ~pressure ()
+
+let dynamic_outcomes p collectors =
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  List.map
+    (fun available_frac ->
+      ( available_frac,
+        List.map
+          (fun collector ->
+            Run.run (dynamic_setup ~collector ~spec ~available_frac ()))
+          collectors ))
+    p.dyn_available
+
+let figure45 mode =
+  let p = params mode in
+  let results = dynamic_outcomes p pressure_collectors in
+  Table.print_series
+    ~title:"Figure 4: dynamic pressure: average GC pause (ms), pseudoJBB"
+    ~x_label:"avail/heap" ~columns:pressure_collectors
+    ~rows:
+      (List.map
+         (fun (frac, outcomes) ->
+           (Printf.sprintf "%.2f" frac, List.map pause_opt outcomes))
+         results);
+  Table.print_series
+    ~title:"Figure 5(a): dynamic pressure: execution time (s), pseudoJBB"
+    ~x_label:"avail/heap" ~columns:pressure_collectors
+    ~rows:
+      (List.map
+         (fun (frac, outcomes) ->
+           (Printf.sprintf "%.2f" frac, List.map elapsed_opt outcomes))
+         results);
+  let fixed = [ "BC-fixed"; "GenMS-fixed"; "GenCopy-fixed" ] in
+  (* the fixed-nursery footprint is smaller, so paging only starts at
+     lower availability: extend the sweep downwards *)
+  let fixed_results =
+    dynamic_outcomes { p with dyn_available = p.dyn_available @ [ 0.28; 0.22 ] } fixed
+  in
+  Table.print_series
+    ~title:
+      "Figure 5(b): dynamic pressure, fixed-size (4MB/8) nurseries: \
+       execution time (s)"
+    ~x_label:"avail/heap" ~columns:fixed
+    ~rows:
+      (List.map
+         (fun (frac, outcomes) ->
+           (Printf.sprintf "%.2f" frac, List.map elapsed_opt outcomes))
+         fixed_results)
+
+let figure6 mode =
+  let p = params mode in
+  let collectors =
+    pressure_collectors @ if p.include_marksweep then [ "MarkSweep" ] else []
+  in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let windows =
+    (* log-spaced windows, 1 ms .. 100 s (virtual) *)
+    List.init 11 (fun i ->
+        int_of_float (1e6 *. Float.pow 10.0 (float_of_int i /. 2.0)))
+  in
+  List.iter
+    (fun (tag, available_frac) ->
+      let curves =
+        List.map
+          (fun collector ->
+            match Run.run (dynamic_setup ~collector ~spec ~available_frac ()) with
+            | Metrics.Completed m ->
+                Some
+                  (Bmu.curve ~pauses:m.Metrics.pauses
+                     ~total_ns:m.Metrics.elapsed_ns ~windows)
+            | Metrics.Exhausted _ | Metrics.Thrashed _ -> None)
+          collectors
+      in
+      Table.print_series
+        ~title:
+          (Printf.sprintf
+             "Figure 6 (%s pressure, %.0f%% of heap available): BMU by \
+              window size"
+             tag (100. *. available_frac))
+        ~x_label:"window(ms)" ~columns:collectors
+        ~rows:
+          (List.mapi
+             (fun i w ->
+               ( Printf.sprintf "%.1f" (float_of_int w /. 1e6),
+                 List.map
+                   (function
+                     | Some curve -> Some (snd (List.nth curve i))
+                     | None -> None)
+                   curves ))
+             windows))
+    p.f6_available
+
+(* --------------------------------------------------------------- *)
+(* Figure 7                                                         *)
+
+let figure7 mode =
+  let p = params mode in
+  let collectors = [ "BC"; "GenMS"; "GenCopy"; "CopyMS"; "SemiSpace" ] in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let heap_bytes = pjbb_heap_bytes in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let results =
+    List.map
+      (fun frac ->
+        let frames =
+          max 512 (int_of_float (frac *. float_of_int (2 * heap_pages)))
+        in
+        ( frac,
+          List.map
+            (fun collector ->
+              let instance seed_shift =
+                Run.setup ~collector
+                  ~spec:{ spec with Spec.seed = spec.Spec.seed + seed_shift }
+                  ~heap_bytes ~frames ()
+              in
+              Run.run_pair (instance 0) (instance 17))
+            collectors ))
+      p.f7_available
+  in
+  let elapsed_pair (a, b) =
+    match (a, b) with
+    | Metrics.Completed ma, Metrics.Completed mb ->
+        Some (Float.max (Metrics.elapsed_s ma) (Metrics.elapsed_s mb))
+    | _ -> None
+  in
+  let pause_pair (a, b) =
+    match (a, b) with
+    | Metrics.Completed ma, Metrics.Completed mb ->
+        Some ((ma.Metrics.avg_pause_ms +. mb.Metrics.avg_pause_ms) /. 2.0)
+    | _ -> None
+  in
+  Table.print_series
+    ~title:"Figure 7(a): two instances of pseudoJBB: total elapsed time (s)"
+    ~x_label:"avail/(2*heap)" ~columns:collectors
+    ~rows:
+      (List.map
+         (fun (frac, outcomes) ->
+           (Printf.sprintf "%.2f" frac, List.map elapsed_pair outcomes))
+         results);
+  Table.print_series
+    ~title:"Figure 7(b): two instances: average GC pause (ms)"
+    ~x_label:"avail/(2*heap)" ~columns:collectors
+    ~rows:
+      (List.map
+         (fun (frac, outcomes) ->
+           (Printf.sprintf "%.2f" frac, List.map pause_pair outcomes))
+         results)
+
+(* --------------------------------------------------------------- *)
+(* Ablations                                                        *)
+
+let ablation mode =
+  let p = params mode in
+  let variants =
+    ("BC" :: "BC-resize" :: "BC-fixed" :: Registry.ablation_names)
+    @ [ "GenMS"; "GenMS-coop" ]
+  in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  (* severe enough that discarding alone cannot absorb the pressure *)
+  let frac = 0.38 in
+  let rows =
+    List.map
+      (fun collector ->
+        match
+          Run.run (dynamic_setup ~collector ~spec ~available_frac:frac ())
+        with
+        | Metrics.Completed m ->
+            [
+              collector;
+              Table.fmt_seconds (Metrics.elapsed_s m);
+              Table.fmt_ms m.Metrics.avg_pause_ms;
+              string_of_int m.Metrics.major_faults;
+              string_of_int m.Metrics.gc_major_faults;
+              string_of_int m.Metrics.discards;
+              string_of_int m.Metrics.relinquished;
+            ]
+        | Metrics.Exhausted msg -> [ collector; "exhausted: " ^ msg ]
+        | Metrics.Thrashed msg -> [ collector; "thrashed: " ^ msg ])
+      variants
+  in
+  Printf.printf
+    "\n== Ablations: BC variants under dynamic pressure (38%% of heap \
+     available) ==\n";
+  Table.print_table
+    ~header:
+      [ "variant"; "time(s)"; "avg pause(ms)"; "faults"; "gc faults"; "discards"; "relinquished" ]
+    ~rows
+
+(* ---------------------------------------------------------------- *)
+(* Beyond the paper: SSD swap                                         *)
+
+let ssd mode =
+  let p = params mode in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let collectors = [ "BC"; "GenMS"; "GenCopy"; "CopyMS" ] in
+  let devices = [ ("disk(5ms)", Vmsim.Costs.default); ("ssd(80us)", Vmsim.Costs.ssd) ] in
+  let rows =
+    List.concat_map
+      (fun (tag, costs) ->
+        List.map
+          (fun frac ->
+            ( Printf.sprintf "%s@%.2f" tag frac,
+              List.map
+                (fun collector ->
+                  elapsed_opt
+                    (Run.run
+                       (dynamic_setup ~costs ~collector ~spec
+                          ~available_frac:frac ())))
+                collectors ))
+          [ 0.5; 0.4 ])
+      devices
+  in
+  Table.print_series
+    ~title:
+      "Beyond the paper: disk vs SSD swap under dynamic pressure (s)"
+    ~x_label:"device@avail" ~columns:collectors ~rows
+
+(* ---------------------------------------------------------------- *)
+(* Beyond the paper: recovery from a transient spike                  *)
+
+let recovery mode =
+  let p = params mode in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let heap_bytes = pjbb_heap_bytes in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 256 in
+  let collectors = [ "BC"; "BC-noregrow"; "GenMS" ] in
+  let run collector =
+    (* pin down to 45% of the heap between 20% and 50% progress; the run
+       finishes with memory abundant again *)
+    let clock = Vmsim.Clock.create () in
+    let vmm = Vmsim.Vmm.create ~clock ~frames () in
+    let proc = Vmsim.Vmm.create_process vmm ~name:"jvm" in
+    let heap = Heapsim.Heap.create vmm proc in
+    let c = Registry.create ~name:collector ~heap_bytes heap in
+    let signalmem =
+      Workload.Signalmem.create vmm (Heapsim.Heap.address_space heap)
+    in
+    let mutator = Workload.Mutator.create spec c in
+    let release_ns = ref None in
+    let total = float_of_int spec.Spec.total_alloc_bytes in
+    (try
+       while not (Workload.Mutator.step mutator ~ops:Run.default_slice) do
+         let prog =
+           float_of_int (Workload.Mutator.allocated_bytes mutator) /. total
+         in
+         if prog >= 0.15 && prog < 0.35 then begin
+           let want = frames - (heap_pages * 35 / 100) in
+           let have = Workload.Signalmem.pinned_pages signalmem in
+           if have < want then Workload.Signalmem.pin_pages signalmem (want - have)
+         end
+         else if prog >= 0.35 && !release_ns = None then begin
+           Workload.Signalmem.unpin_all signalmem;
+           release_ns := Some (Vmsim.Clock.now clock)
+         end
+       done;
+       let finish = Vmsim.Clock.now clock in
+       let after =
+         match !release_ns with
+         | Some t0 -> Vmsim.Clock.ns_to_s (finish - t0)
+         | None -> Float.nan
+       in
+       Some (Vmsim.Clock.ns_to_s finish, after)
+     with Gc_common.Collector.Heap_exhausted _ | Vmsim.Vmm.Thrashing _ -> None)
+  in
+  Printf.printf
+    "\n== Beyond the paper: recovery after a transient spike (pin to 35%% \
+     between 15%%-35%% progress) ==\n";
+  Table.print_table
+    ~header:[ "collector"; "total(s)"; "after release(s)" ]
+    ~rows:
+      (List.map
+         (fun collector ->
+           match run collector with
+           | Some (total_s, after_s) ->
+               [
+                 collector;
+                 Table.fmt_seconds total_s;
+                 Table.fmt_seconds after_s;
+               ]
+           | None -> [ collector; "failed"; "-" ])
+         collectors)
+
+(* ---------------------------------------------------------------- *)
+(* Beyond the paper: heterogeneous cohabitation                       *)
+
+let mixed mode =
+  let p = params mode in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let heap_bytes = pjbb_heap_bytes in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = 2 * heap_pages * 6 / 10 in
+  let pairing a b =
+    let instance collector seed_shift =
+      Run.setup ~collector
+        ~spec:{ spec with Spec.seed = spec.Spec.seed + seed_shift }
+        ~heap_bytes ~frames ()
+    in
+    let describe tag = function
+      | Metrics.Completed m ->
+          [
+            tag;
+            Table.fmt_seconds (Metrics.elapsed_s m);
+            Table.fmt_ms m.Metrics.avg_pause_ms;
+            string_of_int m.Metrics.major_faults;
+          ]
+      | Metrics.Exhausted _ -> [ tag; "exhausted"; "-"; "-" ]
+      | Metrics.Thrashed _ -> [ tag; "thrashed"; "-"; "-" ]
+    in
+    let ra, rb = Run.run_pair (instance a 0) (instance b 17) in
+    [ describe (a ^ " (with " ^ b ^ ")") ra;
+      describe (b ^ " (with " ^ a ^ ")") rb ]
+  in
+  Printf.printf
+    "\n== Beyond the paper: two collectors sharing one machine (60%% of \
+     their combined heaps) ==\n";
+  Table.print_table
+    ~header:[ "instance"; "time(s)"; "avg pause(ms)"; "faults" ]
+    ~rows:
+      (pairing "BC" "BC" @ pairing "GenMS" "GenMS" @ pairing "BC" "GenMS")
+
+let all mode =
+  table1 mode;
+  figure2 mode;
+  figure3 mode;
+  figure45 mode;
+  figure6 mode;
+  figure7 mode;
+  ablation mode;
+  ssd mode;
+  recovery mode;
+  mixed mode

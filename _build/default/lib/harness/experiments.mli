@@ -1,0 +1,61 @@
+(** The paper's evaluation (§5), one entry per table and figure.
+
+    Each function runs the simulation sweep and prints the table's rows or
+    the figure's data series. [Quick] mode uses reduced allocation volumes
+    and coarser sweeps (minutes); [Full] uses the complete scaled
+    parameters. *)
+
+type mode = Quick | Full
+
+val table1 : mode -> unit
+(** Table 1: total allocation and measured minimum heap per benchmark,
+    against the paper's (scaled) numbers. *)
+
+val figure2 : mode -> unit
+(** Fig. 2: geometric mean execution time relative to BC across all nine
+    benchmarks, as a function of relative heap size, without memory
+    pressure. *)
+
+val figure3 : mode -> unit
+(** Fig. 3(a,b): steady memory pressure (40% of the heap available):
+    execution time and average GC pause vs heap size, pseudoJBB. *)
+
+val figure45 : mode -> unit
+(** Figs. 4 and 5(a,b): dynamically growing memory pressure: average GC
+    pause and execution time vs available memory, including the
+    fixed-nursery variants and BC w/Resizing-only. *)
+
+val figure6 : mode -> unit
+(** Fig. 6(a,b): bounded mutator utilization curves under moderate and
+    severe dynamic pressure. *)
+
+val figure7 : mode -> unit
+(** Fig. 7(a,b): two simultaneous instances of pseudoJBB: execution time
+    and average GC pause vs available memory. *)
+
+val ablation : mode -> unit
+(** Design-choice ablations under dynamic pressure: bookmarks off,
+    aggressive discarding off, conservative clearing off, compaction off,
+    reserve sizing, fixed nursery. *)
+
+val ssd : mode -> unit
+(** Beyond the paper: repeat the dynamic-pressure comparison with a
+    modern flash swap device (~80 µs faults instead of ~5 ms). The
+    memory/disk latency gap is the paper's premise; this quantifies how
+    much of BC's advantage it carries. *)
+
+val recovery : mode -> unit
+(** Beyond the paper (§7's concern): a brief memory-pressure spike that
+    later releases. Compares full BC (which regrows its footprint target)
+    against a no-regrow variant and GenMS, reporting the time spent after
+    the release. *)
+
+val mixed : mode -> unit
+(** Beyond the paper: heterogeneous cohabitation. Two instances share one
+    memory-tight machine in three pairings (BC+BC, GenMS+GenMS,
+    BC+GenMS) — does the cooperative collector get exploited by a paging
+    neighbour that never gives memory back? *)
+
+val all : mode -> unit
+(** Everything above, in paper order, plus the SSD, recovery and
+    cohabitation studies. *)

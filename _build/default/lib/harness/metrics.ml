@@ -1,0 +1,73 @@
+module Gc_stats = Gc_common.Gc_stats
+
+type t = {
+  collector : string;
+  workload : string;
+  heap_bytes : int;
+  elapsed_ns : int;
+  gc_ns : int;
+  minor : int;
+  full : int;
+  compacting : int;
+  avg_pause_ms : float;
+  p50_pause_ms : float;
+  p95_pause_ms : float;
+  max_pause_ms : float;
+  major_faults : int;
+  gc_major_faults : int;
+  evictions : int;
+  discards : int;
+  relinquished : int;
+  footprint_pages : int;
+  allocated_bytes : int;
+  pauses : (int * int) list;
+}
+
+type outcome = Completed of t | Exhausted of string | Thrashed of string
+
+let elapsed_s t = Vmsim.Clock.ns_to_s t.elapsed_ns
+
+let of_run ~collector ~workload ~start_ns ~end_ns =
+  let stats = collector.Gc_common.Collector.stats in
+  let pstats =
+    Vmsim.Process.stats
+      (Heapsim.Heap.process collector.Gc_common.Collector.heap)
+  in
+  {
+    collector = collector.Gc_common.Collector.name;
+    workload;
+    heap_bytes =
+      collector.Gc_common.Collector.config.Gc_common.Gc_config.heap_bytes;
+    elapsed_ns = end_ns - start_ns;
+    gc_ns = Gc_stats.total_gc_ns stats;
+    minor = Gc_stats.count stats Gc_stats.Minor;
+    full = Gc_stats.count stats Gc_stats.Full;
+    compacting = Gc_stats.count stats Gc_stats.Compacting;
+    avg_pause_ms = Gc_stats.avg_pause_ms stats;
+    p50_pause_ms = Gc_stats.pause_percentile_ms stats 0.5;
+    p95_pause_ms = Gc_stats.pause_percentile_ms stats 0.95;
+    max_pause_ms = Gc_stats.max_pause_ms stats;
+    major_faults = pstats.Vmsim.Vm_stats.major_faults;
+    gc_major_faults = Gc_stats.gc_major_faults stats;
+    evictions = pstats.Vmsim.Vm_stats.evictions;
+    discards = pstats.Vmsim.Vm_stats.discards;
+    relinquished = pstats.Vmsim.Vm_stats.relinquished;
+    footprint_pages = Gc_stats.max_heap_pages stats;
+    allocated_bytes = Gc_stats.allocated_bytes stats;
+    pauses =
+      List.map
+        (fun p -> (p.Gc_stats.start_ns, p.Gc_stats.duration_ns))
+        (Gc_stats.pauses stats);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s/%s heap=%dKB: %.3fs (gc %.3fs) pauses avg=%.2fms p50=%.2fms \
+     p95=%.2fms max=%.2fms gc=[%d minor, %d full, %d compact] faults=%d \
+     (gc %d) evict=%d discard=%d relinq=%d"
+    t.collector t.workload (t.heap_bytes / 1024)
+    (Vmsim.Clock.ns_to_s t.elapsed_ns)
+    (Vmsim.Clock.ns_to_s t.gc_ns)
+    t.avg_pause_ms t.p50_pause_ms t.p95_pause_ms t.max_pause_ms t.minor
+    t.full t.compacting t.major_faults
+    t.gc_major_faults t.evictions t.discards t.relinquished

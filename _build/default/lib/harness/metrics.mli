@@ -1,0 +1,40 @@
+(** Results of one measured run. *)
+
+type t = {
+  collector : string;
+  workload : string;
+  heap_bytes : int;
+  elapsed_ns : int;  (** virtual time from run start to workload finish *)
+  gc_ns : int;
+  minor : int;
+  full : int;
+  compacting : int;
+  avg_pause_ms : float;
+  p50_pause_ms : float;
+  p95_pause_ms : float;
+  max_pause_ms : float;
+  major_faults : int;  (** all of the process's major faults *)
+  gc_major_faults : int;  (** major faults incurred inside collections *)
+  evictions : int;
+  discards : int;
+  relinquished : int;
+  footprint_pages : int;  (** high-water heap pages *)
+  allocated_bytes : int;
+  pauses : (int * int) list;  (** (start, duration), for BMU *)
+}
+
+type outcome =
+  | Completed of t
+  | Exhausted of string  (** the heap was too small *)
+  | Thrashed of string  (** physical memory could not hold the floor *)
+
+val elapsed_s : t -> float
+
+val of_run :
+  collector:Gc_common.Collector.t ->
+  workload:string ->
+  start_ns:int ->
+  end_ns:int ->
+  t
+
+val pp : Format.formatter -> t -> unit

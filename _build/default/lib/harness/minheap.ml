@@ -1,0 +1,24 @@
+let works ~collector ~spec ~heap_bytes =
+  match Run.run (Run.setup ~collector ~spec ~heap_bytes ()) with
+  | Metrics.Completed _ -> true
+  | Metrics.Exhausted _ | Metrics.Thrashed _ -> false
+
+let find ?(granularity_bytes = 64 * 1024) ?lo_bytes ?hi_bytes
+    ?(volume_scale = 0.5) ~collector ~spec () =
+  let spec = Workload.Spec.scale_volume spec volume_scale in
+  let live = Workload.Spec.live_estimate_bytes spec in
+  let lo = Option.value lo_bytes ~default:(max granularity_bytes live) in
+  let hi =
+    Option.value hi_bytes
+      ~default:(max (4 * spec.Workload.Spec.paper_min_heap_bytes) (4 * live))
+  in
+  if not (works ~collector ~spec ~heap_bytes:hi) then None
+  else begin
+    (* invariant: [hi] works, [lo - 1] region unknown/failing *)
+    let lo = ref lo and hi = ref hi in
+    while !hi - !lo > granularity_bytes do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if works ~collector ~spec ~heap_bytes:mid then hi := mid else lo := mid
+    done;
+    Some !hi
+  end

@@ -1,0 +1,20 @@
+(** Minimum-heap measurement (Table 1's "Min. Heap" column).
+
+    Binary search for the smallest heap size at which a collector
+    completes the workload without exhausting the heap, on a
+    pressure-free machine. *)
+
+val find :
+  ?granularity_bytes:int ->
+  ?lo_bytes:int ->
+  ?hi_bytes:int ->
+  ?volume_scale:float ->
+  collector:string ->
+  spec:Workload.Spec.t ->
+  unit ->
+  int option
+(** [find ~collector ~spec ()] returns the smallest workable heap size, or
+    [None] when even [hi_bytes] (default 4× the paper's minimum) fails.
+    [volume_scale] (default 0.5) shrinks the allocation volume — the live
+    set, which determines the minimum heap, is unaffected. Granularity
+    defaults to 64 KB. *)

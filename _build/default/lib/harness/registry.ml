@@ -1,0 +1,91 @@
+module Gc_config = Gc_common.Gc_config
+
+let fixed_nursery_bytes = 4 * 1024 * 1024 / Workload.Benchmarks.scale
+
+let names =
+  [
+    "BC";
+    "BC-resize";
+    "BC-fixed";
+    "GenMS";
+    "GenMS-fixed";
+    "GenMS-coop";
+    "GenCopy";
+    "GenCopy-fixed";
+    "CopyMS";
+    "MarkSweep";
+    "SemiSpace";
+  ]
+
+(* Ablation variants of BC (bench targets only). *)
+let ablation_names =
+  [
+    "BC-noaggr";
+    "BC-nocons";
+    "BC-nocompact";
+    "BC-reserve0";
+    "BC-reserve32";
+    "BC-ptraware";
+    "BC-noregrow";
+  ]
+
+let config_for ~name ~heap_bytes =
+  let fixed = Gc_config.Fixed fixed_nursery_bytes in
+  match name with
+  | "BC" | "GenMS" | "GenCopy" | "CopyMS" | "MarkSweep" | "SemiSpace" ->
+      Gc_config.make ~heap_bytes ()
+  | "BC-resize" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.bookmarks_enabled = false }
+        ()
+  | "BC-fixed" -> Gc_config.make ~heap_bytes ~nursery:fixed ()
+  | "GenMS-fixed" | "GenCopy-fixed" ->
+      Gc_config.make ~heap_bytes ~nursery:fixed ()
+  | "GenMS-coop" -> Gc_config.make ~heap_bytes ~cooperative_discard:true ()
+  | "BC-noaggr" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.aggressive_discard = false }
+        ()
+  | "BC-nocons" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.conservative_clear = false }
+        ()
+  | "BC-nocompact" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.compaction_enabled = false }
+        ()
+  | "BC-reserve0" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.reserve_pages = 0 }
+        ()
+  | "BC-reserve32" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.reserve_pages = 32 }
+        ()
+  | "BC-ptraware" ->
+      Gc_config.make ~heap_bytes
+        ~bc:
+          { Gc_config.default_bc_opts with Gc_config.pointer_aware_victims = 8 }
+        ()
+  | "BC-noregrow" ->
+      Gc_config.make ~heap_bytes
+        ~bc:{ Gc_config.default_bc_opts with Gc_config.regrow = false }
+        ()
+  | _ -> invalid_arg (Printf.sprintf "Registry: unknown collector %S" name)
+
+let factory_for name =
+  match name with
+  | "BC" | "BC-resize" | "BC-fixed" | "BC-noaggr" | "BC-nocons"
+  | "BC-nocompact" | "BC-reserve0" | "BC-reserve32" | "BC-ptraware"
+  | "BC-noregrow" ->
+      Bookmarking.Bc.factory
+  | "GenMS" | "GenMS-fixed" | "GenMS-coop" -> Baselines.Gen_ms.factory
+  | "GenCopy" | "GenCopy-fixed" -> Baselines.Gen_copy.factory
+  | "CopyMS" -> Baselines.Copy_ms.factory
+  | "MarkSweep" -> Baselines.Mark_sweep.factory
+  | "SemiSpace" -> Baselines.Semi_space.factory
+  | _ -> invalid_arg (Printf.sprintf "Registry: unknown collector %S" name)
+
+let create ~name ~heap_bytes heap =
+  let config = config_for ~name ~heap_bytes in
+  (factory_for name) config heap

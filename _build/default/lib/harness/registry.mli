@@ -1,0 +1,22 @@
+(** Name-indexed collector registry. *)
+
+val names : string list
+(** All registered collector names, including variants:
+    ["BC"; "BC-resize"; "BC-fixed"; "GenMS"; "GenMS-fixed"; "GenMS-coop";
+     "GenCopy"; "GenCopy-fixed"; "CopyMS"; "MarkSweep"; "SemiSpace"].
+    "GenMS-coop" is the Cooper-style discard-only cooperative collector
+    of the paper's related work (§6). *)
+
+val ablation_names : string list
+(** BC ablation variants: ["BC-noaggr"; "BC-nocons"; "BC-nocompact";
+    "BC-reserve0"; "BC-reserve32"]. *)
+
+val fixed_nursery_bytes : int
+(** Nursery size used by the "-fixed" variants (the paper's 4 MB,
+    scaled: 512 KB). *)
+
+val create : name:string -> heap_bytes:int -> Heapsim.Heap.t -> Gc_common.Collector.t
+(** Instantiate a collector by name with an appropriate configuration.
+    Raises [Invalid_argument] on unknown names. *)
+
+val config_for : name:string -> heap_bytes:int -> Gc_common.Gc_config.t

@@ -1,0 +1,147 @@
+type setup = {
+  collector : string;
+  spec : Workload.Spec.t;
+  heap_bytes : int;
+  frames : int;
+  pressure : Workload.Pressure.t;
+  ops_per_slice : int;
+  costs : Vmsim.Costs.t;
+  iterations : int;
+}
+
+let default_slice = 256
+
+let ample_frames ~heap_bytes =
+  (4 * Vmsim.Page.count_for_bytes heap_bytes) + 2048
+
+let setup ?frames ?(pressure = Workload.Pressure.None_)
+    ?(ops_per_slice = default_slice) ?(costs = Vmsim.Costs.default)
+    ?(iterations = 1) ~collector ~spec ~heap_bytes () =
+  if iterations < 1 then invalid_arg "Run.setup: iterations";
+  let frames =
+    match frames with Some f -> f | None -> ample_frames ~heap_bytes
+  in
+  {
+    collector;
+    spec;
+    heap_bytes;
+    frames;
+    pressure;
+    ops_per_slice;
+    costs;
+    iterations;
+  }
+
+type instance = {
+  mutator : Workload.Mutator.t;
+  coll : Gc_common.Collector.t;
+  mutable finish_ns : int option;
+}
+
+let run_instances ~clock ~vmm ~address_space ~pressure ~ops_per_slice instances
+    specs =
+  let signalmem = Workload.Signalmem.create vmm address_space in
+  let ramp_start = ref None in
+  let apply_pressure () =
+    (* drive the schedule off the first instance's progress *)
+    let inst = List.hd instances and spec = List.hd specs in
+    let prog =
+      float_of_int (Workload.Mutator.allocated_bytes inst.mutator)
+      /. float_of_int (max 1 spec.Workload.Spec.total_alloc_bytes)
+    in
+    let now = Vmsim.Clock.now clock in
+    (match (!ramp_start, pressure) with
+    | None, Workload.Pressure.None_ -> ()
+    | None, Workload.Pressure.Steady { after_progress; _ }
+    | None, Workload.Pressure.Ramp { after_progress; _ } ->
+        if prog >= after_progress then ramp_start := Some now
+    | Some _, _ -> ());
+    let start_ns = Option.value !ramp_start ~default:now in
+    let due =
+      Workload.Pressure.due_pages pressure ~now_ns:now ~start_ns
+        ~progress:prog
+    in
+    let have = Workload.Signalmem.pinned_pages signalmem in
+    if due > have then Workload.Signalmem.pin_pages signalmem (due - have)
+  in
+  let all_done () =
+    List.for_all (fun inst -> inst.finish_ns <> None) instances
+  in
+  while not (all_done ()) do
+    List.iter
+      (fun inst ->
+        if inst.finish_ns = None then begin
+          let finished =
+            Workload.Mutator.step inst.mutator ~ops:ops_per_slice
+          in
+          if finished then inst.finish_ns <- Some (Vmsim.Clock.now clock)
+        end)
+      instances;
+    apply_pressure ()
+  done
+
+let run s =
+  let clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~costs:s.costs ~clock ~frames:s.frames () in
+  let proc = Vmsim.Vmm.create_process vmm ~name:"jvm" in
+  let heap = Heapsim.Heap.create vmm proc in
+  try
+    let coll = Registry.create ~name:s.collector ~heap_bytes:s.heap_bytes heap in
+    (* warm-up iterations (§5.1): run, then collect away their residue *)
+    for i = 2 to s.iterations do
+      ignore i;
+      let warm = Workload.Mutator.create s.spec coll in
+      while not (Workload.Mutator.step warm ~ops:s.ops_per_slice) do
+        ()
+      done;
+      coll.Gc_common.Collector.collect ()
+    done;
+    if s.iterations > 1 then begin
+      (* measure the final iteration only *)
+      Gc_common.Gc_stats.reset coll.Gc_common.Collector.stats;
+      Vmsim.Vm_stats.reset (Vmsim.Process.stats proc)
+    end;
+    let start_ns = Vmsim.Clock.now clock in
+    let mutator = Workload.Mutator.create s.spec coll in
+    let inst = { mutator; coll; finish_ns = None } in
+    run_instances ~clock ~vmm
+      ~address_space:(Heapsim.Heap.address_space heap)
+      ~pressure:s.pressure ~ops_per_slice:s.ops_per_slice [ inst ] [ s.spec ];
+    let end_ns = Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock) in
+    Metrics.Completed
+      (Metrics.of_run ~collector:coll ~workload:s.spec.Workload.Spec.name
+         ~start_ns ~end_ns)
+  with
+  | Gc_common.Collector.Heap_exhausted msg -> Metrics.Exhausted msg
+  | Vmsim.Vmm.Thrashing msg -> Metrics.Thrashed msg
+
+let run_pair a b =
+  assert (a.frames = b.frames);
+  let clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~costs:a.costs ~clock ~frames:a.frames () in
+  let shared_as = Heapsim.Address_space.create () in
+  let make s tag =
+    let proc = Vmsim.Vmm.create_process vmm ~name:tag in
+    let heap = Heapsim.Heap.create_with vmm proc ~address_space:shared_as in
+    let coll = Registry.create ~name:s.collector ~heap_bytes:s.heap_bytes heap in
+    let mutator = Workload.Mutator.create s.spec coll in
+    { mutator; coll; finish_ns = None }
+  in
+  try
+    let start_ns = Vmsim.Clock.now clock in
+    let ia = make a "jvm-a" in
+    let ib = make b "jvm-b" in
+    run_instances ~clock ~vmm ~address_space:shared_as ~pressure:a.pressure
+      ~ops_per_slice:a.ops_per_slice [ ia; ib ] [ a.spec; b.spec ];
+    let result inst s =
+      Metrics.Completed
+        (Metrics.of_run ~collector:inst.coll
+           ~workload:s.spec.Workload.Spec.name ~start_ns
+           ~end_ns:
+             (Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock)))
+    in
+    (result ia a, result ib b)
+  with
+  | Gc_common.Collector.Heap_exhausted msg ->
+      (Metrics.Exhausted msg, Metrics.Exhausted msg)
+  | Vmsim.Vmm.Thrashing msg -> (Metrics.Thrashed msg, Metrics.Thrashed msg)

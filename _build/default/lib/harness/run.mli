@@ -1,0 +1,45 @@
+(** Experiment runner: one collector × workload × heap size × physical
+    memory × pressure schedule → metrics.
+
+    Each run builds a fresh virtual machine: clock, VMM with the given
+    frame count, one simulated process per JVM instance plus (when a
+    schedule is given) a [signalmem] process. The mutators are stepped in
+    slices; the pressure schedule is applied between slices. *)
+
+type setup = {
+  collector : string;  (** registry name *)
+  spec : Workload.Spec.t;
+  heap_bytes : int;
+  frames : int;  (** physical memory, in pages *)
+  pressure : Workload.Pressure.t;
+  ops_per_slice : int;
+  costs : Vmsim.Costs.t;  (** the machine's cost model *)
+  iterations : int;
+      (** the paper's compile-and-reset methodology (§5.1): run the
+          workload this many times, with a full collection between
+          iterations, and measure only the last — so measurement starts
+          on a warmed, pre-fragmented heap. Default 1. *)
+}
+
+val default_slice : int
+
+val setup :
+  ?frames:int ->
+  ?pressure:Workload.Pressure.t ->
+  ?ops_per_slice:int ->
+  ?costs:Vmsim.Costs.t ->
+  ?iterations:int ->
+  collector:string ->
+  spec:Workload.Spec.t ->
+  heap_bytes:int ->
+  unit ->
+  setup
+(** [frames] defaults to a pressure-free machine (4× heap + slack);
+    [costs] to {!Vmsim.Costs.default} (the paper's disk). *)
+
+val run : setup -> Metrics.outcome
+
+val run_pair : setup -> setup -> Metrics.outcome * Metrics.outcome
+(** Figure 7: two instances sharing one machine (and one frame pool),
+    interleaved slice by slice. The two setups must agree on [frames];
+    pressure comes only from their combined footprints. *)

@@ -1,0 +1,23 @@
+(** ASCII tables and data series for the experiment output. *)
+
+val print_table : header:string list -> rows:string list list -> unit
+(** Aligned, pipe-separated table on stdout. *)
+
+val print_series :
+  title:string ->
+  x_label:string ->
+  columns:string list ->
+  rows:(string * float option list) list ->
+  unit
+(** A figure as a data table: one row per x value; [None] cells (failed
+    runs) print as "-". When the [CSV_DIR] environment variable is set,
+    the series is also written to [$CSV_DIR/<slug-of-title>.csv] for
+    plotting; when [CHARTS=1], an ASCII chart ({!Chart}) is printed under
+    the table. *)
+
+val fmt_seconds : float -> string
+
+val fmt_ms : float -> string
+
+val fmt_bytes : int -> string
+(** Human-readable KB/MB. *)

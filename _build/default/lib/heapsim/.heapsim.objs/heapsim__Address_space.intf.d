@@ -1,0 +1,1 @@
+lib/heapsim/address_space.mli:

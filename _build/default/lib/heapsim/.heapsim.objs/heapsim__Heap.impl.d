@@ -1,0 +1,1 @@
+lib/heapsim/heap.ml: Address_space Obj_id Object_table Page_map Vmsim

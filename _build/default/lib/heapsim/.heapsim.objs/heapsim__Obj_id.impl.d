@@ -1,0 +1,1 @@
+lib/heapsim/obj_id.ml: Format

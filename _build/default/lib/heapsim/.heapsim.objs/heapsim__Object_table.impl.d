@@ -1,0 +1,1 @@
+lib/heapsim/object_table.ml: Array Bytes Char Obj_id Printf Repro_util

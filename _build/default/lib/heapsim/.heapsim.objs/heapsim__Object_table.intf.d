@@ -1,0 +1,1 @@
+lib/heapsim/object_table.mli: Obj_id

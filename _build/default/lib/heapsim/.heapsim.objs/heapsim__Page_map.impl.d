@@ -1,0 +1,1 @@
+lib/heapsim/page_map.ml: Array Printf Repro_util

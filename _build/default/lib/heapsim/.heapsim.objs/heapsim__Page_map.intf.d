@@ -1,0 +1,1 @@
+lib/heapsim/page_map.mli: Obj_id

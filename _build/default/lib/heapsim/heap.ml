@@ -1,0 +1,96 @@
+type write_barrier =
+  src:Obj_id.t -> field:int -> old_target:Obj_id.t -> target:Obj_id.t -> unit
+
+type t = {
+  vmm : Vmsim.Vmm.t;
+  proc : Vmsim.Process.t;
+  objects : Object_table.t;
+  page_map : Page_map.t;
+  address_space : Address_space.t;
+  mutable barrier : write_barrier;
+  mutable roots : (Obj_id.t -> unit) -> unit;
+}
+
+let no_barrier ~src:_ ~field:_ ~old_target:_ ~target:_ = ()
+
+let create_with vmm proc ~address_space =
+  {
+    vmm;
+    proc;
+    objects = Object_table.create ();
+    page_map = Page_map.create ();
+    address_space;
+    barrier = no_barrier;
+    roots = (fun _ -> ());
+  }
+
+let create vmm proc = create_with vmm proc ~address_space:(Address_space.create ())
+
+let vmm t = t.vmm
+
+let process t = t.proc
+
+let objects t = t.objects
+
+let page_map t = t.page_map
+
+let address_space t = t.address_space
+
+let clock t = Vmsim.Vmm.clock t.vmm
+
+let costs t = Vmsim.Vmm.costs t.vmm
+
+let first_page t id = Vmsim.Page.of_addr (Object_table.addr t.objects id)
+
+let last_page t id =
+  let addr = Object_table.addr t.objects id in
+  Vmsim.Page.of_addr (addr + Object_table.size t.objects id - 1)
+
+let iter_pages t id f =
+  let addr = Object_table.addr t.objects id in
+  assert (addr >= 0);
+  for page = Vmsim.Page.of_addr addr to last_page t id do
+    f page
+  done
+
+let place t id ~addr =
+  assert (Object_table.addr t.objects id < 0);
+  Object_table.set_addr t.objects id addr;
+  iter_pages t id (fun page -> Page_map.add t.page_map ~page id)
+
+let displace t id =
+  if Object_table.addr t.objects id >= 0 then begin
+    iter_pages t id (fun page -> Page_map.remove t.page_map ~page id);
+    Object_table.set_addr t.objects id (-1)
+  end
+
+let free_object t id =
+  displace t id;
+  Object_table.free t.objects id
+
+let touch_object t ?(write = false) id =
+  iter_pages t id (fun page -> Vmsim.Vmm.touch t.vmm ~write page)
+
+let set_write_barrier t barrier = t.barrier <- barrier
+
+let set_roots t roots = t.roots <- roots
+
+let iter_roots t f = t.roots f
+
+let charge_access t = Vmsim.Clock.advance (clock t) (costs t).Vmsim.Costs.access_ns
+
+let read_ref t id field =
+  charge_access t;
+  touch_object t ~write:false id;
+  Object_table.get_ref t.objects id field
+
+let write_ref t id field target =
+  charge_access t;
+  touch_object t ~write:true id;
+  let old_target = Object_table.get_ref t.objects id field in
+  t.barrier ~src:id ~field ~old_target ~target;
+  Object_table.set_ref t.objects id field target
+
+let access t ?(write = false) id =
+  charge_access t;
+  touch_object t ~write id

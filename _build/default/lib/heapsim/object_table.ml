@@ -1,0 +1,174 @@
+(* Flag bits packed in a per-object status byte. *)
+let flag_live = 1
+
+let flag_marked = 2
+
+let flag_bookmarked = 4
+
+let flag_array = 8
+
+type t = {
+  mutable size : int array;
+  mutable addr : int array;
+  mutable refs : int array array;
+  mutable flags : Bytes.t;
+  mutable space : int array;
+  mutable scratch : int array;
+  mutable next_id : int;
+  free_ids : int Repro_util.Vec.t;
+  mutable live : int;
+  mutable live_bytes : int;
+}
+
+let empty_refs = [||]
+
+let create () =
+  {
+    size = Array.make 1024 0;
+    addr = Array.make 1024 (-1);
+    refs = Array.make 1024 empty_refs;
+    flags = Bytes.make 1024 '\000';
+    space = Array.make 1024 0;
+    scratch = Array.make 1024 (-1);
+    next_id = 0;
+    free_ids = Repro_util.Vec.create ();
+    live = 0;
+    live_bytes = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.size in
+  let cap' = cap * 2 in
+  let grow_arr a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.size <- grow_arr t.size 0;
+  t.addr <- grow_arr t.addr (-1);
+  t.refs <- grow_arr t.refs empty_refs;
+  t.space <- grow_arr t.space 0;
+  t.scratch <- grow_arr t.scratch (-1);
+  let flags' = Bytes.make cap' '\000' in
+  Bytes.blit t.flags 0 flags' 0 cap;
+  t.flags <- flags'
+
+let get_flags t id = Char.code (Bytes.get t.flags id)
+
+let set_flags t id v = Bytes.set t.flags id (Char.chr v)
+
+let is_live t id =
+  id >= 0 && id < t.next_id && get_flags t id land flag_live <> 0
+
+let check t id =
+  if not (is_live t id) then
+    invalid_arg (Printf.sprintf "Object_table: dead or invalid object #%d" id)
+
+let alloc t ~size ~nrefs ~kind =
+  if size <= 0 then invalid_arg "Object_table.alloc: size must be positive";
+  if nrefs < 0 then invalid_arg "Object_table.alloc: negative nrefs";
+  let id =
+    if Repro_util.Vec.is_empty t.free_ids then begin
+      if t.next_id >= Array.length t.size then grow t;
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      id
+    end
+    else Repro_util.Vec.pop t.free_ids
+  in
+  t.size.(id) <- size;
+  t.addr.(id) <- -1;
+  t.refs.(id) <- (if nrefs = 0 then empty_refs else Array.make nrefs Obj_id.null);
+  t.space.(id) <- 0;
+  t.scratch.(id) <- -1;
+  set_flags t id (flag_live lor match kind with `Array -> flag_array | `Scalar -> 0);
+  t.live <- t.live + 1;
+  t.live_bytes <- t.live_bytes + size;
+  id
+
+let free t id =
+  check t id;
+  t.live <- t.live - 1;
+  t.live_bytes <- t.live_bytes - t.size.(id);
+  t.refs.(id) <- empty_refs;
+  set_flags t id 0;
+  Repro_util.Vec.push t.free_ids id
+
+let size t id =
+  check t id;
+  t.size.(id)
+
+let kind t id =
+  check t id;
+  if get_flags t id land flag_array <> 0 then `Array else `Scalar
+
+let addr t id =
+  check t id;
+  t.addr.(id)
+
+let set_addr t id a =
+  check t id;
+  t.addr.(id) <- a
+
+let nrefs t id =
+  check t id;
+  Array.length t.refs.(id)
+
+let get_ref t id field =
+  check t id;
+  t.refs.(id).(field)
+
+let set_ref t id field target =
+  check t id;
+  t.refs.(id).(field) <- target
+
+let iter_refs t id f =
+  check t id;
+  let refs = t.refs.(id) in
+  for field = 0 to Array.length refs - 1 do
+    if not (Obj_id.is_null refs.(field)) then f field refs.(field)
+  done
+
+let get_bit t id bit =
+  check t id;
+  get_flags t id land bit <> 0
+
+let set_bit t id bit v =
+  check t id;
+  let f = get_flags t id in
+  set_flags t id (if v then f lor bit else f land lnot bit)
+
+let marked t id = get_bit t id flag_marked
+
+let set_marked t id v = set_bit t id flag_marked v
+
+let bookmarked t id = get_bit t id flag_bookmarked
+
+let set_bookmarked t id v = set_bit t id flag_bookmarked v
+
+let space t id =
+  check t id;
+  t.space.(id)
+
+let set_space t id v =
+  check t id;
+  t.space.(id) <- v
+
+let scratch t id =
+  check t id;
+  t.scratch.(id)
+
+let set_scratch t id v =
+  check t id;
+  t.scratch.(id) <- v
+
+let live_count t = t.live
+
+let live_bytes t = t.live_bytes
+
+let iter_live t f =
+  for id = 0 to t.next_id - 1 do
+    if get_flags t id land flag_live <> 0 then f id
+  done
+
+let capacity t = t.next_id

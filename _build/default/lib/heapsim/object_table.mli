@@ -1,0 +1,72 @@
+(** Structure-of-arrays storage for simulated heap objects.
+
+    Each live object has a size in bytes, a simulated byte address, an
+    array of reference fields, a header with status bits (mark and
+    bookmark, as in the paper's one-word Jikes header), a collector-defined
+    space tag and a collector-defined scratch word. Ids of freed objects
+    are recycled. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> size:int -> nrefs:int -> kind:[ `Scalar | `Array ] -> Obj_id.t
+(** Register a new object. Its address starts unset ([-1]); the collector
+    must {!set_addr} before the object is used. *)
+
+val free : t -> Obj_id.t -> unit
+(** Recycle an object id. Accessing a freed id afterwards is a program
+    error detected by the table. *)
+
+val is_live : t -> Obj_id.t -> bool
+(** True when the id denotes an allocated, not-yet-freed object. *)
+
+val size : t -> Obj_id.t -> int
+
+val kind : t -> Obj_id.t -> [ `Scalar | `Array ]
+
+val addr : t -> Obj_id.t -> int
+
+val set_addr : t -> Obj_id.t -> int -> unit
+
+val nrefs : t -> Obj_id.t -> int
+
+val get_ref : t -> Obj_id.t -> int -> Obj_id.t
+
+val set_ref : t -> Obj_id.t -> int -> Obj_id.t -> unit
+
+val iter_refs : t -> Obj_id.t -> (int -> Obj_id.t -> unit) -> unit
+(** [iter_refs t o f] calls [f field target] for each non-null field. *)
+
+(** {1 Header bits} *)
+
+val marked : t -> Obj_id.t -> bool
+
+val set_marked : t -> Obj_id.t -> bool -> unit
+
+val bookmarked : t -> Obj_id.t -> bool
+
+val set_bookmarked : t -> Obj_id.t -> bool -> unit
+
+(** {1 Collector scratch} *)
+
+val space : t -> Obj_id.t -> int
+(** Collector-defined space tag (0 initially). *)
+
+val set_space : t -> Obj_id.t -> int -> unit
+
+val scratch : t -> Obj_id.t -> int
+(** Collector-defined scratch word (-1 initially; reset on {!alloc}). *)
+
+val set_scratch : t -> Obj_id.t -> int -> unit
+
+(** {1 Whole-table queries} *)
+
+val live_count : t -> int
+
+val live_bytes : t -> int
+
+val iter_live : t -> (Obj_id.t -> unit) -> unit
+
+val capacity : t -> int
+(** Upper bound (exclusive) on ids ever returned; for sizing side tables. *)

@@ -1,0 +1,49 @@
+module Vec = Repro_util.Vec
+
+type t = { mutable table : int Vec.t option array }
+
+let create () = { table = Array.make 1024 None }
+
+let ensure t page =
+  let cap = Array.length t.table in
+  if page >= cap then begin
+    let cap' = max (page + 1) (cap * 2) in
+    let table' = Array.make cap' None in
+    Array.blit t.table 0 table' 0 cap;
+    t.table <- table'
+  end
+
+let bucket t page =
+  ensure t page;
+  match t.table.(page) with
+  | Some v -> v
+  | None ->
+      let v = Vec.create () in
+      t.table.(page) <- Some v;
+      v
+
+let add t ~page id = Vec.push (bucket t page) id
+
+let remove t ~page id =
+  let v = bucket t page in
+  let n = Vec.length v in
+  let rec find i =
+    if i >= n then
+      invalid_arg
+        (Printf.sprintf "Page_map.remove: object #%d not on page %d" id page)
+    else if Vec.get v i = id then ignore (Vec.swap_remove v i)
+    else find (i + 1)
+  in
+  find 0
+
+let objects_on t page =
+  if page < 0 || page >= Array.length t.table then [||]
+  else match t.table.(page) with None -> [||] | Some v -> Vec.to_array v
+
+let count_on t page =
+  if page < 0 || page >= Array.length t.table then 0
+  else match t.table.(page) with None -> 0 | Some v -> Vec.length v
+
+let iter_on t page f =
+  if page >= 0 && page < Array.length t.table then
+    match t.table.(page) with None -> () | Some v -> Vec.iter f v

@@ -1,0 +1,24 @@
+(** Reverse index from pages to the objects they hold.
+
+    BC locates objects on a page from superpage-header metadata (§4); the
+    baseline collectors never need the index. The simulation keeps it
+    for every space so that page scanning, sweeping and invariant checks
+    are uniform. Objects spanning several pages appear on each. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> page:int -> Obj_id.t -> unit
+
+val remove : t -> page:int -> Obj_id.t -> unit
+(** Remove one occurrence; the object must be registered on the page. *)
+
+val objects_on : t -> int -> Obj_id.t array
+(** Snapshot of the objects registered on a page (safe to mutate the map
+    while iterating the snapshot). *)
+
+val count_on : t -> int -> int
+
+val iter_on : t -> int -> (Obj_id.t -> unit) -> unit
+(** Iterate without snapshotting; the callback must not mutate the map. *)

@@ -1,0 +1,80 @@
+type t = { mutable words : int array }
+
+let bits_per_word = 63
+(* OCaml ints: use 63 usable bits per word on 64-bit platforms. *)
+
+let create ?(capacity = 0) () =
+  { words = Array.make (max 1 ((capacity / bits_per_word) + 1)) 0 }
+
+let ensure t i =
+  let w = i / bits_per_word in
+  if w >= Array.length t.words then begin
+    let len' = max (w + 1) (2 * Array.length t.words) in
+    let words' = Array.make len' 0 in
+    Array.blit t.words 0 words' 0 (Array.length t.words);
+    t.words <- words'
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set: negative index";
+  ensure t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let clear t i =
+  if i >= 0 then begin
+    let w = i / bits_per_word in
+    if w < Array.length t.words then begin
+      let b = i mod bits_per_word in
+      t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+    end
+  end
+
+let mem t i =
+  i >= 0
+  &&
+  let w = i / bits_per_word in
+  w < Array.length t.words
+  && t.words.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x lsr 1) (acc + (x land 1)) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let capacity t = Array.length t.words * bits_per_word
+
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  Array.iteri
+    (fun w word ->
+      if word <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+        done)
+    t.words
+
+let first_set_from t i =
+  let i = max i 0 in
+  let nwords = Array.length t.words in
+  let rec scan_word w b =
+    if w >= nwords then None
+    else if t.words.(w) = 0 || b >= bits_per_word then scan_word (w + 1) 0
+    else if t.words.(w) land (1 lsl b) <> 0 then Some ((w * bits_per_word) + b)
+    else scan_word w (b + 1)
+  in
+  scan_word (i / bits_per_word) (i mod bits_per_word)
+
+let word_peers t i =
+  let w = i / bits_per_word in
+  if w >= Array.length t.words then []
+  else begin
+    let word = t.words.(w) in
+    let acc = ref [] in
+    for b = bits_per_word - 1 downto 0 do
+      if word land (1 lsl b) <> 0 then acc := ((w * bits_per_word) + b) :: !acc
+    done;
+    !acc
+  end

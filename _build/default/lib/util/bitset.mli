@@ -1,0 +1,34 @@
+(** Growable bit sets indexed by non-negative integers.
+
+    Used for page residency maps (BC's bit array of §3.3.1), card tables and
+    mark bitmaps. The set grows automatically on [set]; [mem] on an index
+    beyond the current capacity is [false]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Number of set bits (O(words)). *)
+
+val capacity : t -> int
+(** Current capacity in bits; indices below this are stored explicitly. *)
+
+val reset : t -> unit
+(** Clear every bit, keeping capacity. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over set bits in increasing order. *)
+
+val first_set_from : t -> int -> int option
+(** [first_set_from t i] is the smallest set index [>= i], if any. *)
+
+val word_peers : t -> int -> int list
+(** [word_peers t i] lists all set indices sharing [i]'s 64-bit word —
+    BC's aggressive same-word discarding granularity (§3.4.3). *)

@@ -1,0 +1,24 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let logs = List.map Float.log xs in
+      Float.exp (sum logs /. float_of_int (List.length xs))
+
+let max = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left Float.max x xs
+
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      a.(Stdlib.max 0 (Stdlib.min (n - 1) rank))

@@ -1,0 +1,16 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list. All samples must be positive. *)
+
+val max : float list -> float
+(** Maximum; 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0,1\]], nearest-rank on the sorted
+    samples; 0 on the empty list. *)
+
+val sum : float list -> float

@@ -1,0 +1,1 @@
+lib/vmsim/lru.ml: Array Bytes Char

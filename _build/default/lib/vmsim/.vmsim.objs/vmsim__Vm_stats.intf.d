@@ -1,0 +1,1 @@
+lib/vmsim/vm_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/vmsim/vmm.ml: Array Clock Costs Fun List Lru Printf Process Swap Vm_stats

@@ -1,0 +1,1 @@
+lib/vmsim/vmm.mli: Clock Costs Process Swap Vm_stats

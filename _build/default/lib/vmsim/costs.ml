@@ -1,0 +1,40 @@
+type t = {
+  minor_fault_ns : int;
+  major_fault_ns : int;
+  protection_fault_ns : int;
+  syscall_ns : int;
+  swap_write_ns : int;
+  alloc_ns : int;
+  alloc_byte_ns : int;
+  freelist_alloc_extra_ns : int;
+  access_ns : int;
+  gc_object_ns : int;
+  gc_byte_copy_ns : int;
+  gc_page_sweep_ns : int;
+  gc_setup_ns : int;
+}
+
+let default =
+  {
+    minor_fault_ns = 2_000;
+    major_fault_ns = 5_000_000;
+    protection_fault_ns = 3_000;
+    syscall_ns = 1_000;
+    swap_write_ns = 20_000;
+    alloc_ns = 80;
+    alloc_byte_ns = 1;
+    freelist_alloc_extra_ns = 40;
+    access_ns = 15;
+    gc_object_ns = 40;
+    gc_byte_copy_ns = 1;
+    gc_page_sweep_ns = 500;
+    gc_setup_ns = 50_000;
+  }
+
+let ssd =
+  {
+    default with
+    major_fault_ns = 80_000;
+    swap_write_ns = 5_000;
+    minor_fault_ns = 1_500;
+  }

@@ -1,0 +1,34 @@
+(** The simulation's cost model, in virtual nanoseconds.
+
+    The paper's effects rest on the latency gap between main memory and
+    disk ("approximately six orders of magnitude"). Absolute values are
+    calibrated so that a full in-memory collection of a ~1 MB live set
+    costs on the order of a millisecond while a single major fault costs
+    5 ms, matching the paper's 1.6 GHz Pentium M testbed in spirit. *)
+
+type t = {
+  minor_fault_ns : int;  (** zero-fill demand fault *)
+  major_fault_ns : int;  (** reload from swap: the disk penalty *)
+  protection_fault_ns : int;  (** [mprotect]-induced fault + upcall *)
+  syscall_ns : int;  (** [madvise] / [vm_relinquish] / [mprotect] *)
+  swap_write_ns : int;  (** (mostly asynchronous) writeback charge *)
+  alloc_ns : int;  (** fixed mutator cost per allocation *)
+  alloc_byte_ns : int;  (** mutator cost per allocated byte *)
+  freelist_alloc_extra_ns : int;
+      (** extra mutator cost per allocation for segregated-fit free-list
+          allocators (MarkSweep) versus bump pointers *)
+  access_ns : int;  (** mutator cost per object read/write *)
+  gc_object_ns : int;  (** GC cost per object visited (mark/scan) *)
+  gc_byte_copy_ns : int;  (** GC cost per byte copied/compacted *)
+  gc_page_sweep_ns : int;  (** GC cost per page swept *)
+  gc_setup_ns : int;  (** fixed cost per collection *)
+}
+
+val default : t
+(** The paper's testbed: ~5 ms rotational-disk major faults. *)
+
+val ssd : t
+(** A modern twist: ~80 µs flash reads. The memory/disk gap shrinks from
+    ~6 to ~3.5 orders of magnitude, which compresses every paging
+    collector's penalty — useful for asking how much of the paper's
+    result is about 2005 disks. *)

@@ -1,0 +1,144 @@
+type list_kind = Active | Inactive
+
+(* Intrusive doubly-linked lists over page numbers, stored in growable
+   parallel arrays. -1 is the null link. [where_] holds 0 = on no list,
+   1 = active, 2 = inactive. *)
+type t = {
+  mutable next : int array;
+  mutable prev : int array;
+  mutable where_ : Bytes.t;
+  mutable active_head : int;
+  mutable active_tail : int;
+  mutable inactive_head : int;
+  mutable inactive_tail : int;
+  mutable active_size : int;
+  mutable inactive_size : int;
+}
+
+let create () =
+  {
+    next = Array.make 64 (-1);
+    prev = Array.make 64 (-1);
+    where_ = Bytes.make 64 '\000';
+    active_head = -1;
+    active_tail = -1;
+    inactive_head = -1;
+    inactive_tail = -1;
+    active_size = 0;
+    inactive_size = 0;
+  }
+
+let ensure t page =
+  let cap = Array.length t.next in
+  if page >= cap then begin
+    let cap' = max (page + 1) (cap * 2) in
+    let grow_int a =
+      let a' = Array.make cap' (-1) in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.next <- grow_int t.next;
+    t.prev <- grow_int t.prev;
+    let w' = Bytes.make cap' '\000' in
+    Bytes.blit t.where_ 0 w' 0 cap;
+    t.where_ <- w'
+  end
+
+let where t page =
+  if page >= Bytes.length t.where_ then 0
+  else Char.code (Bytes.get t.where_ page)
+
+let set_where t page w = Bytes.set t.where_ page (Char.chr w)
+
+let membership t page =
+  match where t page with
+  | 0 -> None
+  | 1 -> Some Active
+  | 2 -> Some Inactive
+  | _ -> assert false
+
+(* Link [page] before [succ] (or at tail when [succ] = -1) of the list
+   described by the given head/tail accessors. *)
+
+let push_head t page ~kind =
+  ensure t page;
+  if where t page <> 0 then invalid_arg "Lru: page already on a list";
+  begin
+    match kind with
+    | Active ->
+        t.prev.(page) <- -1;
+        t.next.(page) <- t.active_head;
+        if t.active_head >= 0 then t.prev.(t.active_head) <- page
+        else t.active_tail <- page;
+        t.active_head <- page;
+        t.active_size <- t.active_size + 1;
+        set_where t page 1
+    | Inactive ->
+        t.prev.(page) <- -1;
+        t.next.(page) <- t.inactive_head;
+        if t.inactive_head >= 0 then t.prev.(t.inactive_head) <- page
+        else t.inactive_tail <- page;
+        t.inactive_head <- page;
+        t.inactive_size <- t.inactive_size + 1;
+        set_where t page 2
+  end
+
+let push_active_head t page = push_head t page ~kind:Active
+
+let push_inactive_head t page = push_head t page ~kind:Inactive
+
+let push_inactive_tail t page =
+  ensure t page;
+  if where t page <> 0 then invalid_arg "Lru: page already on a list";
+  t.next.(page) <- -1;
+  t.prev.(page) <- t.inactive_tail;
+  if t.inactive_tail >= 0 then t.next.(t.inactive_tail) <- page
+  else t.inactive_head <- page;
+  t.inactive_tail <- page;
+  t.inactive_size <- t.inactive_size + 1;
+  set_where t page 2
+
+let remove t page =
+  let w = where t page in
+  if w = 0 then invalid_arg "Lru.remove: page not on a list";
+  let np = t.next.(page) and pp = t.prev.(page) in
+  if pp >= 0 then t.next.(pp) <- np;
+  if np >= 0 then t.prev.(np) <- pp;
+  begin
+    match w with
+    | 1 ->
+        if t.active_head = page then t.active_head <- np;
+        if t.active_tail = page then t.active_tail <- pp;
+        t.active_size <- t.active_size - 1
+    | 2 ->
+        if t.inactive_head = page then t.inactive_head <- np;
+        if t.inactive_tail = page then t.inactive_tail <- pp;
+        t.inactive_size <- t.inactive_size - 1
+    | _ -> assert false
+  end;
+  t.next.(page) <- -1;
+  t.prev.(page) <- -1;
+  set_where t page 0
+
+let active_tail t = if t.active_tail >= 0 then Some t.active_tail else None
+
+let inactive_tail t =
+  if t.inactive_tail >= 0 then Some t.inactive_tail else None
+
+let active_size t = t.active_size
+
+let inactive_size t = t.inactive_size
+
+let iter_from_tail tail t f =
+  let rec loop p =
+    if p >= 0 then begin
+      let prev = t.prev.(p) in
+      f p;
+      loop prev
+    end
+  in
+  loop tail
+
+let iter_inactive_from_tail t f = iter_from_tail t.inactive_tail t f
+
+let iter_active_from_tail t f = iter_from_tail t.active_tail t f

@@ -1,0 +1,11 @@
+let size = 4096
+
+let pages_per_superpage = 4
+
+let superpage_size = size * pages_per_superpage
+
+let of_addr addr = addr / size
+
+let addr_of page = page * size
+
+let count_for_bytes bytes = (bytes + size - 1) / size

@@ -1,0 +1,23 @@
+(** Page geometry shared by the whole simulation.
+
+    Pages are identified by dense non-negative integers ("page numbers");
+    simulated byte addresses map to pages by division. The geometry matches
+    the paper's testbed: 4 KB pages, 16 KB (4-page) superpages. *)
+
+val size : int
+(** Bytes per page (4096). *)
+
+val pages_per_superpage : int
+(** Pages per BC superpage (4). *)
+
+val superpage_size : int
+(** Bytes per superpage (16384). *)
+
+val of_addr : int -> int
+(** Page number containing a byte address. *)
+
+val addr_of : int -> int
+(** First byte address of a page. *)
+
+val count_for_bytes : int -> int
+(** Number of pages needed to hold [bytes] (rounded up). *)

@@ -1,0 +1,39 @@
+type t = {
+  capacity_pages : int option;
+  slots : (int, unit) Hashtbl.t;
+  mutable high_water : int;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+exception Full
+
+let create ?capacity_pages () =
+  { capacity_pages; slots = Hashtbl.create 256; high_water = 0; writes = 0; reads = 0 }
+
+let occupancy_pages t = Hashtbl.length t.slots
+
+let write t page =
+  if not (Hashtbl.mem t.slots page) then begin
+    (match t.capacity_pages with
+    | Some cap when occupancy_pages t >= cap -> raise Full
+    | Some _ | None -> ());
+    Hashtbl.add t.slots page ()
+  end;
+  t.writes <- t.writes + 1;
+  if occupancy_pages t > t.high_water then t.high_water <- occupancy_pages t
+
+let read t page =
+  if not (Hashtbl.mem t.slots page) then
+    invalid_arg (Printf.sprintf "Swap.read: page %d has no swap copy" page);
+  t.reads <- t.reads + 1
+
+let drop t page = Hashtbl.remove t.slots page
+
+let has_copy t page = Hashtbl.mem t.slots page
+
+let high_water_pages t = t.high_water
+
+let writes t = t.writes
+
+let reads t = t.reads

@@ -1,0 +1,46 @@
+type t = {
+  mutable minor_faults : int;
+  mutable major_faults : int;
+  mutable protection_faults : int;
+  mutable evictions : int;
+  mutable discards : int;
+  mutable relinquished : int;
+  mutable eviction_notices : int;
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable forced_evictions : int;
+}
+
+let create () =
+  {
+    minor_faults = 0;
+    major_faults = 0;
+    protection_faults = 0;
+    evictions = 0;
+    discards = 0;
+    relinquished = 0;
+    eviction_notices = 0;
+    swap_ins = 0;
+    swap_outs = 0;
+    forced_evictions = 0;
+  }
+
+let reset t =
+  t.minor_faults <- 0;
+  t.major_faults <- 0;
+  t.protection_faults <- 0;
+  t.evictions <- 0;
+  t.discards <- 0;
+  t.relinquished <- 0;
+  t.eviction_notices <- 0;
+  t.swap_ins <- 0;
+  t.swap_outs <- 0;
+  t.forced_evictions <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "minor:%d major:%d prot:%d evict:%d discard:%d relinq:%d notices:%d \
+     swapin:%d swapout:%d forced:%d"
+    t.minor_faults t.major_faults t.protection_faults t.evictions t.discards
+    t.relinquished t.eviction_notices t.swap_ins t.swap_outs
+    t.forced_evictions

@@ -1,0 +1,21 @@
+(** Paging-event counters, kept globally and per process. *)
+
+type t = {
+  mutable minor_faults : int;
+  mutable major_faults : int;
+  mutable protection_faults : int;
+  mutable evictions : int;  (** pages written out / unmapped under pressure *)
+  mutable discards : int;  (** pages freed via [madvise_dontneed] *)
+  mutable relinquished : int;  (** pages surrendered via [vm_relinquish] *)
+  mutable eviction_notices : int;  (** pre-eviction signals delivered *)
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable forced_evictions : int;
+      (** desperation evictions that overrode owner vetoes *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,456 @@
+exception Thrashing of string
+
+type pstate = Unmapped | Untouched | Resident | Swapped
+
+type pinfo = {
+  mutable state : pstate;
+  mutable owner : Process.t;
+  mutable dirty : bool;
+  mutable referenced : bool;
+  mutable protected_ : bool;
+  mutable pinned : bool;
+  mutable in_swap : bool;
+  mutable surrendered : bool;
+}
+
+type t = {
+  clock : Clock.t;
+  costs : Costs.t;
+  swap : Swap.t;
+  reclaim_batch : int;
+  mutable pages : pinfo option array;
+  lru : Lru.t;
+  mutable capacity : int;
+  mutable resident : int;
+  mutable pinned : int;
+  mutable next_pid : int;
+  stats : Vm_stats.t;
+  mutable in_reclaim : bool;
+}
+
+let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
+    ~clock ~frames () =
+  if frames <= 0 then invalid_arg "Vmm.create: frames must be positive";
+  {
+    clock;
+    costs;
+    swap = Swap.create ?capacity_pages:swap_capacity_pages ();
+    reclaim_batch;
+    pages = Array.make 256 None;
+    lru = Lru.create ();
+    capacity = frames;
+    resident = 0;
+    pinned = 0;
+    next_pid = 1;
+    stats = Vm_stats.create ();
+    in_reclaim = false;
+  }
+
+let clock t = t.clock
+
+let costs t = t.costs
+
+let swap t = t.swap
+
+let create_process t ~name =
+  let p = Process.create ~pid:t.next_pid ~name in
+  t.next_pid <- t.next_pid + 1;
+  p
+
+let capacity t = t.capacity
+
+let resident_count t = t.resident
+
+let free_frames t = t.capacity - t.resident
+
+let pinned_count t = t.pinned
+
+let stats t = t.stats
+
+let info t page =
+  if page < 0 || page >= Array.length t.pages then None else t.pages.(page)
+
+let info_exn t page =
+  match info t page with
+  | Some pi -> pi
+  | None -> invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
+
+let ensure_table t page =
+  let cap = Array.length t.pages in
+  if page >= cap then begin
+    let cap' = max (page + 1) (cap * 2) in
+    let pages' = Array.make cap' None in
+    Array.blit t.pages 0 pages' 0 cap;
+    t.pages <- pages'
+  end
+
+let map_range t proc ~first_page ~npages =
+  ensure_table t (first_page + npages - 1);
+  for p = first_page to first_page + npages - 1 do
+    match t.pages.(p) with
+    | Some pi when pi.state <> Unmapped ->
+        invalid_arg (Printf.sprintf "Vmm.map_range: page %d already mapped" p)
+    | Some pi ->
+        pi.state <- Untouched;
+        pi.owner <- proc
+    | None ->
+        t.pages.(p) <-
+          Some
+            {
+              state = Untouched;
+              owner = proc;
+              dirty = false;
+              referenced = false;
+              protected_ = false;
+              pinned = false;
+              in_swap = false;
+              surrendered = false;
+            }
+  done
+
+let owner t page =
+  match info t page with
+  | Some pi when pi.state <> Unmapped -> Some pi.owner
+  | Some _ | None -> None
+
+let is_resident t page =
+  match info t page with Some pi -> pi.state = Resident | None -> false
+
+let is_swapped t page =
+  match info t page with Some pi -> pi.state = Swapped | None -> false
+
+let is_protected t page =
+  match info t page with Some pi -> pi.protected_ | None -> false
+
+let is_dirty t page =
+  match info t page with Some pi -> pi.dirty | None -> false
+
+(* Drop a page's frame without writeback. The page must be resident and
+   unpinned. *)
+let release_frame t page pi =
+  if Lru.membership t.lru page <> None then Lru.remove t.lru page;
+  pi.state <- Untouched;
+  pi.dirty <- false;
+  pi.in_swap <- false;
+  pi.surrendered <- false;
+  t.resident <- t.resident - 1
+
+(* Write a resident, unlisted page out to swap. *)
+let swap_out t page pi =
+  assert (pi.state = Resident && not pi.pinned);
+  if pi.dirty || not pi.in_swap then begin
+    Swap.write t.swap page;
+    Clock.advance t.clock t.costs.Costs.swap_write_ns;
+    t.stats.Vm_stats.swap_outs <- t.stats.Vm_stats.swap_outs + 1;
+    (Process.stats pi.owner).Vm_stats.swap_outs <-
+      (Process.stats pi.owner).Vm_stats.swap_outs + 1;
+    pi.in_swap <- true
+  end;
+  pi.state <- Swapped;
+  pi.dirty <- false;
+  pi.surrendered <- false;
+  pi.referenced <- false;
+  t.resident <- t.resident - 1;
+  t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
+  (Process.stats pi.owner).Vm_stats.evictions <-
+    (Process.stats pi.owner).Vm_stats.evictions + 1
+
+(* Move up to [n] pages from the active tail into the inactive list,
+   giving referenced pages a second chance. Returns how many moved. *)
+let refill_inactive t n =
+  let moved = ref 0 in
+  let attempts = ref 0 in
+  let budget = (2 * Lru.active_size t.lru) + 2 in
+  while !moved < n && !attempts < budget do
+    incr attempts;
+    match Lru.active_tail t.lru with
+    | None -> attempts := budget
+    | Some page ->
+        let pi = info_exn t page in
+        Lru.remove t.lru page;
+        if pi.referenced then begin
+          pi.referenced <- false;
+          Lru.push_active_head t.lru page
+        end
+        else begin
+          Lru.push_inactive_head t.lru page;
+          incr moved
+        end
+  done;
+  !moved
+
+(* Reclaim frames until [free_frames t >= target], raising only when even
+   [required] frames cannot be freed (the batch beyond [required] is
+   opportunistic clustering). Delivers pre-eviction notices to registered
+   owners; handlers may veto (touch), discard (madvise) or surrender
+   (vm_relinquish) pages, all of which this loop observes. *)
+let reclaim t ~required ~target =
+  if t.in_reclaim then ()
+  else begin
+    t.in_reclaim <- true;
+    Fun.protect ~finally:(fun () -> t.in_reclaim <- false) @@ fun () ->
+    let budget =
+      (4 * (Lru.active_size t.lru + Lru.inactive_size t.lru)) + 64
+    in
+    let scanned = ref 0 in
+    while free_frames t < target && !scanned < budget do
+      incr scanned;
+      if Lru.inactive_size t.lru = 0 then begin
+        if refill_inactive t t.reclaim_batch = 0 then
+          raise
+            (Thrashing
+               (Printf.sprintf
+                  "need %d free frames but all %d resident pages are pinned \
+                   or unreclaimable"
+                  target t.resident))
+      end
+      else begin
+        match Lru.inactive_tail t.lru with
+        | None -> ()
+        | Some victim ->
+            let pi = info_exn t victim in
+            Lru.remove t.lru victim;
+            if pi.referenced then begin
+              (* second chance; a touch also cancels a pending surrender
+                 (the page's owner was already told it reloaded) *)
+              pi.referenced <- false;
+              pi.surrendered <- false;
+              Lru.push_active_head t.lru victim
+            end
+            else if pi.surrendered then swap_out t victim pi
+            else begin
+              (* Pre-eviction notice: the page is still resident and its
+                 owner may react before the PTE is unmapped. Only
+                 registered owners receive (and are billed for) one. *)
+              (match Process.handlers pi.owner with
+              | Some h ->
+                  t.stats.Vm_stats.eviction_notices <-
+                    t.stats.Vm_stats.eviction_notices + 1;
+                  (Process.stats pi.owner).Vm_stats.eviction_notices <-
+                    (Process.stats pi.owner).Vm_stats.eviction_notices + 1;
+                  h.Process.on_eviction_notice victim
+              | None -> ());
+              if Lru.membership t.lru victim <> None then
+                (* handler repositioned the page (vm_relinquish) *)
+                ()
+              else if pi.state <> Resident then
+                (* handler discarded it *)
+                ()
+              else if free_frames t >= target || pi.referenced then begin
+                (* pressure relieved, or the owner vetoed by touching *)
+                pi.referenced <- false;
+                Lru.push_active_head t.lru victim
+              end
+              else swap_out t victim pi
+            end
+      end
+    done;
+    (* Desperation: the cooperative pass failed (every candidate vetoed or
+       re-referenced). A real kernel overrides user hints under severe
+       pressure: evict the coldest unpinned pages without notices. *)
+    if free_frames t < required then begin
+      let steal tail remove =
+        while free_frames t < required && tail () <> None do
+          match tail () with
+          | None -> ()
+          | Some victim ->
+              let pi = info_exn t victim in
+              remove victim;
+              pi.referenced <- false;
+              t.stats.Vm_stats.forced_evictions <-
+                t.stats.Vm_stats.forced_evictions + 1;
+              (Process.stats pi.owner).Vm_stats.forced_evictions <-
+                (Process.stats pi.owner).Vm_stats.forced_evictions + 1;
+              swap_out t victim pi
+        done
+      in
+      steal (fun () -> Lru.inactive_tail t.lru) (Lru.remove t.lru);
+      steal (fun () -> Lru.active_tail t.lru) (Lru.remove t.lru)
+    end;
+    if free_frames t < required then
+      raise
+        (Thrashing
+           (Printf.sprintf "reclaim gave up: %d free of %d required"
+              (free_frames t) required))
+  end
+
+(* Make room for one more resident page, freeing a cluster when memory is
+   tight so availability moves in batches. *)
+let ensure_frame t =
+  if free_frames t < 1 then
+    reclaim t ~required:1
+      ~target:(min t.reclaim_batch (max 1 (t.capacity - t.pinned)))
+
+let count_fault t pi ~major =
+  let pstats = Process.stats pi.owner in
+  if major then begin
+    t.stats.Vm_stats.major_faults <- t.stats.Vm_stats.major_faults + 1;
+    pstats.Vm_stats.major_faults <- pstats.Vm_stats.major_faults + 1;
+    t.stats.Vm_stats.swap_ins <- t.stats.Vm_stats.swap_ins + 1;
+    pstats.Vm_stats.swap_ins <- pstats.Vm_stats.swap_ins + 1
+  end
+  else begin
+    t.stats.Vm_stats.minor_faults <- t.stats.Vm_stats.minor_faults + 1;
+    pstats.Vm_stats.minor_faults <- pstats.Vm_stats.minor_faults + 1
+  end
+
+let deliver_protection_fault t page pi =
+  Clock.advance t.clock t.costs.Costs.protection_fault_ns;
+  t.stats.Vm_stats.protection_faults <- t.stats.Vm_stats.protection_faults + 1;
+  (Process.stats pi.owner).Vm_stats.protection_faults <-
+    (Process.stats pi.owner).Vm_stats.protection_faults + 1;
+  match Process.handlers pi.owner with
+  | Some h -> h.Process.on_protection_fault page
+  | None -> pi.protected_ <- false
+
+let rec touch t ?(write = false) page =
+  let pi = info_exn t page in
+  match pi.state with
+  | Unmapped -> invalid_arg (Printf.sprintf "Vmm.touch: page %d unmapped" page)
+  | Resident ->
+      pi.referenced <- true;
+      if write then pi.dirty <- true;
+      if pi.protected_ then begin
+        deliver_protection_fault t page pi;
+        (* retry the access if the handler unprotected the page; if it did
+           not, the access proceeds anyway (the handler owns the policy) *)
+        if not pi.protected_ then touch t ~write page
+      end
+  | Untouched ->
+      Clock.advance t.clock t.costs.Costs.minor_fault_ns;
+      count_fault t pi ~major:false;
+      ensure_frame t;
+      pi.state <- Resident;
+      pi.referenced <- true;
+      pi.dirty <- write;
+      t.resident <- t.resident + 1;
+      if not pi.pinned then Lru.push_active_head t.lru page
+  | Swapped ->
+      Swap.read t.swap page;
+      Clock.advance t.clock t.costs.Costs.major_fault_ns;
+      count_fault t pi ~major:true;
+      ensure_frame t;
+      pi.state <- Resident;
+      pi.referenced <- true;
+      pi.dirty <- write;
+      pi.surrendered <- false;
+      t.resident <- t.resident + 1;
+      if not pi.pinned then Lru.push_active_head t.lru page;
+      (* made-resident notice, then any protection upcall *)
+      (match Process.handlers pi.owner with
+      | Some h -> h.Process.on_resident page
+      | None -> ());
+      if pi.protected_ then deliver_protection_fault t page pi
+
+let unmap_range t ~first_page ~npages =
+  for p = first_page to first_page + npages - 1 do
+    match info t p with
+    | None -> ()
+    | Some pi ->
+        if pi.state = Resident then begin
+          if pi.pinned then begin
+            pi.pinned <- false;
+            t.pinned <- t.pinned - 1;
+            t.resident <- t.resident - 1
+          end
+          else release_frame t p pi
+        end;
+        Swap.drop t.swap p;
+        pi.state <- Unmapped;
+        pi.in_swap <- false;
+        pi.protected_ <- false
+  done
+
+let madvise_dontneed t page =
+  match info t page with
+  | None -> ()
+  | Some pi -> (
+      Clock.advance t.clock t.costs.Costs.syscall_ns;
+      match pi.state with
+      | Unmapped | Untouched -> ()
+      | Resident ->
+          if pi.pinned then invalid_arg "Vmm.madvise_dontneed: page is pinned";
+          release_frame t page pi;
+          t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
+          (Process.stats pi.owner).Vm_stats.discards <-
+            (Process.stats pi.owner).Vm_stats.discards + 1
+      | Swapped ->
+          Swap.drop t.swap page;
+          pi.state <- Untouched;
+          pi.in_swap <- false;
+          pi.dirty <- false;
+          t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
+          (Process.stats pi.owner).Vm_stats.discards <-
+            (Process.stats pi.owner).Vm_stats.discards + 1)
+
+let vm_relinquish t pages =
+  Clock.advance t.clock t.costs.Costs.syscall_ns;
+  List.iter
+    (fun page ->
+      match info t page with
+      | None -> ()
+      | Some pi ->
+          if pi.state = Resident && not pi.pinned then begin
+            pi.referenced <- false;
+            pi.surrendered <- true;
+            if Lru.membership t.lru page <> None then Lru.remove t.lru page;
+            Lru.push_inactive_tail t.lru page;
+            t.stats.Vm_stats.relinquished <- t.stats.Vm_stats.relinquished + 1;
+            (Process.stats pi.owner).Vm_stats.relinquished <-
+              (Process.stats pi.owner).Vm_stats.relinquished + 1
+          end)
+    pages
+
+let mprotect t page ~protect =
+  Clock.advance t.clock t.costs.Costs.syscall_ns;
+  let pi = info_exn t page in
+  pi.protected_ <- protect
+
+let mlock t page =
+  let pi = info_exn t page in
+  (* locking must not fire protection upcalls; lock the raw frame *)
+  if pi.state <> Resident then touch t ~write:false page;
+  if not pi.pinned then begin
+    pi.pinned <- true;
+    t.pinned <- t.pinned + 1;
+    if Lru.membership t.lru page <> None then Lru.remove t.lru page
+  end
+
+let munlock t page =
+  let pi = info_exn t page in
+  if pi.pinned then begin
+    pi.pinned <- false;
+    t.pinned <- t.pinned - 1;
+    if pi.state = Resident then Lru.push_active_head t.lru page
+  end
+
+let set_capacity t frames =
+  if frames <= 0 then invalid_arg "Vmm.set_capacity";
+  t.capacity <- frames;
+  if free_frames t < 0 then reclaim t ~required:0 ~target:0
+
+let coldest_pages t ~owner ~n =
+  let acc = ref [] in
+  let count = ref 0 in
+  let consider page =
+    if !count < n then
+      match info t page with
+      | Some pi when Process.pid pi.owner = Process.pid owner ->
+          acc := page :: !acc;
+          incr count
+      | Some _ | None -> ()
+  in
+  Lru.iter_inactive_from_tail t.lru consider;
+  Lru.iter_active_from_tail t.lru consider;
+  List.rev !acc
+
+let count_resident_owned t proc =
+  let n = ref 0 in
+  Array.iter
+    (function
+      | Some pi
+        when pi.state = Resident && Process.pid pi.owner = Process.pid proc ->
+          incr n
+      | Some _ | None -> ())
+    t.pages;
+  !n

@@ -1,0 +1,119 @@
+(** The simulated virtual memory manager.
+
+    Models the paper's extended Linux 2.4.20 kernel (§4.1): an approximate
+    global LRU with an active list (clock / second chance) and an inactive
+    FIFO, batched reclaim, demand zero-fill, a swap device, and the
+    cooperative extensions the paper adds — pre-eviction notices delivered
+    to registered processes, made-resident notices, [vm_relinquish],
+    [madvise(MADV_DONTNEED)], [mprotect] upcalls and [mlock] pinning.
+
+    Every page access in the simulation goes through {!touch}; this is the
+    single point where reference bits, dirty bits, faults and the disk
+    penalty are accounted. *)
+
+type t
+
+exception Thrashing of string
+(** Raised when a frame is needed but every resident page is pinned. *)
+
+(** {1 Construction} *)
+
+val create :
+  ?costs:Costs.t ->
+  ?reclaim_batch:int ->
+  ?swap_capacity_pages:int ->
+  clock:Clock.t ->
+  frames:int ->
+  unit ->
+  t
+(** [create ~clock ~frames ()] builds a VMM with [frames] physical page
+    frames. [reclaim_batch] (default 16) is the eviction cluster size: the
+    kernel frees that many frames per reclaim pass, so available memory
+    fluctuates in steps, as §3.4.3 describes. [swap_capacity_pages] bounds
+    the swap device (default unlimited); exhausting it raises
+    {!Swap.Full}. *)
+
+val create_process : t -> name:string -> Process.t
+
+val clock : t -> Clock.t
+
+val costs : t -> Costs.t
+
+val swap : t -> Swap.t
+(** The swap device (occupancy and I/O accounting). *)
+
+(** {1 Address space} *)
+
+val map_range : t -> Process.t -> first_page:int -> npages:int -> unit
+(** Map fresh zero-fill pages owned by the process ([mmap]). *)
+
+val unmap_range : t -> first_page:int -> npages:int -> unit
+
+val owner : t -> int -> Process.t option
+
+(** {1 Access} *)
+
+val touch : t -> ?write:bool -> int -> unit
+(** [touch t page] performs a memory access: sets the reference bit,
+    zero-fills on first touch (minor fault), reloads from swap (major
+    fault, charging the disk penalty) and delivers protection-fault and
+    made-resident upcalls as appropriate. *)
+
+val is_resident : t -> int -> bool
+(** [mincore]: true when the page is in a physical frame. *)
+
+val is_swapped : t -> int -> bool
+
+val is_protected : t -> int -> bool
+
+val is_dirty : t -> int -> bool
+
+(** {1 Cooperative system calls} *)
+
+val madvise_dontneed : t -> int -> unit
+(** Discard the page's contents: its frame (if any) is freed without
+    writeback and its next touch zero-fills. No-op on unmapped pages. *)
+
+val vm_relinquish : t -> int list -> unit
+(** The paper's new system call: voluntarily surrender pages. They move to
+    the tail of the inactive queue and are evicted on the next reclaim pass
+    without a further notice. *)
+
+val mprotect : t -> int -> protect:bool -> unit
+(** Toggle access protection. Touching a protected page delivers the
+    owner's protection-fault upcall (the handler is expected to
+    unprotect). *)
+
+val mlock : t -> int -> unit
+(** Touch and pin the page: it becomes unevictable until {!munlock}. *)
+
+val munlock : t -> int -> unit
+
+(** {1 Capacity} *)
+
+val capacity : t -> int
+
+val set_capacity : t -> int -> unit
+(** Change the number of physical frames, reclaiming immediately when
+    shrinking below current residency. *)
+
+val resident_count : t -> int
+
+val free_frames : t -> int
+
+val pinned_count : t -> int
+
+(** {1 Statistics} *)
+
+val stats : t -> Vm_stats.t
+(** Global counters. Per-process counters live in {!Process.stats}. *)
+
+val count_resident_owned : t -> Process.t -> int
+(** O(pages) count of resident pages owned by a process (tests only). *)
+
+val coldest_pages : t -> owner:Process.t -> n:int -> int list
+(** Up to [n] of the owner's reclaim-coldest resident pages, coldest
+    first (inactive list from its tail, then the active list from its
+    tail). Supports the paper's §7 exploration of smarter victim
+    selection: the collector may prefer a slightly warmer page whose
+    eviction creates less false garbage. *)

@@ -1,0 +1,1 @@
+lib/workload/mutator.ml: Array Gc_common Hashtbl Heapsim Repro_util Spec Trace Vmsim

@@ -1,0 +1,1 @@
+lib/workload/mutator.mli: Gc_common Spec Trace

@@ -1,0 +1,1 @@
+lib/workload/pressure.ml: Format

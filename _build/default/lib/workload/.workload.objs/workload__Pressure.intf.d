@@ -1,0 +1,1 @@
+lib/workload/pressure.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/signalmem.ml: Heapsim Repro_util Vmsim

@@ -1,0 +1,1 @@
+lib/workload/signalmem.mli: Heapsim Vmsim

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Fun Gc_common Heapsim Printf Repro_util String

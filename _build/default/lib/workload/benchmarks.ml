@@ -1,0 +1,169 @@
+let scale = 8
+
+let s bytes = bytes / scale
+
+(* A template with suite-typical behaviour; each benchmark overrides the
+   demographics that distinguish it. *)
+let base =
+  {
+    Spec.name = "base";
+    total_alloc_bytes = 0;
+    immortal_bytes = 0;
+    window_bytes = 0;
+    long_frac = 0.05;
+    mean_size = 48;
+    max_size = 1024;
+    large_frac = 0.0;
+    array_frac = 0.25;
+    nrefs_mean = 2;
+    mutation_rate = 0.3;
+    access_rate = 2.0;
+    cold_access_frac = 0.03;
+    paper_min_heap_bytes = 0;
+    seed = 0;
+  }
+
+let compress =
+  {
+    base with
+    Spec.name = "_201_compress";
+    total_alloc_bytes = s 109_190_172;
+    paper_min_heap_bytes = s 16_777_216;
+    immortal_bytes = 960_000;
+    window_bytes = 400_000;
+    (* compression buffers: few, large, array-heavy objects *)
+    mean_size = 192;
+    max_size = 4096;
+    large_frac = 0.004;
+    array_frac = 0.7;
+    nrefs_mean = 1;
+    long_frac = 0.02;
+    seed = 101;
+  }
+
+let jess =
+  {
+    base with
+    Spec.name = "_202_jess";
+    total_alloc_bytes = s 267_602_628;
+    paper_min_heap_bytes = s 12_582_912;
+    immortal_bytes = 610_000;
+    window_bytes = 400_000;
+    (* expert system: many tiny short-lived facts *)
+    mean_size = 40;
+    long_frac = 0.03;
+    mutation_rate = 0.5;
+    seed = 102;
+  }
+
+let raytrace =
+  {
+    base with
+    Spec.name = "_205_raytrace";
+    total_alloc_bytes = s 92_381_448;
+    paper_min_heap_bytes = s 14_680_064;
+    immortal_bytes = 875_000;
+    window_bytes = 420_000;
+    mean_size = 36;
+    nrefs_mean = 3;
+    long_frac = 0.03;
+    seed = 103;
+  }
+
+let db =
+  {
+    base with
+    Spec.name = "_209_db";
+    total_alloc_bytes = s 61_216_580;
+    paper_min_heap_bytes = s 19_922_944;
+    (* in-memory database: low allocation over a big, hot live set *)
+    immortal_bytes = 1_360_000;
+    window_bytes = 375_000;
+    long_frac = 0.02;
+    access_rate = 4.0;
+    cold_access_frac = 0.2;
+    seed = 104;
+  }
+
+let javac =
+  {
+    base with
+    Spec.name = "_213_javac";
+    total_alloc_bytes = s 181_468_984;
+    paper_min_heap_bytes = s 19_922_944;
+    (* compiler: large long-lived ASTs and symbol tables *)
+    immortal_bytes = 1_200_000;
+    window_bytes = 700_000;
+    long_frac = 0.06;
+    nrefs_mean = 3;
+    mutation_rate = 0.5;
+    seed = 105;
+  }
+
+let jack =
+  {
+    base with
+    Spec.name = "_228_jack";
+    total_alloc_bytes = s 250_486_124;
+    paper_min_heap_bytes = s 11_534_336;
+    immortal_bytes = 495_000;
+    window_bytes = 345_000;
+    mean_size = 44;
+    long_frac = 0.02;
+    seed = 106;
+  }
+
+let ipsixql =
+  {
+    base with
+    Spec.name = "ipsixql";
+    total_alloc_bytes = s 350_889_840;
+    paper_min_heap_bytes = s 11_534_336;
+    (* XML queries: bursts of short-lived tree nodes *)
+    immortal_bytes = 465_000;
+    window_bytes = 335_000;
+    nrefs_mean = 3;
+    long_frac = 0.015;
+    seed = 107;
+  }
+
+let jython =
+  {
+    base with
+    Spec.name = "jython";
+    total_alloc_bytes = s 770_632_824;
+    paper_min_heap_bytes = s 11_534_336;
+    (* interpreter: extreme allocation rate, almost everything dies young *)
+    immortal_bytes = 480_000;
+    window_bytes = 370_000;
+    mean_size = 40;
+    long_frac = 0.008;
+    access_rate = 1.5;
+    seed = 108;
+  }
+
+let pseudojbb =
+  {
+    base with
+    Spec.name = "pseudoJBB";
+    total_alloc_bytes = s 233_172_290;
+    paper_min_heap_bytes = s 35_651_584;
+    (* "pseudoJBB initially allocates a few immortal objects and then
+       allocates only short-lived objects" (§5.3.2) *)
+    immortal_bytes = 3_000_000;
+    window_bytes = 660_000;
+    long_frac = 0.015;
+    access_rate = 2.5;
+    cold_access_frac = 0.05;
+    seed = 109;
+  }
+
+let all =
+  [
+    compress; jess; raytrace; db; javac; jack; ipsixql; jython; pseudojbb;
+  ]
+
+let find name =
+  match List.find_opt (fun spec -> spec.Spec.name = name) all with
+  | Some spec -> spec
+  | None -> raise Not_found

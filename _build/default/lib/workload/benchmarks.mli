@@ -1,0 +1,36 @@
+(** The paper's benchmark suite (Table 1), as synthetic workload specs.
+
+    Byte quantities are the paper's scaled by 1/8 (pages stay 4 KB).
+    "Total Bytes Alloc" comes straight from Table 1; live-set and
+    behavioural parameters are calibrated per benchmark so that measured
+    minimum heaps land near Table 1's "Min. Heap" column (scaled):
+    e.g. _209_db is small-allocation / big-live-set, _213_javac holds a
+    large long-lived structure, pseudoJBB "initially allocates a few
+    immortal objects and then allocates only short-lived objects". *)
+
+val compress : Spec.t
+
+val jess : Spec.t
+
+val raytrace : Spec.t
+
+val db : Spec.t
+
+val javac : Spec.t
+
+val jack : Spec.t
+
+val ipsixql : Spec.t
+
+val jython : Spec.t
+
+val pseudojbb : Spec.t
+
+val all : Spec.t list
+(** All nine, in Table 1 order. *)
+
+val find : string -> Spec.t
+(** Look up by name; raises [Not_found]. *)
+
+val scale : int
+(** The denominator applied to the paper's byte quantities (8). *)

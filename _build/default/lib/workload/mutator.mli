@@ -1,0 +1,34 @@
+(** The synthetic mutator: a step-able driver that exercises a collector
+    according to a {!Spec}.
+
+    Structure of the object graph:
+    - a chain of {e immortal} objects built at start-up, rooted at its
+      head — the cold data whose pages become eviction victims under
+      memory pressure;
+    - a ring of {e window segments}: rooted arrays of reference slots.
+      Long-lived allocations are stored into ring slots (a mature-to-young
+      pointer store that exercises write barriers); each insertion
+      un-roots the slot's previous occupant, which eventually dies;
+    - {e short-lived} allocations that receive a few references to window
+      objects and are dropped at the end of their operation.
+
+    The driver is step-able so the harness can interleave several
+    processes and drive memory-pressure schedules between steps. *)
+
+type t
+
+val create : ?trace:Trace.t -> Spec.t -> Gc_common.Collector.t -> t
+(** Builds the immortal chain and window segments (allocating through the
+    collector) and installs the root enumerator on the heap. When [trace]
+    is given, every heap operation (and root change) is recorded into it
+    for later {!Trace.replay}. *)
+
+val step : t -> ops:int -> bool
+(** Run up to [ops] allocation operations; returns [true] once the spec's
+    allocation volume has been reached. *)
+
+val finished : t -> bool
+
+val allocated_bytes : t -> int
+
+val ops_done : t -> int

@@ -1,0 +1,34 @@
+type t =
+  | None_
+  | Steady of { after_progress : float; pin_pages : int }
+  | Ramp of {
+      after_progress : float;
+      initial_pages : int;
+      pages_per_step : int;
+      step_ns : int;
+      max_pages : int;
+    }
+
+let due_pages t ~now_ns ~start_ns ~progress =
+  match t with
+  | None_ -> 0
+  | Steady { after_progress; pin_pages } ->
+      if progress >= after_progress then pin_pages else 0
+  | Ramp { after_progress; initial_pages; pages_per_step; step_ns; max_pages }
+    ->
+      if progress < after_progress then 0
+      else begin
+        let steps = (now_ns - start_ns) / step_ns in
+        min max_pages (initial_pages + (steps * pages_per_step))
+      end
+
+let pp ppf = function
+  | None_ -> Format.pp_print_string ppf "none"
+  | Steady { after_progress; pin_pages } ->
+      Format.fprintf ppf "steady(%d pages @ %.0f%%)" pin_pages
+        (100.0 *. after_progress)
+  | Ramp { initial_pages; pages_per_step; step_ns; max_pages; _ } ->
+      Format.fprintf ppf "ramp(%d + %d/%.0fms -> %d pages)" initial_pages
+        pages_per_step
+        (float_of_int step_ns /. 1e6)
+        max_pages

@@ -1,0 +1,35 @@
+module Vec = Repro_util.Vec
+
+type t = {
+  vmm : Vmsim.Vmm.t;
+  address_space : Heapsim.Address_space.t;
+  proc : Vmsim.Process.t;
+  pinned : int Vec.t;
+}
+
+let create vmm address_space =
+  {
+    vmm;
+    address_space;
+    proc = Vmsim.Vmm.create_process vmm ~name:"signalmem";
+    pinned = Vec.create ();
+  }
+
+let pin_pages t n =
+  if n > 0 then begin
+    let first_page = Heapsim.Address_space.reserve t.address_space ~npages:n in
+    Vmsim.Vmm.map_range t.vmm t.proc ~first_page ~npages:n;
+    for page = first_page to first_page + n - 1 do
+      Vmsim.Vmm.touch t.vmm ~write:true page;
+      Vmsim.Vmm.mlock t.vmm page;
+      Vec.push t.pinned page
+    done
+  end
+
+let unpin_all t =
+  Vec.iter (fun page -> Vmsim.Vmm.munlock t.vmm page) t.pinned;
+  Vec.clear t.pinned
+
+let pinned_pages t = Vec.length t.pinned
+
+let process t = t.proc

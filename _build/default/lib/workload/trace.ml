@@ -1,0 +1,118 @@
+module Vec = Repro_util.Vec
+
+type event =
+  | Alloc of { size : int; nrefs : int; array : bool }
+  | Write of { src : int; field : int; target : int }
+  | Access of int
+  | Root of int
+  | Unroot of int
+
+type t = { events : event Vec.t }
+
+let create () = { events = Vec.create () }
+
+let record t e = Vec.push t.events e
+
+let length t = Vec.length t.events
+
+let iter t f = Vec.iter f t.events
+
+let nth t i = Vec.get t.events i
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      iter t (fun e ->
+          match e with
+          | Alloc { size; nrefs; array } ->
+              Printf.fprintf oc "A %d %d %d\n" size nrefs
+                (if array then 1 else 0)
+          | Write { src; field; target } ->
+              Printf.fprintf oc "W %d %d %d\n" src field target
+          | Access obj -> Printf.fprintf oc "T %d\n" obj
+          | Root obj -> Printf.fprintf oc "R %d\n" obj
+          | Unroot obj -> Printf.fprintf oc "U %d\n" obj))
+
+let parse_line line_no line =
+  let fail () =
+    failwith (Printf.sprintf "Trace.load: malformed line %d: %S" line_no line)
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "A"; size; nrefs; array ] -> (
+      match (int_of_string_opt size, int_of_string_opt nrefs, array) with
+      | Some size, Some nrefs, ("0" | "1") ->
+          Alloc { size; nrefs; array = array = "1" }
+      | _ -> fail ())
+  | [ "W"; src; field; target ] -> (
+      match
+        (int_of_string_opt src, int_of_string_opt field, int_of_string_opt target)
+      with
+      | Some src, Some field, Some target -> Write { src; field; target }
+      | _ -> fail ())
+  | [ "T"; obj ] -> (
+      match int_of_string_opt obj with Some obj -> Access obj | None -> fail ())
+  | [ "R"; obj ] -> (
+      match int_of_string_opt obj with Some obj -> Root obj | None -> fail ())
+  | [ "U"; obj ] -> (
+      match int_of_string_opt obj with Some obj -> Unroot obj | None -> fail ())
+  | _ -> fail ()
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let t = create () in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           if String.trim line <> "" then record t (parse_line !line_no line)
+         done
+       with End_of_file -> ());
+      t)
+
+let replay ?(on_slice = fun _ -> ()) ?(slice = 1024) t
+    (c : Gc_common.Collector.t) =
+  let heap = c.Gc_common.Collector.heap in
+  let born = Vec.create () in
+  (* root registry: birth index -> rooted?  enumerated on demand *)
+  let rooted = Repro_util.Bitset.create () in
+  Heapsim.Heap.set_roots heap (fun f ->
+      Repro_util.Bitset.iter
+        (fun idx ->
+          let id = Vec.get born idx in
+          if Heapsim.Object_table.is_live (Heapsim.Heap.objects heap) id then
+            f id)
+        rooted);
+  let resolve idx =
+    if idx < 0 || idx >= Vec.length born then
+      failwith (Printf.sprintf "Trace.replay: object %d not yet born" idx)
+    else Vec.get born idx
+  in
+  let count = ref 0 in
+  iter t (fun e ->
+      (match e with
+      | Alloc { size; nrefs; array } ->
+          let kind = if array then `Array else `Scalar in
+          Vec.push born (c.Gc_common.Collector.alloc ~size ~nrefs ~kind)
+      | Write { src; field; target } ->
+          let src = resolve src and target = resolve target in
+          let objects = Heapsim.Heap.objects heap in
+          if
+            Heapsim.Object_table.is_live objects src
+            && Heapsim.Object_table.is_live objects target
+            && field >= 0
+            && field < Heapsim.Object_table.nrefs objects src
+          then Heapsim.Heap.write_ref heap src field target
+      | Access obj ->
+          let id = resolve obj in
+          if Heapsim.Object_table.is_live (Heapsim.Heap.objects heap) id then
+            Heapsim.Heap.access heap id
+      | Root obj -> Repro_util.Bitset.set rooted obj
+      | Unroot obj -> Repro_util.Bitset.clear rooted obj);
+      incr count;
+      if !count mod slice = 0 then on_slice (!count / slice))

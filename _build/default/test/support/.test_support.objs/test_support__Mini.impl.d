@@ -1,0 +1,1 @@
+test/support/mini.ml: Gc_common Harness Heapsim List Vmsim Workload

@@ -1,0 +1,1 @@
+test/support/mini.mli: Gc_common Heapsim Vmsim Workload

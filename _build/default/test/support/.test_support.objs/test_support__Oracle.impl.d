@@ -1,0 +1,1 @@
+test/support/oracle.ml: Gc_common Hashtbl Heapsim Printf Vmsim

@@ -1,0 +1,1 @@
+test/support/oracle.mli: Gc_common Heapsim

@@ -1,0 +1,37 @@
+let walk heap ~on_dead =
+  let objects = Heapsim.Heap.objects heap in
+  let seen = Hashtbl.create 4096 in
+  let count = ref 0 in
+  let rec visit src id =
+    if id >= 0 && not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      if not (Heapsim.Object_table.is_live objects id) then on_dead ~src ~id
+      else begin
+        incr count;
+        Heapsim.Object_table.iter_refs objects id (fun _ target ->
+            visit id target)
+      end
+    end
+  in
+  Heapsim.Heap.iter_roots heap (fun id -> visit (-1) id);
+  !count
+
+let check heap =
+  ignore
+    (walk heap ~on_dead:(fun ~src ~id ->
+         failwith
+           (Printf.sprintf
+              "oracle: freed object #%d is reachable (from #%d)" id src)))
+
+let reachable_count heap =
+  walk heap ~on_dead:(fun ~src:_ ~id:_ -> ())
+
+let assert_heap_bounded (c : Gc_common.Collector.t) =
+  let pages = c.Gc_common.Collector.footprint_pages () in
+  let budget =
+    Gc_common.Gc_config.heap_pages c.Gc_common.Collector.config
+    + Vmsim.Page.pages_per_superpage
+  in
+  if pages > budget then
+    failwith
+      (Printf.sprintf "heap footprint %d pages exceeds budget %d" pages budget)

@@ -1,0 +1,15 @@
+(** Collector-independent correctness oracle.
+
+    Recomputes reachability over the object graph from the heap's roots
+    (ignoring pages entirely) and checks that no reachable object has been
+    freed. Collectors may retain garbage (floating garbage is legal);
+    they must never collect a reachable object. *)
+
+val check : Heapsim.Heap.t -> unit
+(** Raises [Failure] naming the first reachable-but-freed object. *)
+
+val reachable_count : Heapsim.Heap.t -> int
+
+val assert_heap_bounded : Gc_common.Collector.t -> unit
+(** The collector's mapped footprint must not exceed its configured heap
+    (plus one superpage of slack for in-flight growth). *)

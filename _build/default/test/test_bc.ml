@@ -1,0 +1,345 @@
+(* Bookmarking-collector specifics: eviction handling, bookmark and
+   counter invariants, discarding, compaction, heap-footprint limiting
+   and the completeness fail-safe. *)
+
+module Mini = Test_support.Mini
+module Oracle = Test_support.Oracle
+module OT = Heapsim.Object_table
+module Heap = Heapsim.Heap
+module Collector = Gc_common.Collector
+module Gc_stats = Gc_common.Gc_stats
+module Bc = Bookmarking.Bc
+module Vm_stats = Vmsim.Vm_stats
+
+let check = Alcotest.check
+
+(* A BC instance under explicit control, plus a signalmem to squeeze it. *)
+let fixture ?(name = "BC") ?(heap_bytes = 1024 * 1024) ?(frames = 512) () =
+  let m = Mini.machine ~frames () in
+  let c = Harness.Registry.create ~name ~heap_bytes m.Mini.heap in
+  let signalmem =
+    Workload.Signalmem.create m.Mini.vmm (Heap.address_space m.Mini.heap)
+  in
+  (m, c, signalmem, Bc.debug_of c)
+
+let squeeze m signalmem ~leave =
+  let frames = Vmsim.Vmm.capacity m.Mini.vmm in
+  Workload.Signalmem.pin_pages signalmem
+    (frames - Vmsim.Vmm.resident_count m.Mini.vmm
+    + (Vmsim.Vmm.resident_count m.Mini.vmm - leave))
+
+let test_debug_of_rejects_baselines () =
+  let _, c = Mini.collector "GenMS" in
+  Alcotest.check_raises "not BC"
+    (Invalid_argument "Bc.debug_of: not a bookmarking collector instance")
+    (fun () -> ignore (Bc.debug_of c))
+
+let test_eviction_creates_bookmarks () =
+  let m, c, signalmem, dbg = fixture () in
+  let ids = Mini.alloc_list c ~n:3000 ~size:64 in
+  ignore ids;
+  (* move everything to the mature space so pages are evictable *)
+  c.Collector.collect ();
+  squeeze m signalmem ~leave:40;
+  check Alcotest.bool "pages evicted" true (dbg.Bc.evicted_pages () > 0);
+  check Alcotest.bool "bookmarks set" true (dbg.Bc.bookmarked_count () > 0);
+  check Alcotest.bool "ledger mirrors counters" true
+    (dbg.Bc.incoming_total () = dbg.Bc.ledger_total ());
+  c.Collector.check_invariants ();
+  Oracle.check m.Mini.heap
+
+let test_collection_avoids_evicted_pages () =
+  let m, c, signalmem, dbg = fixture () in
+  ignore (Mini.alloc_list c ~n:3000 ~size:64);
+  c.Collector.collect ();
+  squeeze m signalmem ~leave:40;
+  check Alcotest.bool "setup evicted pages" true (dbg.Bc.evicted_pages () > 0);
+  let faults_before =
+    (Vmsim.Process.stats m.Mini.proc).Vm_stats.major_faults
+  in
+  c.Collector.collect ();
+  let faults =
+    (Vmsim.Process.stats m.Mini.proc).Vm_stats.major_faults - faults_before
+  in
+  check Alcotest.int "full collection touches no evicted page" 0 faults;
+  check Alcotest.bool "evicted pages survived the collection" true
+    (dbg.Bc.evicted_pages () > 0);
+  Oracle.check m.Mini.heap
+
+let test_resize_only_pays_faults () =
+  let m, c, signalmem, dbg = fixture ~name:"BC-resize" () in
+  ignore (Mini.alloc_list c ~n:3000 ~size:64);
+  c.Collector.collect ();
+  squeeze m signalmem ~leave:40;
+  check Alcotest.bool "pages evicted" true (dbg.Bc.evicted_pages () > 0);
+  check Alcotest.int "no bookmarks without the mechanism" 0
+    (dbg.Bc.bookmarked_count ());
+  let before = (Vmsim.Process.stats m.Mini.proc).Vm_stats.major_faults in
+  c.Collector.collect ();
+  let faults =
+    (Vmsim.Process.stats m.Mini.proc).Vm_stats.major_faults - before
+  in
+  check Alcotest.bool "resizing-only collection faults" true (faults > 0)
+
+let test_reload_clears_bookmarks () =
+  let m, c, signalmem, dbg = fixture () in
+  let ids = Mini.alloc_list c ~n:3000 ~size:64 in
+  c.Collector.collect ();
+  squeeze m signalmem ~leave:40;
+  check Alcotest.bool "bookmarks set" true (dbg.Bc.bookmarked_count () > 0);
+  (* release the pressure and touch every object: all pages reload *)
+  Workload.Signalmem.unpin_all signalmem;
+  List.iter
+    (fun id ->
+      if OT.is_live (Heap.objects m.Mini.heap) id then
+        Heap.access m.Mini.heap id)
+    ids;
+  check Alcotest.int "all pages back" 0 (dbg.Bc.evicted_pages ());
+  check Alcotest.int "all bookmarks cleared" 0 (dbg.Bc.bookmarked_count ());
+  check Alcotest.int "all counters released" 0 (dbg.Bc.incoming_total ());
+  check Alcotest.int "ledger empty" 0 (dbg.Bc.ledger_total ());
+  c.Collector.check_invariants ();
+  Oracle.check m.Mini.heap
+
+let test_header_pages_stay_resident () =
+  let m, c, signalmem, dbg = fixture () in
+  ignore (Mini.alloc_list c ~n:3000 ~size:64);
+  c.Collector.collect ();
+  squeeze m signalmem ~leave:40;
+  Bookmarking.Superpage.iter_sps dbg.Bc.superpages (fun sp ->
+      if sp.Bookmarking.Superpage.cells_total > 0 then
+        check Alcotest.bool "in-use header resident" true
+          (Vmsim.Vmm.is_resident m.Mini.vmm sp.Bookmarking.Superpage.first_page))
+
+let test_footprint_target_shrinks () =
+  let m, c, signalmem, dbg = fixture () in
+  ignore (Mini.alloc_list c ~n:3000 ~size:64);
+  c.Collector.collect ();
+  check Alcotest.bool "no target before pressure" true
+    (dbg.Bc.target_footprint () = None);
+  squeeze m signalmem ~leave:60;
+  check Alcotest.bool "target set under pressure" true
+    (dbg.Bc.target_footprint () <> None)
+
+let test_discards_empty_pages_first () =
+  let m, c, signalmem, dbg = fixture () in
+  (* allocate garbage, collect: the heap now holds many empty pages *)
+  ignore (Mini.alloc_list c ~n:3000 ~size:64);
+  Heap.set_roots m.Mini.heap (fun _ -> ());
+  c.Collector.collect ();
+  c.Collector.collect ();
+  let before = (Vmsim.Process.stats m.Mini.proc).Vm_stats.discards in
+  squeeze m signalmem ~leave:24;
+  let discards =
+    (Vmsim.Process.stats m.Mini.proc).Vm_stats.discards - before
+  in
+  check Alcotest.bool "empty pages discarded, not swapped" true (discards > 0);
+  check Alcotest.int "nothing needed bookmarking" 0 (dbg.Bc.evicted_pages ())
+
+let test_compaction_shrinks_superpages () =
+  let m, c, _, dbg = fixture ~heap_bytes:(1280 * 1024) ~frames:2048 () in
+  let heap = m.Mini.heap in
+  let objects = Heap.objects heap in
+  (* fragment the mature space: many small objects, then kill 9 of 10 so
+     every superpage stays partially occupied *)
+  let ids = Array.of_list (Mini.alloc_list c ~n:8000 ~size:96) in
+  c.Collector.collect ();
+  let keep = ref [] in
+  Array.iteri (fun i id -> if i mod 10 = 0 then keep := id :: !keep) ids;
+  let kept = !keep in
+  (* the new allocations below must also stay rooted *)
+  let news = ref [] in
+  Heap.set_roots heap (fun f ->
+      List.iter f kept;
+      List.iter f !news);
+  (* sever the chain links so the dead objects really die *)
+  List.iter (fun id -> Heap.write_ref heap id 0 Heapsim.Obj_id.null) kept;
+  c.Collector.collect ();
+  let stats = c.Collector.stats in
+  let before = Gc_stats.count stats Gc_stats.Compacting in
+  (* a large-object demand the fragmented class-96 superpages cannot
+     serve: only compaction can consolidate them into free superpages *)
+  for _ = 1 to 600 do
+    news := c.Collector.alloc ~size:1024 ~nrefs:0 ~kind:`Scalar :: !news
+  done;
+  let compactions = Gc_stats.count stats Gc_stats.Compacting - before in
+  check Alcotest.bool "compaction ran" true (compactions > 0);
+  List.iter
+    (fun id -> check Alcotest.bool "survivor intact" true (OT.is_live objects id))
+    kept;
+  c.Collector.check_invariants ();
+  ignore dbg;
+  Oracle.check m.Mini.heap
+
+let test_failsafe_preserves_completeness () =
+  (* exhaust the heap while pages are evicted: BC must discard bookmarks,
+     take the faults, and reclaim the (bookmarked) garbage *)
+  let m, c, signalmem, dbg = fixture ~heap_bytes:(640 * 1024) ~frames:384 () in
+  let heap = m.Mini.heap in
+  ignore (Mini.alloc_list c ~n:3000 ~size:64);
+  c.Collector.collect ();
+  squeeze m signalmem ~leave:32;
+  check Alcotest.bool "pages evicted" true (dbg.Bc.evicted_pages () > 0);
+  (* drop all roots: the evicted objects are garbage BC cannot see *)
+  Heap.set_roots heap (fun _ -> ());
+  Workload.Signalmem.unpin_all signalmem;
+  (* demand more than mark-sweep-with-bookmarks can free *)
+  let survived =
+    match Mini.alloc_list c ~n:8000 ~size:64 with
+    | _ -> true
+    | exception Collector.Heap_exhausted _ -> false
+  in
+  check Alcotest.bool "allocation eventually satisfied" true survived;
+  check Alcotest.bool "fail-safe collection ran" true
+    (dbg.Bc.failsafe_count () > 0);
+  Oracle.check heap
+
+let test_invariants_hold_through_pressure_workload () =
+  let heap_bytes = 1024 * 1024 in
+  let frames = 360 in
+  let m = Mini.machine ~frames () in
+  let c = Harness.Registry.create ~name:"BC" ~heap_bytes m.Mini.heap in
+  let dbg = Bc.debug_of c in
+  let signalmem =
+    Workload.Signalmem.create m.Mini.vmm (Heap.address_space m.Mini.heap)
+  in
+  let mutator = Workload.Mutator.create (Mini.spec ~volume:900_000 ()) c in
+  Mini.drive mutator ~between:(fun slice ->
+      if slice = 3 then Workload.Signalmem.pin_pages signalmem 180;
+      if slice mod 8 = 0 then begin
+        c.Collector.check_invariants ();
+        Oracle.check m.Mini.heap
+      end);
+  check Alcotest.bool "bookmarking was exercised" true
+    ((Vmsim.Process.stats m.Mini.proc).Vm_stats.relinquished > 0
+    || (Vmsim.Process.stats m.Mini.proc).Vm_stats.discards > 0);
+  ignore dbg
+
+let test_pointer_aware_victims () =
+  (* two cold regions: pointer-free arrays and pointer-heavy records.
+     The pointer-aware variant should evict the arrays, leaving fewer
+     bookmarks than stock BC in the identical scenario. *)
+  let scenario name =
+    let m = Mini.machine ~frames:512 () in
+    let c = Harness.Registry.create ~name ~heap_bytes:(1024 * 1024) m.Mini.heap in
+    let dbg = Bc.debug_of c in
+    let heap = m.Mini.heap in
+    let keep = ref [] in
+    Heapsim.Heap.set_roots heap (fun f -> List.iter f !keep);
+    (* pointer-heavy: chained records *)
+    let prev = ref Heapsim.Obj_id.null in
+    for _ = 1 to 1500 do
+      let id = c.Collector.alloc ~size:64 ~nrefs:2 ~kind:`Scalar in
+      if not (Heapsim.Obj_id.is_null !prev) then
+        Heapsim.Heap.write_ref heap id 0 !prev;
+      prev := id;
+      keep := id :: !keep
+    done;
+    (* pointer-free: arrays of doubles *)
+    for _ = 1 to 1500 do
+      let id = c.Collector.alloc ~size:64 ~nrefs:0 ~kind:`Array in
+      keep := id :: !keep
+    done;
+    c.Collector.collect ();
+    let signalmem =
+      Workload.Signalmem.create m.Mini.vmm (Heap.address_space heap)
+    in
+    squeeze m signalmem ~leave:36;
+    Oracle.check heap;
+    c.Collector.check_invariants ();
+    (dbg.Bc.evicted_pages (), dbg.Bc.incoming_total ())
+  in
+  let evicted_plain, incoming_plain = scenario "BC" in
+  let evicted_aware, incoming_aware = scenario "BC-ptraware" in
+  check Alcotest.bool "both evicted" true (evicted_plain > 0 && evicted_aware > 0);
+  (* conservative self-bookmarks are unavoidable, but preferring
+     pointer-poor victims leaves fewer cross-superpage references from
+     disk (lower incoming counters = less false garbage) *)
+  check Alcotest.bool "pointer-aware victims leave fewer incoming refs" true
+    (incoming_aware < incoming_plain)
+
+let test_cooper_discards_but_does_not_bookmark () =
+  (* the Cooper-style collector (related work, §6) discards empty pages on
+     eviction signals but pays faults when its collections touch evicted
+     pages — between stock GenMS and BC *)
+  let m = Mini.machine ~frames:512 () in
+  let c =
+    Harness.Registry.create ~name:"GenMS-coop" ~heap_bytes:(1024 * 1024)
+      m.Mini.heap
+  in
+  let signalmem =
+    Workload.Signalmem.create m.Mini.vmm (Heap.address_space m.Mini.heap)
+  in
+  let mutator = Workload.Mutator.create (Mini.spec ~volume:900_000 ()) c in
+  Mini.drive mutator ~between:(fun slice ->
+      if slice = 6 then Workload.Signalmem.pin_pages signalmem 380);
+  let stats = Vmsim.Process.stats m.Mini.proc in
+  check Alcotest.bool "discards happened" true (stats.Vm_stats.discards > 0);
+  check Alcotest.int "never relinquishes" 0 stats.Vm_stats.relinquished;
+  Oracle.check m.Mini.heap
+
+(* property: random pin/unpin schedules keep BC sound *)
+let prop_bc_random_pressure =
+  QCheck.Test.make ~name:"BC sound under random pressure schedules" ~count:10
+    QCheck.(pair (int_range 0 1000) (list_of_size (Gen.return 6) (int_range 40 200)))
+    (fun (seed, pins) ->
+      let heap_bytes = 1024 * 1024 in
+      let m = Mini.machine ~frames:420 () in
+      let c = Harness.Registry.create ~name:"BC" ~heap_bytes m.Mini.heap in
+      let signalmem =
+        Workload.Signalmem.create m.Mini.vmm (Heap.address_space m.Mini.heap)
+      in
+      let mutator = Workload.Mutator.create (Mini.spec ~volume:500_000 ~seed ()) c in
+      let pins = Array.of_list pins in
+      Mini.drive mutator ~between:(fun slice ->
+          if slice < Array.length pins then begin
+            Workload.Signalmem.unpin_all signalmem;
+            Workload.Signalmem.pin_pages signalmem pins.(slice)
+          end);
+      Oracle.check m.Mini.heap;
+      c.Collector.check_invariants ();
+      true)
+
+let () =
+  Alcotest.run "bc"
+    [
+      ( "bookmarking",
+        [
+          Alcotest.test_case "debug_of rejects baselines" `Quick
+            test_debug_of_rejects_baselines;
+          Alcotest.test_case "eviction creates bookmarks" `Quick
+            test_eviction_creates_bookmarks;
+          Alcotest.test_case "collection avoids evicted pages" `Quick
+            test_collection_avoids_evicted_pages;
+          Alcotest.test_case "resize-only pays faults" `Quick
+            test_resize_only_pays_faults;
+          Alcotest.test_case "reload clears bookmarks" `Quick
+            test_reload_clears_bookmarks;
+          Alcotest.test_case "header pages resident" `Quick
+            test_header_pages_stay_resident;
+        ] );
+      ( "vm cooperation",
+        [
+          Alcotest.test_case "footprint target" `Quick
+            test_footprint_target_shrinks;
+          Alcotest.test_case "discards empty pages" `Quick
+            test_discards_empty_pages_first;
+          Alcotest.test_case "pointer-aware victims" `Quick
+            test_pointer_aware_victims;
+          Alcotest.test_case "Cooper-style discard-only" `Quick
+            test_cooper_discards_but_does_not_bookmark;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "compaction" `Quick
+            test_compaction_shrinks_superpages;
+          Alcotest.test_case "fail-safe completeness" `Quick
+            test_failsafe_preserves_completeness;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "invariants through pressure" `Quick
+            test_invariants_hold_through_pressure_workload;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_bc_random_pressure ]);
+    ]

@@ -1,0 +1,65 @@
+(* End-to-end checks of the bcgc command-line interface: each subcommand
+   runs against the built binary. *)
+
+let bcgc args =
+  (* resolve the binary relative to this test executable, so the test
+     works regardless of the invocation directory *)
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "bcgc.exe"))
+  in
+  Sys.command
+    (Filename.quote_command exe args ~stdout:"/dev/null" ~stderr:"/dev/null")
+
+let check = Alcotest.check
+
+let test_list () = check Alcotest.int "list" 0 (bcgc [ "list" ])
+
+let test_run () =
+  check Alcotest.int "run" 0
+    (bcgc
+       [ "run"; "-c"; "BC"; "-w"; "_202_jess"; "--heap-kb"; "2048"; "--volume"; "0.02" ])
+
+let test_run_pressure () =
+  check Alcotest.int "run with pin" 0
+    (bcgc
+       [
+         "run"; "-c"; "GenMS"; "-w"; "_202_jess"; "--heap-kb"; "4096";
+         "--volume"; "0.05"; "--frames"; "1200"; "--pin"; "800"; "-v";
+       ])
+
+let test_minheap () =
+  check Alcotest.int "minheap" 0
+    (bcgc [ "minheap"; "-c"; "GenMS"; "-w"; "_202_jess"; "--volume"; "0.02" ])
+
+let test_trace_roundtrip () =
+  let tmp = Filename.temp_file "bcgc" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      check Alcotest.int "trace-record" 0
+        (bcgc
+           [ "trace-record"; "-w"; "_202_jess"; "--volume"; "0.01";
+             "--heap-kb"; "4096"; "-o"; tmp ]);
+      check Alcotest.int "trace-replay" 0
+        (bcgc [ "trace-replay"; "-c"; "BC"; "-i"; tmp; "--heap-kb"; "2048" ]))
+
+let test_unknown_collector_fails () =
+  check Alcotest.bool "unknown collector rejected" true
+    (bcgc [ "run"; "-c"; "NoSuchGC" ] <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "bcgc",
+        [
+          Alcotest.test_case "list" `Quick test_list;
+          Alcotest.test_case "run" `Quick test_run;
+          Alcotest.test_case "run under pressure" `Quick test_run_pressure;
+          Alcotest.test_case "minheap" `Quick test_minheap;
+          Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "unknown collector" `Quick
+            test_unknown_collector_fails;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Cross-collector correctness: every collector must preserve the
+   reachable object graph under arbitrary mutation, with and without
+   memory pressure, while staying within its heap budget. *)
+
+module Mini = Test_support.Mini
+module Oracle = Test_support.Oracle
+module OT = Heapsim.Object_table
+module Heap = Heapsim.Heap
+module Collector = Gc_common.Collector
+module Gc_stats = Gc_common.Gc_stats
+
+let check = Alcotest.check
+
+let all_collectors = Harness.Registry.names
+
+let pressure_capable = [ "BC"; "BC-resize"; "BC-fixed"; "GenMS"; "GenCopy"; "CopyMS"; "SemiSpace" ]
+
+(* -- reachability preserved through a workload ---------------------- *)
+
+let test_preserves_reachability name () =
+  let m, c = Mini.collector ~heap_bytes:(1024 * 1024) name in
+  let mutator = Workload.Mutator.create (Mini.spec ()) c in
+  Mini.drive mutator ~between:(fun slice ->
+      if slice mod 8 = 0 then Oracle.check m.Mini.heap);
+  Oracle.check m.Mini.heap;
+  c.Collector.check_invariants ()
+
+(* -- collections actually happen and are recorded ------------------- *)
+
+let test_collects_and_records name () =
+  let _, c = Mini.collector ~heap_bytes:(896 * 1024) name in
+  let mutator = Workload.Mutator.create (Mini.spec ~volume:1_500_000 ()) c in
+  Mini.drive mutator;
+  check Alcotest.bool "collections ran" true
+    (Gc_stats.collections c.Collector.stats > 0);
+  check Alcotest.bool "pauses recorded" true
+    (Gc_stats.pauses c.Collector.stats <> []);
+  check Alcotest.bool "allocation accounted" true
+    (Gc_stats.allocated_bytes c.Collector.stats >= 1_500_000)
+
+(* -- explicit full collection reclaims garbage ---------------------- *)
+
+let test_forced_collect_reclaims name () =
+  let m, c = Mini.collector name in
+  let objects = Heap.objects m.Mini.heap in
+  let ids = Mini.alloc_list c ~n:200 ~size:64 in
+  (* drop all roots: everything is garbage *)
+  Heap.set_roots m.Mini.heap (fun _ -> ());
+  c.Collector.collect ();
+  (* ...possibly needing a second cycle for survivors of a young space *)
+  c.Collector.collect ();
+  let live = List.filter (OT.is_live objects) ids in
+  check Alcotest.int "garbage reclaimed" 0 (List.length live)
+
+(* -- object contents survive moves ---------------------------------- *)
+
+let test_contents_survive_moves name () =
+  let m, c = Mini.collector name in
+  let heap = m.Mini.heap in
+  let objects = Heap.objects heap in
+  let ids = Array.of_list (Mini.alloc_list c ~n:100 ~size:48) in
+  (* give each object a second pointer: to ids.(i/2) *)
+  let extra = c.Collector.alloc ~size:8 ~nrefs:0 ~kind:`Scalar in
+  ignore extra;
+  c.Collector.collect ();
+  c.Collector.collect ();
+  (* the chain must be intact: ids.(i) field 0 = ids.(i-1) *)
+  Array.iteri
+    (fun i id ->
+      check Alcotest.bool "live" true (OT.is_live objects id);
+      check Alcotest.int "size preserved" 48 (OT.size objects id);
+      if i > 0 then
+        check Alcotest.int
+          (Printf.sprintf "link %d preserved" i)
+          ids.(i - 1)
+          (OT.get_ref objects id 0))
+    ids
+
+(* -- heap budget ----------------------------------------------------- *)
+
+let test_heap_budget name () =
+  let _, c = Mini.collector ~heap_bytes:(768 * 1024) name in
+  let mutator = Workload.Mutator.create (Mini.spec ()) c in
+  Mini.drive mutator ~between:(fun _ -> Oracle.assert_heap_bounded c)
+
+(* -- exhaustion is an exception, not corruption ---------------------- *)
+
+let test_exhaustion name () =
+  let m, c = Mini.collector ~heap_bytes:(96 * 1024) name in
+  check Alcotest.bool "raises Heap_exhausted" true
+    (match
+       let mutator = Workload.Mutator.create (Mini.spec ()) c in
+       Mini.drive mutator
+     with
+    | () -> false
+    | exception Collector.Heap_exhausted _ ->
+        (* the heap must still be consistent *)
+        Oracle.check m.Mini.heap;
+        true)
+
+(* -- determinism ------------------------------------------------------ *)
+
+let test_deterministic name () =
+  let run () =
+    let m, c = Mini.collector ~heap_bytes:(1024 * 1024) name in
+    let mutator = Workload.Mutator.create (Mini.spec ()) c in
+    Mini.drive mutator;
+    ( Vmsim.Clock.now m.Mini.clock,
+      Gc_stats.collections c.Collector.stats,
+      OT.live_count (Heap.objects m.Mini.heap) )
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "identical outcome" true (a = b)
+
+(* -- under memory pressure ------------------------------------------- *)
+
+let test_pressure_correct name () =
+  let heap_bytes = 1024 * 1024 in
+  let frames = (heap_bytes / 4096) + 128 in
+  let m = Mini.machine ~frames () in
+  let c = Harness.Registry.create ~name ~heap_bytes m.Mini.heap in
+  let signalmem =
+    Workload.Signalmem.create m.Mini.vmm (Heap.address_space m.Mini.heap)
+  in
+  let mutator = Workload.Mutator.create (Mini.spec ()) c in
+  Mini.drive mutator ~between:(fun slice ->
+      if slice = 4 then Workload.Signalmem.pin_pages signalmem (frames - 120);
+      if slice mod 16 = 0 then Oracle.check m.Mini.heap);
+  Oracle.check m.Mini.heap;
+  c.Collector.check_invariants ()
+
+(* -- pressure released: pages come back ------------------------------ *)
+
+let test_pressure_release name () =
+  let heap_bytes = 1024 * 1024 in
+  let frames = (heap_bytes / 4096) + 128 in
+  let m = Mini.machine ~frames () in
+  let c = Harness.Registry.create ~name ~heap_bytes m.Mini.heap in
+  let signalmem =
+    Workload.Signalmem.create m.Mini.vmm (Heap.address_space m.Mini.heap)
+  in
+  let mutator = Workload.Mutator.create (Mini.spec ~volume:900_000 ()) c in
+  Mini.drive mutator ~between:(fun slice ->
+      if slice = 4 then Workload.Signalmem.pin_pages signalmem (frames - 120);
+      if slice = 40 then Workload.Signalmem.unpin_all signalmem);
+  Oracle.check m.Mini.heap;
+  c.Collector.check_invariants ()
+
+(* -- floating garbage is bounded -------------------------------------- *)
+
+let test_garbage_bounded name () =
+  let m, c = Mini.collector ~heap_bytes:(1024 * 1024) name in
+  let spec = Mini.spec () in
+  let mutator = Workload.Mutator.create spec c in
+  Mini.drive mutator;
+  (* a couple of full collections leave only reachable objects plus
+     whatever conservatism retains; bound it by twice the live estimate *)
+  c.Collector.collect ();
+  c.Collector.collect ();
+  let live_bytes = OT.live_bytes (Heap.objects m.Mini.heap) in
+  let bound = 2 * Workload.Spec.live_estimate_bytes spec in
+  check Alcotest.bool
+    (Printf.sprintf "%s retains %d <= %d bytes" name live_bytes bound)
+    true (live_bytes <= bound)
+
+(* -- each collector's defining policy ------------------------------- *)
+
+let drive_small name =
+  let _, c = Mini.collector ~heap_bytes:(896 * 1024) name in
+  let mutator = Workload.Mutator.create (Mini.spec ~volume:1_500_000 ()) c in
+  Mini.drive mutator;
+  c.Collector.stats
+
+let test_whole_heap_collectors_never_minor () =
+  List.iter
+    (fun name ->
+      let stats = drive_small name in
+      check Alcotest.int (name ^ " has no nursery collections") 0
+        (Gc_stats.count stats Gc_stats.Minor))
+    [ "MarkSweep"; "SemiSpace"; "CopyMS" ]
+
+let test_generational_collectors_mostly_minor () =
+  List.iter
+    (fun name ->
+      let stats = drive_small name in
+      check Alcotest.bool (name ^ " nursery collections dominate") true
+        (Gc_stats.count stats Gc_stats.Minor
+        > Gc_stats.count stats Gc_stats.Full))
+    [ "BC"; "GenMS"; "GenCopy" ]
+
+let test_fixed_nursery_collects_more_often () =
+  (* at a roomy heap, the Appel nursery is much larger than the fixed
+     512 KB one, so the fixed variant collects more often *)
+  let minors name =
+    let _, c = Mini.collector ~heap_bytes:(4 * 1024 * 1024) name in
+    let mutator = Workload.Mutator.create (Mini.spec ~volume:2_500_000 ()) c in
+    Mini.drive mutator;
+    Gc_stats.count c.Collector.stats Gc_stats.Minor
+  in
+  check Alcotest.bool "fixed nursery fills faster than Appel" true
+    (minors "GenMS-fixed" > minors "GenMS")
+
+let test_only_bc_compacts () =
+  List.iter
+    (fun name ->
+      let stats = drive_small name in
+      check Alcotest.int (name ^ " never compacts") 0
+        (Gc_stats.count stats Gc_stats.Compacting))
+    [ "GenMS"; "GenCopy"; "CopyMS"; "MarkSweep"; "SemiSpace" ]
+
+(* -- the nine paper benchmarks, miniaturised -------------------------- *)
+
+let test_benchmark_matrix collector spec () =
+  let spec = Workload.Spec.scale_volume spec 0.01 in
+  let heap_bytes = 2 * Workload.Spec.live_estimate_bytes spec in
+  let m, c = Mini.collector ~heap_bytes ~frames:8192 collector in
+  let mutator = Workload.Mutator.create spec c in
+  Mini.drive mutator;
+  Oracle.check m.Mini.heap;
+  c.Collector.check_invariants ()
+
+(* -- property: random workload shapes -------------------------------- *)
+
+let prop_gc_preserves_reachability =
+  QCheck.Test.make ~name:"random workloads never lose reachable objects"
+    ~count:12
+    QCheck.(
+      triple (int_range 0 9) (int_range 20 80)
+        (int_range 0 1000))
+    (fun (collector_idx, mean_size, seed) ->
+      let name = List.nth all_collectors collector_idx in
+      let spec =
+        {
+          (Mini.spec ~volume:250_000 ~seed ()) with
+          Workload.Spec.mean_size;
+          long_frac = 0.05;
+        }
+      in
+      let m, c = Mini.collector ~heap_bytes:(1024 * 1024) name in
+      let mutator = Workload.Mutator.create spec c in
+      Mini.drive mutator;
+      Oracle.check m.Mini.heap;
+      c.Collector.check_invariants ();
+      true)
+
+let per_collector name tests =
+  List.map
+    (fun (label, fn) -> Alcotest.test_case (name ^ ": " ^ label) `Quick (fn name))
+    tests
+
+let () =
+  Alcotest.run "collectors"
+    [
+      ( "reachability",
+        List.concat_map
+          (fun name -> per_collector name [ ("preserves reachability", test_preserves_reachability) ])
+          all_collectors );
+      ( "bookkeeping",
+        List.concat_map
+          (fun name ->
+            per_collector name
+              [
+                ("collects+records", test_collects_and_records);
+                ("forced collect", test_forced_collect_reclaims);
+                ("contents survive", test_contents_survive_moves);
+                ("heap budget", test_heap_budget);
+                ("exhaustion", test_exhaustion);
+                ("deterministic", test_deterministic);
+              ])
+          all_collectors );
+      ( "pressure",
+        List.concat_map
+          (fun name ->
+            per_collector name
+              [
+                ("correct under pressure", test_pressure_correct);
+                ("pressure release", test_pressure_release);
+              ])
+          pressure_capable );
+      ( "garbage",
+        List.concat_map
+          (fun name ->
+            per_collector name [ ("bounded retention", test_garbage_bounded) ])
+          all_collectors );
+      ( "policies",
+        [
+          Alcotest.test_case "whole-heap only" `Quick
+            test_whole_heap_collectors_never_minor;
+          Alcotest.test_case "generational minors" `Quick
+            test_generational_collectors_mostly_minor;
+          Alcotest.test_case "fixed nursery frequency" `Quick
+            test_fixed_nursery_collects_more_often;
+          Alcotest.test_case "only BC compacts" `Quick test_only_bc_compacts;
+        ] );
+      ( "benchmarks",
+        List.concat_map
+          (fun collector ->
+            List.map
+              (fun spec ->
+                Alcotest.test_case
+                  (collector ^ " on " ^ spec.Workload.Spec.name)
+                  `Quick
+                  (test_benchmark_matrix collector spec))
+              Workload.Benchmarks.all)
+          [ "BC"; "GenMS" ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_gc_preserves_reachability ] );
+    ]

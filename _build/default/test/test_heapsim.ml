@@ -1,0 +1,219 @@
+module OT = Heapsim.Object_table
+module PM = Heapsim.Page_map
+module AS = Heapsim.Address_space
+module Heap = Heapsim.Heap
+
+let check = Alcotest.check
+
+(* ----------------------------------------------------------------- *)
+(* Object_table                                                       *)
+
+let test_alloc_free_recycle () =
+  let t = OT.create () in
+  let a = OT.alloc t ~size:16 ~nrefs:2 ~kind:`Scalar in
+  let b = OT.alloc t ~size:32 ~nrefs:0 ~kind:`Array in
+  check Alcotest.bool "distinct ids" true (a <> b);
+  check Alcotest.int "live count" 2 (OT.live_count t);
+  check Alcotest.int "live bytes" 48 (OT.live_bytes t);
+  check Alcotest.int "size" 16 (OT.size t a);
+  check Alcotest.bool "kind scalar" true (OT.kind t a = `Scalar);
+  check Alcotest.bool "kind array" true (OT.kind t b = `Array);
+  OT.free t a;
+  check Alcotest.int "live after free" 1 (OT.live_count t);
+  check Alcotest.bool "freed not live" false (OT.is_live t a);
+  let c = OT.alloc t ~size:8 ~nrefs:1 ~kind:`Scalar in
+  check Alcotest.int "id recycled" a c;
+  check Alcotest.bool "recycled live" true (OT.is_live t c);
+  (* recycled object state is fresh *)
+  check Alcotest.int "fresh addr" (-1) (OT.addr t c);
+  check Alcotest.int "fresh scratch" (-1) (OT.scratch t c);
+  check Alcotest.bool "fresh unmarked" false (OT.marked t c);
+  check Alcotest.bool "fresh ref null" true
+    (Heapsim.Obj_id.is_null (OT.get_ref t c 0))
+
+let test_dead_access_rejected () =
+  let t = OT.create () in
+  let a = OT.alloc t ~size:8 ~nrefs:0 ~kind:`Scalar in
+  OT.free t a;
+  Alcotest.check_raises "dead access"
+    (Invalid_argument (Printf.sprintf "Object_table: dead or invalid object #%d" a))
+    (fun () -> ignore (OT.size t a))
+
+let test_refs () =
+  let t = OT.create () in
+  let a = OT.alloc t ~size:8 ~nrefs:3 ~kind:`Scalar in
+  let b = OT.alloc t ~size:8 ~nrefs:0 ~kind:`Scalar in
+  OT.set_ref t a 1 b;
+  check Alcotest.int "get_ref" b (OT.get_ref t a 1);
+  let seen = ref [] in
+  OT.iter_refs t a (fun field target -> seen := (field, target) :: !seen);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "iter skips nulls" [ (1, b) ] !seen;
+  check Alcotest.int "nrefs" 3 (OT.nrefs t a)
+
+let test_flags () =
+  let t = OT.create () in
+  let a = OT.alloc t ~size:8 ~nrefs:0 ~kind:`Scalar in
+  OT.set_marked t a true;
+  OT.set_bookmarked t a true;
+  check Alcotest.bool "marked" true (OT.marked t a);
+  check Alcotest.bool "bookmarked" true (OT.bookmarked t a);
+  OT.set_marked t a false;
+  check Alcotest.bool "unmarked" false (OT.marked t a);
+  check Alcotest.bool "bookmark independent" true (OT.bookmarked t a);
+  OT.set_space t a 3;
+  OT.set_scratch t a 42;
+  check Alcotest.int "space" 3 (OT.space t a);
+  check Alcotest.int "scratch" 42 (OT.scratch t a)
+
+let test_growth () =
+  let t = OT.create () in
+  let ids = List.init 5000 (fun i -> OT.alloc t ~size:8 ~nrefs:0
+    ~kind:(if i mod 2 = 0 then `Scalar else `Array)) in
+  check Alcotest.int "live" 5000 (OT.live_count t);
+  List.iteri (fun i id -> assert (OT.kind t id = if i mod 2 = 0 then `Scalar else `Array)) ids
+
+(* ----------------------------------------------------------------- *)
+(* Address_space and Page_map                                         *)
+
+let test_address_space () =
+  let a = AS.create ~first_page:10 () in
+  let r1 = AS.reserve a ~npages:3 in
+  let r2 = AS.reserve a ~npages:2 in
+  check Alcotest.int "first" 10 r1;
+  check Alcotest.int "monotone" 13 r2;
+  let r3 = AS.reserve_aligned a ~npages:4 ~align:4 in
+  check Alcotest.int "aligned" 0 (r3 mod 4);
+  check Alcotest.bool "no overlap" true (r3 >= 15)
+
+let test_page_map () =
+  let m = PM.create () in
+  PM.add m ~page:5 1;
+  PM.add m ~page:5 2;
+  PM.add m ~page:6 1;
+  check Alcotest.int "count" 2 (PM.count_on m 5);
+  PM.remove m ~page:5 1;
+  check Alcotest.int "after remove" 1 (PM.count_on m 5);
+  check (Alcotest.list Alcotest.int) "snapshot" [ 2 ]
+    (Array.to_list (PM.objects_on m 5));
+  check Alcotest.int "other page kept" 1 (PM.count_on m 6);
+  check Alcotest.int "empty page" 0 (PM.count_on m 99);
+  Alcotest.check_raises "remove missing"
+    (Invalid_argument "Page_map.remove: object #9 not on page 5") (fun () ->
+      PM.remove m ~page:5 9)
+
+(* ----------------------------------------------------------------- *)
+(* Heap                                                               *)
+
+let fixture () =
+  let m = Test_support.Mini.machine () in
+  m
+
+let test_place_displace () =
+  let m = fixture () in
+  let objects = Heap.objects m.Test_support.Mini.heap in
+  let heap = m.Test_support.Mini.heap in
+  let id = OT.alloc objects ~size:100 ~nrefs:0 ~kind:`Scalar in
+  let first = AS.reserve (Heap.address_space heap) ~npages:1 in
+  Vmsim.Vmm.map_range m.Test_support.Mini.vmm m.Test_support.Mini.proc
+    ~first_page:first ~npages:1;
+  Heap.place heap id ~addr:(Vmsim.Page.addr_of first);
+  check Alcotest.int "on page" 1
+    (PM.count_on (Heap.page_map heap) first);
+  check Alcotest.int "first page" first (Heap.first_page heap id);
+  Heap.displace heap id;
+  check Alcotest.int "displaced" 0 (PM.count_on (Heap.page_map heap) first);
+  check Alcotest.int "addr reset" (-1) (OT.addr objects id)
+
+let test_spanning_object () =
+  let m = fixture () in
+  let heap = m.Test_support.Mini.heap in
+  let objects = Heap.objects heap in
+  let first = AS.reserve (Heap.address_space heap) ~npages:2 in
+  Vmsim.Vmm.map_range m.Test_support.Mini.vmm m.Test_support.Mini.proc
+    ~first_page:first ~npages:2;
+  (* place so the object straddles the page boundary *)
+  let id = OT.alloc objects ~size:200 ~nrefs:0 ~kind:`Scalar in
+  Heap.place heap id ~addr:(Vmsim.Page.addr_of first + Vmsim.Page.size - 100);
+  check Alcotest.int "registered on both pages" 2
+    (PM.count_on (Heap.page_map heap) first
+    + PM.count_on (Heap.page_map heap) (first + 1));
+  let pages = ref [] in
+  Heap.iter_pages heap id (fun p -> pages := p :: !pages);
+  check (Alcotest.list Alcotest.int) "iter_pages" [ first + 1; first ] !pages;
+  Heap.touch_object heap id;
+  check Alcotest.bool "both pages resident" true
+    (Vmsim.Vmm.is_resident m.Test_support.Mini.vmm first
+    && Vmsim.Vmm.is_resident m.Test_support.Mini.vmm (first + 1))
+
+let test_write_barrier_hook () =
+  let m = fixture () in
+  let heap = m.Test_support.Mini.heap in
+  let objects = Heap.objects heap in
+  let first = AS.reserve (Heap.address_space heap) ~npages:1 in
+  Vmsim.Vmm.map_range m.Test_support.Mini.vmm m.Test_support.Mini.proc
+    ~first_page:first ~npages:1;
+  let a = OT.alloc objects ~size:16 ~nrefs:1 ~kind:`Scalar in
+  let b = OT.alloc objects ~size:16 ~nrefs:0 ~kind:`Scalar in
+  Heap.place heap a ~addr:(Vmsim.Page.addr_of first);
+  Heap.place heap b ~addr:(Vmsim.Page.addr_of first + 16);
+  let events = ref [] in
+  Heap.set_write_barrier heap (fun ~src ~field ~old_target ~target ->
+      events := (src, field, old_target, target) :: !events);
+  Heap.write_ref heap a 0 b;
+  check Alcotest.int "barrier fired once" 1 (List.length !events);
+  (match !events with
+  | [ (src, field, old_target, target) ] ->
+      check Alcotest.int "src" a src;
+      check Alcotest.int "field" 0 field;
+      check Alcotest.bool "old null" true (Heapsim.Obj_id.is_null old_target);
+      check Alcotest.int "target" b target
+  | _ -> Alcotest.fail "expected one event");
+  check Alcotest.int "stored" b (Heap.read_ref heap a 0)
+
+let test_roots () =
+  let m = fixture () in
+  let heap = m.Test_support.Mini.heap in
+  Heap.set_roots heap (fun f -> f 3; f 7);
+  let seen = ref [] in
+  Heap.iter_roots heap (fun id -> seen := id :: !seen);
+  check (Alcotest.list Alcotest.int) "roots" [ 7; 3 ] !seen
+
+let prop_object_table_alloc_free =
+  QCheck.Test.make ~name:"object table alloc/free conserves live stats"
+    ~count:100
+    QCheck.(small_list (int_range 8 512))
+    (fun sizes ->
+      let t = OT.create () in
+      let ids = List.map (fun size -> (OT.alloc t ~size ~nrefs:1 ~kind:`Scalar, size)) sizes in
+      let expect_bytes = List.fold_left (fun acc (_, s) -> acc + s) 0 ids in
+      let ok1 = OT.live_bytes t = expect_bytes && OT.live_count t = List.length ids in
+      List.iter (fun (id, _) -> OT.free t id) ids;
+      ok1 && OT.live_count t = 0 && OT.live_bytes t = 0)
+
+let () =
+  Alcotest.run "heapsim"
+    [
+      ( "object_table",
+        [
+          Alcotest.test_case "alloc/free/recycle" `Quick test_alloc_free_recycle;
+          Alcotest.test_case "dead access" `Quick test_dead_access_rejected;
+          Alcotest.test_case "refs" `Quick test_refs;
+          Alcotest.test_case "flags" `Quick test_flags;
+          Alcotest.test_case "growth" `Quick test_growth;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "address space" `Quick test_address_space;
+          Alcotest.test_case "page map" `Quick test_page_map;
+          Alcotest.test_case "place/displace" `Quick test_place_displace;
+          Alcotest.test_case "spanning object" `Quick test_spanning_object;
+        ] );
+      ( "mutator",
+        [
+          Alcotest.test_case "write barrier" `Quick test_write_barrier_hook;
+          Alcotest.test_case "roots" `Quick test_roots;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_object_table_alloc_free ] );
+    ]

@@ -1,0 +1,80 @@
+let mini_spec =
+  {
+    (Workload.Benchmarks.pseudojbb) with
+    Workload.Spec.total_alloc_bytes = 2_000_000;
+    immortal_bytes = 200_000;
+    window_bytes = 100_000;
+  }
+
+let smoke name () =
+  match
+    Harness.Run.run
+      (Harness.Run.setup ~collector:name ~spec:mini_spec
+         ~heap_bytes:1_500_000 ())
+  with
+  | Harness.Metrics.Completed m ->
+      Format.printf "%s: %a@." name Harness.Metrics.pp m
+  | Harness.Metrics.Exhausted msg -> Alcotest.failf "%s exhausted: %s" name msg
+  | Harness.Metrics.Thrashed msg -> Alcotest.failf "%s thrashed: %s" name msg
+
+let pressure_smoke name () =
+  let heap_bytes = 1_500_000 in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 256 in
+  (* leave ~150 pages: above the ~90-page live set but far below the
+     heap, the regime the paper evaluates *)
+  let pressure =
+    Workload.Pressure.Steady { after_progress = 0.2; pin_pages = frames - 150 }
+  in
+  match
+    Harness.Run.run
+      (Harness.Run.setup ~collector:name ~spec:mini_spec ~heap_bytes ~frames
+         ~pressure ())
+  with
+  | Harness.Metrics.Completed m ->
+      Format.printf "pressure %s: %a@." name Harness.Metrics.pp m;
+      if name = "BC" then begin
+        Alcotest.(check bool) "BC evicts under pressure" true (m.Harness.Metrics.relinquished > 0 || m.Harness.Metrics.discards > 0);
+        Alcotest.(check bool) "BC collections virtually fault-free" true
+          (m.Harness.Metrics.gc_major_faults <= 5)
+      end;
+      if name = "GenMS" then
+        Alcotest.(check bool) "GenMS pages during GC" true (m.Harness.Metrics.gc_major_faults > 0)
+  | Harness.Metrics.Exhausted msg -> Alcotest.failf "%s exhausted: %s" name msg
+  | Harness.Metrics.Thrashed msg -> Alcotest.failf "%s thrashed: %s" name msg
+
+(* Beyond the design envelope: available memory below the live set. All
+   collectors thrash; the simulation must still terminate. *)
+let extreme_smoke name () =
+  let heap_bytes = 1_500_000 in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 256 in
+  let pressure =
+    Workload.Pressure.Steady { after_progress = 0.2; pin_pages = frames - 70 }
+  in
+  let spec = Workload.Spec.scale_volume mini_spec 0.5 in
+  match
+    Harness.Run.run
+      (Harness.Run.setup ~collector:name ~spec ~heap_bytes ~frames ~pressure ())
+  with
+  | Harness.Metrics.Completed m ->
+      Format.printf "extreme %s: %a@." name Harness.Metrics.pp m
+  | Harness.Metrics.Exhausted msg -> Alcotest.failf "%s exhausted: %s" name msg
+  | Harness.Metrics.Thrashed msg -> Alcotest.failf "%s thrashed: %s" name msg
+
+let () =
+  Alcotest.run "smoke"
+    [
+      ( "collectors",
+        List.map
+          (fun name -> Alcotest.test_case name `Quick (smoke name))
+          Harness.Registry.names );
+      ( "pressure",
+        List.map
+          (fun name -> Alcotest.test_case name `Quick (pressure_smoke name))
+          [ "BC"; "BC-resize"; "GenMS"; "GenCopy"; "CopyMS"; "SemiSpace" ] );
+      ( "extreme",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (extreme_smoke name))
+          [ "BC"; "BC-resize"; "GenMS" ] );
+    ]

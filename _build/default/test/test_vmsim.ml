@@ -1,0 +1,488 @@
+module Vmm = Vmsim.Vmm
+module Lru = Vmsim.Lru
+module Clock = Vmsim.Clock
+module Process = Vmsim.Process
+module Vm_stats = Vmsim.Vm_stats
+
+let check = Alcotest.check
+
+(* ----------------------------------------------------------------- *)
+(* Lru                                                                *)
+
+let test_lru_push_remove () =
+  let l = Lru.create () in
+  Lru.push_active_head l 1;
+  Lru.push_active_head l 2;
+  check (Alcotest.option Alcotest.int) "active tail is first pushed" (Some 1)
+    (Lru.active_tail l);
+  check Alcotest.int "active size" 2 (Lru.active_size l);
+  Lru.remove l 1;
+  check (Alcotest.option Alcotest.int) "tail after remove" (Some 2)
+    (Lru.active_tail l);
+  Lru.remove l 2;
+  check (Alcotest.option Alcotest.int) "empty" None (Lru.active_tail l)
+
+let test_lru_inactive_order () =
+  let l = Lru.create () in
+  Lru.push_inactive_head l 1;
+  Lru.push_inactive_head l 2;
+  (* reclaim happens at the tail: 1 went in first, sits at tail *)
+  check (Alcotest.option Alcotest.int) "fifo victim" (Some 1)
+    (Lru.inactive_tail l);
+  Lru.push_inactive_tail l 3;
+  check (Alcotest.option Alcotest.int) "tail insert is next victim" (Some 3)
+    (Lru.inactive_tail l)
+
+let test_lru_membership () =
+  let l = Lru.create () in
+  Lru.push_active_head l 7;
+  check Alcotest.bool "active member" true (Lru.membership l 7 = Some Lru.Active);
+  Lru.remove l 7;
+  Lru.push_inactive_head l 7;
+  check Alcotest.bool "inactive member" true
+    (Lru.membership l 7 = Some Lru.Inactive);
+  check Alcotest.bool "non member" true (Lru.membership l 8 = None)
+
+let test_lru_double_insert_rejected () =
+  let l = Lru.create () in
+  Lru.push_active_head l 1;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Lru: page already on a list") (fun () ->
+      Lru.push_inactive_head l 1)
+
+let test_lru_iterate () =
+  let l = Lru.create () in
+  List.iter (Lru.push_inactive_head l) [ 1; 2; 3 ];
+  let order = ref [] in
+  Lru.iter_inactive_from_tail l (fun p -> order := p :: !order);
+  check (Alcotest.list Alcotest.int) "tail-to-head" [ 3; 2; 1 ] !order
+
+(* ----------------------------------------------------------------- *)
+(* Vmm basics                                                         *)
+
+let machine ?(frames = 64) ?(batch = 2) () =
+  let clock = Clock.create () in
+  let vmm = Vmm.create ~reclaim_batch:batch ~clock ~frames () in
+  let proc = Vmm.create_process vmm ~name:"p" in
+  (clock, vmm, proc)
+
+let test_first_touch_minor_fault () =
+  let clock, vmm, proc = machine () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:4;
+  check Alcotest.bool "untouched not resident" false (Vmm.is_resident vmm 0);
+  let t0 = Clock.now clock in
+  Vmm.touch vmm 0;
+  check Alcotest.bool "resident after touch" true (Vmm.is_resident vmm 0);
+  check Alcotest.int "one minor fault" 1
+    (Vmm.stats vmm).Vm_stats.minor_faults;
+  check Alcotest.bool "minor fault charged" true (Clock.now clock > t0);
+  Vmm.touch vmm 0;
+  check Alcotest.int "second touch free" 1
+    (Vmm.stats vmm).Vm_stats.minor_faults
+
+let test_unmapped_touch_rejected () =
+  let _, vmm, _ = machine () in
+  Alcotest.check_raises "unmapped" (Invalid_argument "Vmm: page 9 is unmapped")
+    (fun () -> Vmm.touch vmm 9)
+
+let test_eviction_and_major_fault () =
+  let clock, vmm, proc = machine ~frames:8 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:32;
+  for p = 0 to 31 do
+    Vmm.touch vmm ~write:true p
+  done;
+  (* only 8 frames: earlier pages must have been evicted *)
+  check Alcotest.bool "capacity respected" true (Vmm.resident_count vmm <= 8);
+  check Alcotest.bool "evictions happened" true
+    ((Vmm.stats vmm).Vm_stats.evictions > 0);
+  let swapped = ref [] in
+  for p = 0 to 31 do
+    if Vmm.is_swapped vmm p then swapped := p :: !swapped
+  done;
+  check Alcotest.bool "some pages swapped" true (!swapped <> []);
+  let victim = List.hd !swapped in
+  let t0 = Clock.now clock in
+  Vmm.touch vmm victim;
+  check Alcotest.bool "major fault charged disk latency" true
+    (Clock.now clock - t0 >= (Vmm.costs vmm).Vmsim.Costs.major_fault_ns);
+  check Alcotest.bool "major fault counted" true
+    ((Vmm.stats vmm).Vm_stats.major_faults > 0)
+
+let test_second_chance () =
+  let _, vmm, proc = machine ~frames:4 ~batch:1 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:8;
+  for p = 0 to 3 do
+    Vmm.touch vmm ~write:true p
+  done;
+  (* first demand: every reference bit is set, so the clock sweep
+     degenerates to FIFO and evicts the oldest page *)
+  Vmm.touch vmm 4;
+  check Alcotest.bool "oldest evicted first" true (Vmm.is_swapped vmm 0);
+  (* reference bits are now clear; re-referencing page 1 protects it *)
+  Vmm.touch vmm 1;
+  Vmm.touch vmm 5;
+  check Alcotest.bool "referenced page got its second chance" true
+    (Vmm.is_resident vmm 1);
+  check Alcotest.bool "unreferenced page evicted instead" true
+    (Vmm.is_swapped vmm 2)
+
+let test_notice_delivered_to_registered () =
+  let _, vmm, proc = machine ~frames:4 () in
+  let noticed = ref [] in
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun p -> noticed := p :: !noticed);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.bool "notices delivered" true (!noticed <> []);
+  check Alcotest.bool "stats count notices" true
+    ((Vmm.stats vmm).Vm_stats.eviction_notices > 0)
+
+let test_unregistered_gets_no_notice () =
+  let _, vmm, proc = machine ~frames:4 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.int "no notices" 0 (Vmm.stats vmm).Vm_stats.eviction_notices
+
+let test_veto_by_touch () =
+  let _, vmm, proc = machine ~frames:4 () in
+  let protected_page = 0 in
+  Process.register proc
+    {
+      Process.on_eviction_notice =
+        (fun p -> if p = protected_page then Vmm.touch vmm p);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.bool "vetoed page stays resident" true
+    (Vmm.is_resident vmm protected_page)
+
+let test_relinquish_skips_notice () =
+  let _, vmm, proc = machine ~frames:16 () in
+  let noticed = ref 0 in
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun _ -> incr noticed);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  Vmm.vm_relinquish vmm [ 0; 1 ];
+  check Alcotest.int "relinquished counted" 2
+    (Vmm.stats vmm).Vm_stats.relinquished;
+  (* demanding frames evicts the surrendered pages without notices *)
+  Vmm.map_range vmm proc ~first_page:100 ~npages:2;
+  Vmm.touch vmm 100;
+  Vmm.touch vmm 101;
+  check Alcotest.bool "surrendered page evicted" true (Vmm.is_swapped vmm 0);
+  check Alcotest.int "no notice for surrendered" 0 !noticed
+
+let test_relinquish_cancelled_by_touch () =
+  let _, vmm, proc = machine ~frames:8 ~batch:1 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:10;
+  for p = 0 to 7 do
+    Vmm.touch vmm ~write:true p
+  done;
+  (* age the list so the other pages' reference bits are clear *)
+  Vmm.touch vmm 8;
+  (* surrender page 1, then the mutator races in and touches it *)
+  Vmm.vm_relinquish vmm [ 1 ];
+  Vmm.touch vmm 1;
+  Vmm.touch vmm 9;
+  check Alcotest.bool "touched page survived surrender" true
+    (Vmm.is_resident vmm 1);
+  check Alcotest.bool "a cold page was evicted instead" true
+    (Vmm.is_swapped vmm 2)
+
+let test_madvise_dontneed () =
+  let _, vmm, proc = machine () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:2;
+  Vmm.touch vmm ~write:true 0;
+  let resident_before = Vmm.resident_count vmm in
+  Vmm.madvise_dontneed vmm 0;
+  check Alcotest.int "frame freed" (resident_before - 1)
+    (Vmm.resident_count vmm);
+  check Alcotest.int "discard counted" 1 (Vmm.stats vmm).Vm_stats.discards;
+  (* next touch is a cheap zero-fill, not a disk read *)
+  Vmm.touch vmm 0;
+  check Alcotest.int "no major fault" 0 (Vmm.stats vmm).Vm_stats.major_faults
+
+let test_mprotect_upcall () =
+  let _, vmm, proc = machine () in
+  let faulted = ref [] in
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun _ -> ());
+      on_resident = (fun _ -> ());
+      on_protection_fault =
+        (fun p ->
+          faulted := p :: !faulted;
+          Vmm.mprotect vmm p ~protect:false);
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:1;
+  Vmm.touch vmm 0;
+  Vmm.mprotect vmm 0 ~protect:true;
+  check Alcotest.bool "protected" true (Vmm.is_protected vmm 0);
+  Vmm.touch vmm 0;
+  check (Alcotest.list Alcotest.int) "upcall fired" [ 0 ] !faulted;
+  check Alcotest.bool "handler unprotected" false (Vmm.is_protected vmm 0);
+  check Alcotest.int "protection fault counted" 1
+    (Vmm.stats vmm).Vm_stats.protection_faults
+
+let test_on_resident_fires_on_reload () =
+  let _, vmm, proc = machine ~frames:4 () in
+  let reloaded = ref [] in
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun _ -> ());
+      on_resident = (fun p -> reloaded := p :: !reloaded);
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  let victim = ref (-1) in
+  for p = 0 to 15 do
+    if !victim < 0 && Vmm.is_swapped vmm p then victim := p
+  done;
+  Vmm.touch vmm !victim;
+  check Alcotest.bool "on_resident fired" true (List.mem !victim !reloaded)
+
+let test_mlock_pins () =
+  let _, vmm, proc = machine ~frames:4 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  Vmm.mlock vmm 0;
+  check Alcotest.int "pinned" 1 (Vmm.pinned_count vmm);
+  for p = 1 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.bool "pinned page never evicted" true (Vmm.is_resident vmm 0);
+  Vmm.munlock vmm 0;
+  check Alcotest.int "unpinned" 0 (Vmm.pinned_count vmm)
+
+let test_thrashing_when_all_pinned () =
+  let _, vmm, proc = machine ~frames:4 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:8;
+  for p = 0 to 3 do
+    Vmm.mlock vmm p
+  done;
+  check Alcotest.bool "thrashing raised" true
+    (match Vmm.touch vmm 4 with
+    | () -> false
+    | exception Vmm.Thrashing _ -> true)
+
+let test_desperation_overrides_veto () =
+  let _, vmm, proc = machine ~frames:4 () in
+  (* an owner that vetoes everything *)
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun p -> Vmm.touch vmm p);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.bool "forced evictions" true
+    ((Vmm.stats vmm).Vm_stats.forced_evictions > 0);
+  check Alcotest.bool "capacity held" true (Vmm.resident_count vmm <= 4)
+
+let test_set_capacity_shrink () =
+  let _, vmm, proc = machine ~frames:16 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  Vmm.set_capacity vmm 4;
+  check Alcotest.bool "shrunk" true (Vmm.resident_count vmm <= 4)
+
+let test_unmap_releases () =
+  let _, vmm, proc = machine () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:4;
+  Vmm.touch vmm 0;
+  Vmm.unmap_range vmm ~first_page:0 ~npages:4;
+  check Alcotest.int "frames released" 0 (Vmm.resident_count vmm);
+  check Alcotest.bool "owner gone" true (Vmm.owner vmm 0 = None)
+
+let test_unmap_swapped_drops_copy () =
+  let _, vmm, proc = machine ~frames:4 ~batch:1 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:8;
+  for p = 0 to 7 do
+    Vmm.touch vmm ~write:true p
+  done;
+  let victim = ref (-1) in
+  for p = 7 downto 0 do
+    if Vmm.is_swapped vmm p then victim := p
+  done;
+  check Alcotest.bool "victim has a swap copy" true
+    (Vmsim.Swap.has_copy (Vmm.swap vmm) !victim);
+  Vmm.unmap_range vmm ~first_page:!victim ~npages:1;
+  check Alcotest.bool "copy dropped at unmap" false
+    (Vmsim.Swap.has_copy (Vmm.swap vmm) !victim)
+
+let test_count_resident_owned () =
+  let _, vmm, proc = machine () in
+  let other = Vmm.create_process vmm ~name:"other" in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:2;
+  Vmm.map_range vmm other ~first_page:10 ~npages:2;
+  Vmm.touch vmm 0;
+  Vmm.touch vmm 10;
+  check Alcotest.int "per-process count" 1 (Vmm.count_resident_owned vmm proc)
+
+let test_coldest_pages () =
+  let _, vmm, proc = machine ~frames:32 () in
+  let other = Vmm.create_process vmm ~name:"other" in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:4;
+  Vmm.map_range vmm other ~first_page:10 ~npages:2;
+  List.iter (fun p -> Vmm.touch vmm p) [ 0; 1; 10; 2; 11; 3 ];
+  let cold = Vmm.coldest_pages vmm ~owner:proc ~n:3 in
+  check Alcotest.int "n respected" 3 (List.length cold);
+  check Alcotest.bool "only owner's pages" true
+    (List.for_all (fun p -> p < 4) cold);
+  (* coldest = least recently faulted in: page 0 first *)
+  check Alcotest.int "coldest first" 0 (List.hd cold)
+
+(* ----------------------------------------------------------------- *)
+(* Swap device                                                        *)
+
+let test_swap_accounting () =
+  let s = Vmsim.Swap.create () in
+  Vmsim.Swap.write s 1;
+  Vmsim.Swap.write s 2;
+  check Alcotest.int "occupancy" 2 (Vmsim.Swap.occupancy_pages s);
+  Vmsim.Swap.read s 1;
+  check Alcotest.int "reads" 1 (Vmsim.Swap.reads s);
+  Vmsim.Swap.drop s 1;
+  check Alcotest.int "occupancy after drop" 1 (Vmsim.Swap.occupancy_pages s);
+  check Alcotest.int "high water" 2 (Vmsim.Swap.high_water_pages s);
+  check Alcotest.bool "has copy" true (Vmsim.Swap.has_copy s 2);
+  Alcotest.check_raises "read without copy"
+    (Invalid_argument "Swap.read: page 1 has no swap copy") (fun () ->
+      Vmsim.Swap.read s 1)
+
+let test_swap_capacity () =
+  let s = Vmsim.Swap.create ~capacity_pages:1 () in
+  Vmsim.Swap.write s 1;
+  check Alcotest.bool "full raises" true
+    (match Vmsim.Swap.write s 2 with
+    | () -> false
+    | exception Vmsim.Swap.Full -> true);
+  (* rewriting an existing copy is fine at capacity *)
+  Vmsim.Swap.write s 1
+
+let test_swap_tracks_evictions () =
+  let _, vmm, proc = machine ~frames:8 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:32;
+  for p = 0 to 31 do
+    Vmm.touch vmm ~write:true p
+  done;
+  let swap = Vmm.swap vmm in
+  check Alcotest.bool "swap occupied" true
+    (Vmsim.Swap.occupancy_pages swap > 0);
+  check Alcotest.int "occupancy matches swapped pages"
+    (let n = ref 0 in
+     for p = 0 to 31 do
+       if Vmm.is_swapped vmm p then incr n
+     done;
+     !n)
+    (Vmsim.Swap.occupancy_pages swap);
+  (* reloading reads the copy but keeps it *)
+  let victim = ref (-1) in
+  for p = 31 downto 0 do
+    if Vmm.is_swapped vmm p then victim := p
+  done;
+  Vmm.touch vmm !victim;
+  check Alcotest.bool "reads counted" true (Vmsim.Swap.reads swap > 0)
+
+(* Model property: a random touch/madvise/relinquish sequence keeps the
+   VMM's resident count within capacity and consistent with page
+   states. *)
+let prop_vmm_model =
+  QCheck.Test.make ~name:"vmm invariants under random operations" ~count:60
+    QCheck.(small_list (pair (int_bound 3) (int_bound 31)))
+    (fun ops ->
+      let _, vmm, proc = machine ~frames:8 () in
+      Vmm.map_range vmm proc ~first_page:0 ~npages:32;
+      List.iter
+        (fun (op, page) ->
+          match op with
+          | 0 -> Vmm.touch vmm page
+          | 1 -> Vmm.touch vmm ~write:true page
+          | 2 -> Vmm.madvise_dontneed vmm page
+          | _ -> Vmm.vm_relinquish vmm [ page ])
+        ops;
+      let resident = ref 0 in
+      for p = 0 to 31 do
+        if Vmm.is_resident vmm p then incr resident
+      done;
+      !resident = Vmm.resident_count vmm && !resident <= 8)
+
+let () =
+  Alcotest.run "vmsim"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "push/remove" `Quick test_lru_push_remove;
+          Alcotest.test_case "inactive order" `Quick test_lru_inactive_order;
+          Alcotest.test_case "membership" `Quick test_lru_membership;
+          Alcotest.test_case "double insert" `Quick test_lru_double_insert_rejected;
+          Alcotest.test_case "iterate" `Quick test_lru_iterate;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "first touch minor" `Quick test_first_touch_minor_fault;
+          Alcotest.test_case "unmapped rejected" `Quick test_unmapped_touch_rejected;
+          Alcotest.test_case "eviction + major" `Quick test_eviction_and_major_fault;
+          Alcotest.test_case "second chance" `Quick test_second_chance;
+        ] );
+      ( "cooperation",
+        [
+          Alcotest.test_case "notice to registered" `Quick
+            test_notice_delivered_to_registered;
+          Alcotest.test_case "no notice unregistered" `Quick
+            test_unregistered_gets_no_notice;
+          Alcotest.test_case "veto by touch" `Quick test_veto_by_touch;
+          Alcotest.test_case "relinquish fast path" `Quick
+            test_relinquish_skips_notice;
+          Alcotest.test_case "relinquish cancelled" `Quick
+            test_relinquish_cancelled_by_touch;
+          Alcotest.test_case "madvise dontneed" `Quick test_madvise_dontneed;
+          Alcotest.test_case "mprotect upcall" `Quick test_mprotect_upcall;
+          Alcotest.test_case "on_resident" `Quick test_on_resident_fires_on_reload;
+        ] );
+      ( "swap",
+        [
+          Alcotest.test_case "accounting" `Quick test_swap_accounting;
+          Alcotest.test_case "capacity" `Quick test_swap_capacity;
+          Alcotest.test_case "tracks evictions" `Quick test_swap_tracks_evictions;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "mlock pins" `Quick test_mlock_pins;
+          Alcotest.test_case "thrashing" `Quick test_thrashing_when_all_pinned;
+          Alcotest.test_case "desperation" `Quick test_desperation_overrides_veto;
+          Alcotest.test_case "set_capacity" `Quick test_set_capacity_shrink;
+          Alcotest.test_case "unmap" `Quick test_unmap_releases;
+          Alcotest.test_case "resident owned" `Quick test_count_resident_owned;
+          Alcotest.test_case "coldest pages" `Quick test_coldest_pages;
+          Alcotest.test_case "unmap drops swap copy" `Quick
+            test_unmap_swapped_drops_copy;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_vmm_model ]);
+    ]
