@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-full examples doc clean
+.PHONY: all build test ci bench bench-full examples doc clean
 
 all: build
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest
+
+# Full CI gate: everything compiles (including examples and benches) and
+# the whole suite passes — test_faults runs the fault-plan smoke tests
+# with fixed seeds, so regressions in the degradation paths fail here.
+ci:
+	dune build @all && dune runtest
 
 bench:
 	dune exec bench/main.exe

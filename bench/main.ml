@@ -43,6 +43,7 @@ let bechamel_tests () =
     | Harness.Metrics.Completed _ -> ()
     | Harness.Metrics.Exhausted msg | Harness.Metrics.Thrashed msg ->
         failwith msg
+    | Harness.Metrics.Failed f -> failwith f.Harness.Metrics.reason
   in
   let staged f = Staged.stage f in
   [
@@ -107,11 +108,12 @@ let () =
   | "ssd" -> Harness.Experiments.ssd m
   | "recovery" -> Harness.Experiments.recovery m
   | "mixed" -> Harness.Experiments.mixed m
+  | "faults" -> Harness.Experiments.faults m
   | "all" -> Harness.Experiments.all m
   | "bechamel" -> run_bechamel ()
   | other ->
       Printf.eprintf
         "unknown target %S (try table1 fig2 fig3 fig45 fig6 fig7 ablation \
-         ssd all bechamel)\n"
+         ssd faults all bechamel)\n"
         other;
       exit 1

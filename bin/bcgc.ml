@@ -42,6 +42,34 @@ let verbose_arg =
   let doc = "Also print a BMU curve." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let faults_arg =
+  let doc =
+    "Fault-injection plan, e.g. \
+     'drop-evict=0.3,swap-full=2,spikes=1'. Keys: drop-evict, \
+     drop-resident, delay, dup, reorder, swap-write-err, swap-read-err, \
+     swap-full, swap-full-len, swap-full-every, spikes, spike-pages. \
+     'none' disables injection."
+  in
+  Arg.(value & opt string "none" & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the fault plan; same seed, same fault schedule." in
+  Arg.(
+    value
+    & opt int Harness.Run.default_fault_seed
+    & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let verify_arg =
+  let doc = "Run the heap/VM invariant verifier after the run." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let resolve_faults spec_str =
+  match Faults.Fault_plan.spec_of_string spec_str with
+  | Ok spec -> if spec = Faults.Fault_plan.none then None else Some spec
+  | Error msg ->
+      Printf.eprintf "bad --faults spec: %s\n" msg;
+      exit 1
+
 let spec_file_arg =
   let doc = "Load the workload from a key=value spec file instead of -w." in
   Arg.(
@@ -63,7 +91,8 @@ let resolve_spec workload spec_file =
         exit 1)
   | None -> find_spec workload
 
-let run_cmd collector workload spec_file heap_kb frames pin volume verbose =
+let run_cmd collector workload spec_file heap_kb frames pin volume verbose
+    faults fault_seed verify =
   let spec =
     Workload.Spec.scale_volume (resolve_spec workload spec_file) volume
   in
@@ -75,7 +104,8 @@ let run_cmd collector workload spec_file heap_kb frames pin volume verbose =
         Workload.Pressure.Steady { after_progress = 0.1; pin_pages }
   in
   let setup =
-    Harness.Run.setup ~collector ~spec ~heap_bytes ?frames ~pressure ()
+    Harness.Run.setup ~collector ~spec ~heap_bytes ?frames ~pressure
+      ?faults:(resolve_faults faults) ~fault_seed ~verify ()
   in
   match Harness.Run.run setup with
   | Harness.Metrics.Completed m ->
@@ -102,6 +132,14 @@ let run_cmd collector workload spec_file heap_kb frames pin volume verbose =
       1
   | Harness.Metrics.Thrashed msg ->
       Printf.eprintf "thrashed: %s\n" msg;
+      1
+  | Harness.Metrics.Failed f ->
+      Printf.eprintf "failed (%s): %s\n" f.Harness.Metrics.exn_name
+        f.Harness.Metrics.reason;
+      (match f.Harness.Metrics.fault_stats with
+      | Some s when Faults.Fault_plan.injected_total s > 0 ->
+          Format.eprintf "injected: %a@." Faults.Fault_plan.pp_stats s
+      | Some _ | None -> ());
       1
 
 let list_cmd () =
@@ -176,7 +214,7 @@ let trace_replay_cmd collector input heap_kb frames pin =
       exit 1);
   let m =
     Harness.Metrics.of_run ~collector:c ~workload:("replay:" ^ input)
-      ~start_ns ~end_ns:(Vmsim.Clock.now clock)
+      ~start_ns ~end_ns:(Vmsim.Clock.now clock) ()
   in
   Format.printf "%a@." Harness.Metrics.pp m;
   0
@@ -196,13 +234,15 @@ let bench_cmd target full =
   | "ssd" -> Harness.Experiments.ssd mode
   | "recovery" -> Harness.Experiments.recovery mode
   | "mixed" -> Harness.Experiments.mixed mode
+  | "faults" -> Harness.Experiments.faults mode
   | _ -> Harness.Experiments.all mode);
   0
 
 let run_t =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ heap_arg
-    $ frames_arg $ pin_arg $ volume_arg $ verbose_arg)
+    $ frames_arg $ pin_arg $ volume_arg $ verbose_arg $ faults_arg
+    $ fault_seed_arg $ verify_arg)
 
 let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"Run one collector on one workload") run_t
@@ -249,14 +289,32 @@ let () =
     Cmd.info "bcgc" ~version:"1.0.0"
       ~doc:"Bookmarking collection (PLDI 2005) simulator"
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            cmd_run;
-            cmd_list;
-            cmd_minheap;
-            cmd_bench;
-            cmd_trace_record;
-            cmd_trace_replay;
-          ]))
+  let code =
+    (* last-resort guard: a stray resource exception must produce a
+       one-line diagnosis and a nonzero exit, never a backtrace *)
+    try
+      Cmd.eval'
+        (Cmd.group info
+           [
+             cmd_run;
+             cmd_list;
+             cmd_minheap;
+             cmd_bench;
+             cmd_trace_record;
+             cmd_trace_replay;
+           ])
+    with
+    | Vmsim.Vmm.Thrashing msg ->
+        Printf.eprintf "bcgc: thrashing: %s\n" msg;
+        1
+    | Vmsim.Swap.Full ->
+        Printf.eprintf "bcgc: swap device full\n";
+        1
+    | Gc_common.Collector.Heap_exhausted msg ->
+        Printf.eprintf "bcgc: heap exhausted: %s\n" msg;
+        1
+    | e ->
+        Printf.eprintf "bcgc: %s\n" (Printexc.to_string e);
+        1
+  in
+  exit code

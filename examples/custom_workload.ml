@@ -45,7 +45,10 @@ let () =
           | Harness.Metrics.Exhausted _ ->
               Format.printf "  %-10s needs a bigger heap@." collector
           | Harness.Metrics.Thrashed msg ->
-              Format.printf "  %-10s thrashed: %s@." collector msg)
+              Format.printf "  %-10s thrashed: %s@." collector msg
+          | Harness.Metrics.Failed f ->
+              Format.printf "  %-10s failed: %s@." collector
+                f.Harness.Metrics.reason)
         [ "BC"; "GenMS"; "GenCopy"; "CopyMS"; "MarkSweep"; "SemiSpace" ];
       Format.printf "@.")
     [ 3; 6 ]

@@ -38,6 +38,8 @@ let run collector =
         m.Harness.Metrics.major_faults m.Harness.Metrics.gc_major_faults
   | Harness.Metrics.Exhausted msg -> Format.printf "%s exhausted: %s@." collector msg
   | Harness.Metrics.Thrashed msg -> Format.printf "%s thrashed: %s@." collector msg
+  | Harness.Metrics.Failed f ->
+      Format.printf "%s failed: %s@." collector f.Harness.Metrics.reason
 
 let () =
   Format.printf "pseudoJBB with a memory spike down to 45%% of the heap:@.@.";

@@ -43,7 +43,7 @@ let replay_exn trace collector =
           (frames - (heap_pages * 55 / 100)));
   let m =
     Harness.Metrics.of_run ~collector:c ~workload:"trace" ~start_ns
-      ~end_ns:(Vmsim.Clock.now clock)
+      ~end_ns:(Vmsim.Clock.now clock) ()
   in
   Format.printf
     "%-10s %7.3fs | avg pause %8.2fms | faults %5d (GC %d)@." collector

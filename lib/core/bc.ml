@@ -65,6 +65,17 @@ type t = {
       (* evicted pages with pointers to non-resident nursery/LOS targets *)
   mutable evicted_count : int;
   mutable failsafe_count : int;
+  mutable failsafe_needed : bool;
+      (* set when an unreliable kernel left our accounting inconsistent
+         (counter underflow, handler failure); the next collection runs
+         the §3.5 fail-safe, which rebuilds liveness from scratch *)
+  mutable spurious_resident : int;
+      (* made-resident signals for pages the kernel does not actually
+         hold — acting on one would release covers still needed *)
+  mutable reconciled : int;
+      (* lost notices detected and replayed against kernel truth *)
+  mutable handler_faults : int;
+      (* exceptions swallowed inside paging-signal handlers *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -313,31 +324,54 @@ let page_reloaded t page =
   let heap = t.heap in
   let objects = Heapsim.Heap.objects heap in
   let vmm = Heapsim.Heap.vmm heap in
-  if not (resident_ok t page) then begin
-    if t.evicted_count > 0 then t.evicted_count <- t.evicted_count - 1;
-    Residency.mark_resident t.residency page;
-    Bitset.clear t.discarded page;
+  if not (Vmsim.Vmm.is_resident vmm page) then
+    (* A made-resident signal for a page the kernel does not hold: a
+       duplicated or badly delayed notice from an unreliable channel.
+       Releasing the ledger entry of a page that is still on disk would
+       drop covers the next trace needs, so ignore it — the genuine
+       reload will raise its own (reliable) protection-fault upcall. *)
+    t.spurious_resident <- t.spurious_resident + 1
+  else begin
+    if not (resident_ok t page) then begin
+      if t.evicted_count > 0 then t.evicted_count <- t.evicted_count - 1;
+      Residency.mark_resident t.residency page;
+      Bitset.clear t.discarded page;
+      Superpage.note_page_resident t.sp_space page ~resident:(resident_ok t);
+      let on_page =
+        Heapsim.Page_map.objects_on (Heapsim.Heap.page_map heap) page
+      in
+      Array.iter
+        (fun id ->
+          Charge.object_visit heap;
+          (* the page's pointers may include old-to-young edges whose
+             bookmarks we are about to release: re-remember them *)
+          if Heapsim.Object_table.nrefs objects id > 0 then
+            Gc_common.Card_table.mark_addr t.cards
+              (Heapsim.Object_table.addr objects id))
+        on_page
+    end;
     if Vmsim.Vmm.is_protected vmm page then
+      (* protection-fault race window (§3.4), or the normal unprotect on
+         the reload path *)
       Vmsim.Vmm.mprotect vmm page ~protect:false;
-    Superpage.note_page_resident t.sp_space page ~resident:(resident_ok t);
-    let on_page = Heapsim.Page_map.objects_on (Heapsim.Heap.page_map heap) page in
-    Array.iter
-      (fun id ->
-        Charge.object_visit heap;
-        (* the page's pointers may include old-to-young edges whose
-           bookmarks we are about to release: re-remember them *)
-        if Heapsim.Object_table.nrefs objects id > 0 then
-          Gc_common.Card_table.mark_addr t.cards
-            (Heapsim.Object_table.addr objects id))
-      on_page;
+    (* The ledger entry goes whenever the kernel confirms the page back,
+       even if our own belief already said resident — under an unreliable
+       notice channel the two can disagree (a duplicated reload event, or
+       a handler fault that applied the residency half of a previous
+       replay); a kernel-resident page never needs covers. *)
     (match Hashtbl.find_opt t.ledger page with
     | None -> ()
     | Some entry ->
         Hashtbl.remove t.ledger page;
         List.iter
           (fun (sp : Superpage.sp) ->
-            assert (sp.Superpage.incoming > 0);
-            sp.Superpage.incoming <- sp.Superpage.incoming - 1;
+            if sp.Superpage.incoming > 0 then
+              sp.Superpage.incoming <- sp.Superpage.incoming - 1
+            else
+              (* counter underflow: some notice was lost or replayed out
+                 of order; schedule the fail-safe to rebuild the exact
+                 state rather than guessing *)
+              t.failsafe_needed <- true;
             (* a superpage whose incoming count reaches zero releases its
                deferred conservative bookmarks (§3.4.2) *)
             if sp.Superpage.incoming = 0 then
@@ -348,7 +382,9 @@ let page_reloaded t page =
                   List.iter (bookmark_unref t) !ids)
           entry.sps;
         if entry.nonsp then begin
-          t.nonsp_incoming <- t.nonsp_incoming - 1;
+          if t.nonsp_incoming > 0 then
+            t.nonsp_incoming <- t.nonsp_incoming - 1
+          else t.failsafe_needed <- true;
           if t.nonsp_incoming = 0 then begin
             Vec.iter (bookmark_unref t) t.nonsp_deferred;
             Vec.clear t.nonsp_deferred
@@ -381,9 +417,55 @@ let page_reloaded t page =
                 List.iter (Vec.push t.nonsp_deferred) entry.self
         end)
   end
-  else if Vmsim.Vmm.is_protected vmm page then
-    (* protection-fault race window: the page never left memory *)
-    Vmsim.Vmm.mprotect vmm page ~protect:false
+
+(* Reconcile BC's residency beliefs with kernel truth (§3.3.1 keeps them
+   "synchronised from eviction notices and reload events" — under an
+   unreliable channel those events can be lost, so a collection first
+   replays whatever the kernel did behind our back). Lost made-resident
+   notices become late ledger releases; lost eviction notices become late
+   bookmark-and-evict scans (paying the reload fault the paper's prompt
+   notice would have avoided) or, for pages that must stay resident, a
+   veto touch. *)
+let reconcile_with_kernel t =
+  let vmm = Heapsim.Heap.vmm t.heap in
+  (* lost made-resident notices: ledger pages the kernel reloaded *)
+  let reloaded =
+    Hashtbl.fold
+      (fun page _ acc ->
+        if Vmsim.Vmm.is_resident vmm page then page :: acc else acc)
+      t.ledger []
+  in
+  List.iter
+    (fun page ->
+      t.reconciled <- t.reconciled + 1;
+      page_reloaded t page)
+    reloaded;
+  (* lost eviction notices: pages believed resident the kernel swapped *)
+  let stale = ref [] in
+  Residency.iter_resident t.residency (fun page ->
+      if Vmsim.Vmm.is_swapped vmm page then stale := page :: !stale);
+  let nursery_first = Gc_common.Bump_space.first_page t.nursery in
+  let nursery_limit = nursery_first + Gc_common.Bump_space.npages t.nursery in
+  List.iter
+    (fun page ->
+      t.reconciled <- t.reconciled + 1;
+      if
+        header_in_use t page
+        || (page >= nursery_first && page < nursery_limit
+           && page_has_objects t page)
+      then
+        (* metadata and populated nursery pages must stay resident *)
+        Vmsim.Vmm.touch vmm ~write:false page
+      else if t.opts.Gc_config.bookmarks_enabled then
+        (* late eviction protocol: reload, scan, bookmark, surrender *)
+        bookmark_and_evict t page
+      else begin
+        Residency.mark_evicted t.residency page;
+        Bitset.clear t.discarded page;
+        Superpage.note_page_evicted t.sp_space page;
+        t.evicted_count <- t.evicted_count + 1
+      end)
+    !stale
 
 (* ------------------------------------------------------------------ *)
 (* Tracing                                                             *)
@@ -725,6 +807,7 @@ let full t =
       reload_nursery t;
       with_gc t @@ fun () ->
       Charge.setup t.heap;
+      reconcile_with_kernel t;
       t.epoch <- t.epoch + 1;
       mark_heap t ~follow:(follow_ok t);
       let resident =
@@ -750,6 +833,7 @@ let compact t =
       reload_nursery t;
       with_gc t @@ fun () ->
       Charge.setup t.heap;
+      reconcile_with_kernel t;
       t.epoch <- t.epoch + 1;
       mark_heap t ~follow:(follow_ok t);
       let resident =
@@ -908,6 +992,7 @@ let failsafe t =
       with_gc t @@ fun () ->
       t.failsafe_count <- t.failsafe_count + 1;
       Charge.setup t.heap;
+      reconcile_with_kernel t;
       let objects = Heapsim.Heap.objects t.heap in
       (* discard every bookmark and counter; the traversal below rebuilds
          exact liveness, touching evicted pages as it goes *)
@@ -929,6 +1014,8 @@ let failsafe t =
       clear_remembered t;
       t.target_footprint <- None;
       recycle_and_offer t;
+      (* whatever inconsistency scheduled us is now rebuilt from scratch *)
+      t.failsafe_needed <- false;
       Gc_stats.note_heap_pages t.stats (total_pages t))
 
 (* ------------------------------------------------------------------ *)
@@ -1081,7 +1168,13 @@ let escalations t =
   [
     (fun () ->
       maybe_regrow t;
-      if t.gc_requested then begin
+      if t.failsafe_needed && t.opts.Gc_config.bookmarks_enabled then begin
+        (* detected inconsistency: rebuild exact liveness rather than
+           trusting damaged summaries (§3.5 used as a recovery path) *)
+        t.gc_requested <- false;
+        failsafe t
+      end
+      else if t.gc_requested then begin
         t.gc_requested <- false;
         full_or_compact t
       end
@@ -1169,6 +1262,10 @@ let alloc t ~size ~nrefs ~kind =
 (* Invariant checking (tests)                                          *)
 
 let check_invariants t =
+  (* a detected-but-not-yet-repaired inconsistency is allowed to exist
+     between collections; repair it before judging the invariants *)
+  if t.failsafe_needed && t.opts.Gc_config.bookmarks_enabled then
+    failsafe t;
   let objects = Heapsim.Heap.objects t.heap in
   (* incoming counters equal the ledger's per-superpage totals *)
   let expected = Hashtbl.create 16 in
@@ -1244,6 +1341,9 @@ type debug = {
   ledger_total : unit -> int;
   failsafe_count : unit -> int;
   target_footprint : unit -> int option;
+  spurious_resident : unit -> int;
+  reconciled : unit -> int;
+  handler_faults : unit -> int;
 }
 
 let debug_registry : (Gc_stats.t * debug) list ref = ref []
@@ -1271,6 +1371,9 @@ let make_debug t =
         Hashtbl.fold (fun _ e acc -> acc + List.length e.sps) t.ledger 0);
     failsafe_count = (fun () -> t.failsafe_count);
     target_footprint = (fun () -> t.target_footprint);
+    spurious_resident = (fun () -> t.spurious_resident);
+    reconciled = (fun () -> t.reconciled);
+    handler_faults = (fun () -> t.handler_faults);
   }
 
 let debug_of (c : Collector.t) =
@@ -1321,6 +1424,10 @@ let factory config heap =
       gc_requested = false;
       evicted_count = 0;
       failsafe_count = 0;
+      failsafe_needed = false;
+      spurious_resident = 0;
+      reconciled = 0;
+      handler_faults = 0;
     }
   in
   Superpage.set_on_acquire t.sp_space (fun sp -> track_new_superpage t sp);
@@ -1330,12 +1437,23 @@ let factory config heap =
         && Heapsim.Object_table.space objects target = Space_tag.nursery
         && Heapsim.Object_table.space objects src <> Space_tag.nursery
       then Gc_common.Write_buffer.record t.wbuf ~src ~field);
-  (* register for paging signals (§4.1) *)
+  (* register for paging signals (§4.1). A signal handler must never
+     take down the mutator: programming-error exceptions are swallowed,
+     counted, and converted into a scheduled fail-safe collection, which
+     rebuilds exact state. Resource exceptions (Thrashing, heap
+     exhaustion) still propagate — they are the caller's to handle. *)
+  let guarded f page =
+    try f page
+    with Failure _ | Invalid_argument _ | Assert_failure _ | Not_found ->
+      t.handler_faults <- t.handler_faults + 1;
+      t.failsafe_needed <- true
+  in
   Vmsim.Process.register (Heapsim.Heap.process heap)
     {
-      Vmsim.Process.on_eviction_notice = (fun page -> handle_eviction_notice t page);
-      on_resident = (fun page -> page_reloaded t page);
-      on_protection_fault = (fun page -> page_reloaded t page);
+      Vmsim.Process.on_eviction_notice =
+        guarded (fun page -> handle_eviction_notice t page);
+      on_resident = guarded (fun page -> page_reloaded t page);
+      on_protection_fault = guarded (fun page -> page_reloaded t page);
     };
   let display_name =
     if opts.Gc_config.bookmarks_enabled then

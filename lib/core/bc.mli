@@ -45,6 +45,12 @@ type debug = {
   ledger_total : unit -> int;
   failsafe_count : unit -> int;
   target_footprint : unit -> int option;
+  spurious_resident : unit -> int;
+      (** made-resident signals ignored because the kernel disagreed *)
+  reconciled : unit -> int;
+      (** lost notices detected and replayed at collection entry *)
+  handler_faults : unit -> int;
+      (** exceptions swallowed inside paging-signal handlers *)
 }
 
 val debug_of : Gc_common.Collector.t -> debug

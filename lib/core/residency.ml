@@ -20,5 +20,7 @@ let is_resident t page = Bitset.mem t.bits page
 
 let footprint_pages t = t.footprint
 
+let iter_resident t f = Bitset.iter f t.bits
+
 let word_empty_peers t page is_empty =
   List.filter is_empty (Bitset.word_peers t.bits page)

@@ -19,6 +19,10 @@ val is_resident : t -> int -> bool
 val footprint_pages : t -> int
 (** Number of pages currently believed resident. *)
 
+val iter_resident : t -> (int -> unit) -> unit
+(** Visit every page believed resident — the belief side of the
+    kernel-reconciliation pass run when notices may have been lost. *)
+
 val word_empty_peers : t -> int -> (int -> bool) -> int list
 (** [word_empty_peers t page is_empty] lists the pages sharing [page]'s
     bit-array word that are resident and satisfy [is_empty] — the

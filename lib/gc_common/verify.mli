@@ -1,0 +1,22 @@
+(** Post-collection heap/VM invariant verifier.
+
+    Cross-checks the three views of the heap that must agree no matter
+    what the kernel (or an injected fault plan) did: the object table,
+    the page map, and the VMM's page states. Runs after collections in
+    tests and under the CLI's [--verify] flag; collector-specific
+    invariants (BC's ledger/counter accounting) live with each collector
+    in {!Collector.t.check_invariants}. *)
+
+val heap : Heapsim.Heap.t -> unit
+(** Raises [Failure "verify: ..."] on the first violation found:
+
+    - a live object without a placement, or missing from the page map on
+      a page it spans;
+    - a page-map entry for a dead object, or for an object that does not
+      actually span that page;
+    - two live objects overlapping in the address space;
+    - a page hosting live objects that is unmapped, or owned by a
+      process other than the heap's;
+    - an object reachable from the roots holding a reference to a freed
+      object (a dangling pointer — the failure mode of releasing
+      bookmark covers too early). *)

@@ -94,11 +94,11 @@ let table1 mode =
 
 let elapsed_opt = function
   | Metrics.Completed m -> Some (Metrics.elapsed_s m)
-  | Metrics.Exhausted _ | Metrics.Thrashed _ -> None
+  | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> None
 
 let pause_opt = function
   | Metrics.Completed m -> Some m.Metrics.avg_pause_ms
-  | Metrics.Exhausted _ | Metrics.Thrashed _ -> None
+  | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> None
 
 let run_plain ~collector ~spec ~heap_bytes =
   Run.run (Run.setup ~collector ~spec ~heap_bytes ())
@@ -302,7 +302,8 @@ let figure6 mode =
                 Some
                   (Bmu.curve ~pauses:m.Metrics.pauses
                      ~total_ns:m.Metrics.elapsed_ns ~windows)
-            | Metrics.Exhausted _ | Metrics.Thrashed _ -> None)
+            | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ ->
+                None)
           collectors
       in
       Table.print_series
@@ -409,7 +410,8 @@ let ablation mode =
               string_of_int m.Metrics.relinquished;
             ]
         | Metrics.Exhausted msg -> [ collector; "exhausted: " ^ msg ]
-        | Metrics.Thrashed msg -> [ collector; "thrashed: " ^ msg ])
+        | Metrics.Thrashed msg -> [ collector; "thrashed: " ^ msg ]
+        | Metrics.Failed f -> [ collector; "failed: " ^ f.Metrics.reason ])
       variants
   in
   Printf.printf
@@ -540,6 +542,7 @@ let mixed mode =
           ]
       | Metrics.Exhausted _ -> [ tag; "exhausted"; "-"; "-" ]
       | Metrics.Thrashed _ -> [ tag; "thrashed"; "-"; "-" ]
+      | Metrics.Failed _ -> [ tag; "failed"; "-"; "-" ]
     in
     let ra, rb = Run.run_pair (instance a 0) (instance b 17) in
     [ describe (a ^ " (with " ^ b ^ ")") ra;
@@ -553,6 +556,75 @@ let mixed mode =
     ~rows:
       (pairing "BC" "BC" @ pairing "GenMS" "GenMS" @ pairing "BC" "GenMS")
 
+(* ---------------------------------------------------------------- *)
+(* Beyond the paper: graceful degradation under an unreliable kernel  *)
+
+let fault_spec =
+  (* the reference plan from the robustness study: ~30% of eviction
+     notices lost, occasional swap I/O errors, two swap-full episodes
+     and one scripted pressure spike *)
+  {
+    Faults.Fault_plan.none with
+    Faults.Fault_plan.drop_eviction = 0.3;
+    drop_resident = 0.1;
+    delay_notice = 0.1;
+    swap_write_error = 0.02;
+    swap_read_error = 0.01;
+    swap_full_episodes = 2;
+    spike_count = 1;
+  }
+
+let faults mode =
+  let p = params mode in
+  let collectors = [ "BC"; "GenMS" ] in
+  let describe name outcome =
+    let label = Metrics.outcome_label outcome in
+    let stats =
+      match outcome with
+      | Metrics.Completed m -> m.Metrics.faults
+      | Metrics.Failed f -> f.Metrics.fault_stats
+      | Metrics.Exhausted _ | Metrics.Thrashed _ -> None
+    in
+    let injected =
+      match stats with
+      | Some s -> Format.asprintf "%a" Faults.Fault_plan.pp_stats s
+      | None -> "-"
+    in
+    let detail =
+      match outcome with
+      | Metrics.Completed m -> Table.fmt_seconds (Metrics.elapsed_s m)
+      | Metrics.Failed f -> f.Metrics.exn_name
+      | Metrics.Exhausted _ | Metrics.Thrashed _ -> "-"
+    in
+    [ name; label; detail; injected ]
+  in
+  Printf.printf
+    "\n== Beyond the paper: fault injection (drop 30%% of eviction notices, \
+     swap errors, 2 swap-full episodes) ==\n";
+  Table.print_table
+    ~header:[ "benchmark/collector"; "outcome"; "time(s)/exn"; "injected" ]
+    ~rows:
+      (List.concat_map
+         (fun spec ->
+           let spec = Spec.scale_volume spec p.suite_volume in
+           let heap_bytes = max (2 * spec.Spec.paper_min_heap_bytes) 1_500_000 in
+           let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+           let frames = heap_pages + 192 in
+           let pressure =
+             Pressure.Steady
+               { after_progress = 0.1; pin_pages = heap_pages * 4 / 10 }
+           in
+           List.map
+             (fun collector ->
+               let outcome =
+                 Run.run
+                   (Run.setup ~collector ~spec ~heap_bytes ~frames ~pressure
+                      ~faults:fault_spec ~verify:true ())
+               in
+               describe (spec.Spec.name ^ "/" ^ collector) outcome)
+             collectors)
+         Workload.Benchmarks.all)
+
 let all mode =
   table1 mode;
   figure2 mode;
@@ -563,4 +635,5 @@ let all mode =
   ablation mode;
   ssd mode;
   recovery mode;
-  mixed mode
+  mixed mode;
+  faults mode

@@ -56,6 +56,13 @@ val mixed : mode -> unit
     BC+GenMS) — does the cooperative collector get exploited by a paging
     neighbour that never gives memory back? *)
 
+val faults : mode -> unit
+(** Beyond the paper: robustness matrix. Every benchmark × {BC, GenMS}
+    under a standard fault plan (≈30% of eviction notices dropped, swap
+    I/O errors, two swap-full episodes, a scripted pressure spike) with
+    the post-run invariant verifier on; prints per-cell
+    ok/degraded/failed outcomes and the injected-fault counters. *)
+
 val all : mode -> unit
-(** Everything above, in paper order, plus the SSD, recovery and
-    cohabitation studies. *)
+(** Everything above, in paper order, plus the SSD, recovery,
+    cohabitation and fault-injection studies. *)

@@ -21,13 +21,25 @@ type t = {
   footprint_pages : int;
   allocated_bytes : int;
   pauses : (int * int) list;
+  faults : Faults.Fault_plan.stats option;
 }
 
-type outcome = Completed of t | Exhausted of string | Thrashed of string
+type failure = {
+  reason : string;
+  exn_name : string;
+  fault_stats : Faults.Fault_plan.stats option;
+  partial : t option;
+}
+
+type outcome =
+  | Completed of t
+  | Exhausted of string
+  | Thrashed of string
+  | Failed of failure
 
 let elapsed_s t = Vmsim.Clock.ns_to_s t.elapsed_ns
 
-let of_run ~collector ~workload ~start_ns ~end_ns =
+let of_run ?faults ~collector ~workload ~start_ns ~end_ns () =
   let stats = collector.Gc_common.Collector.stats in
   let pstats =
     Vmsim.Process.stats
@@ -58,7 +70,19 @@ let of_run ~collector ~workload ~start_ns ~end_ns =
       List.map
         (fun p -> (p.Gc_stats.start_ns, p.Gc_stats.duration_ns))
         (Gc_stats.pauses stats);
+    faults;
   }
+
+(* How did the cell fare? "degraded" means it completed while faults
+   were actually being injected — the graceful-degradation regime. *)
+let outcome_label = function
+  | Completed { faults = Some stats; _ }
+    when Faults.Fault_plan.injected_total stats > 0 ->
+      "degraded"
+  | Completed _ -> "ok"
+  | Exhausted _ -> "exhausted"
+  | Thrashed _ -> "thrashed"
+  | Failed _ -> "failed"
 
 let pp ppf t =
   Format.fprintf ppf
@@ -70,4 +94,21 @@ let pp ppf t =
     (Vmsim.Clock.ns_to_s t.gc_ns)
     t.avg_pause_ms t.p50_pause_ms t.p95_pause_ms t.max_pause_ms t.minor
     t.full t.compacting t.major_faults
-    t.gc_major_faults t.evictions t.discards t.relinquished
+    t.gc_major_faults t.evictions t.discards t.relinquished;
+  match t.faults with
+  | Some stats when Faults.Fault_plan.injected_total stats > 0 ->
+      Format.fprintf ppf " [%a]" Faults.Fault_plan.pp_stats stats
+  | Some _ | None -> ()
+
+let pp_outcome ppf = function
+  | Completed m -> pp ppf m
+  | Exhausted msg -> Format.fprintf ppf "exhausted: %s" msg
+  | Thrashed msg -> Format.fprintf ppf "thrashed: %s" msg
+  | Failed f -> (
+      Format.fprintf ppf "failed (%s): %s" f.exn_name f.reason;
+      (match f.fault_stats with
+      | Some stats -> Format.fprintf ppf " [%a]" Faults.Fault_plan.pp_stats stats
+      | None -> ());
+      match f.partial with
+      | Some m -> Format.fprintf ppf "@ partial: %a" pp m
+      | None -> ())

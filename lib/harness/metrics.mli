@@ -21,20 +21,40 @@ type t = {
   footprint_pages : int;  (** high-water heap pages *)
   allocated_bytes : int;
   pauses : (int * int) list;  (** (start, duration), for BMU *)
+  faults : Faults.Fault_plan.stats option;
+      (** what the fault plan injected during the run, when one ran *)
+}
+
+type failure = {
+  reason : string;  (** the exception's message *)
+  exn_name : string;  (** its constructor, for triage *)
+  fault_stats : Faults.Fault_plan.stats option;
+  partial : t option;  (** whatever stats survived up to the failure *)
 }
 
 type outcome =
   | Completed of t
   | Exhausted of string  (** the heap was too small *)
   | Thrashed of string  (** physical memory could not hold the floor *)
+  | Failed of failure
+      (** the run died on an unexpected exception; the cell is recorded,
+          the rest of the matrix keeps going *)
 
 val elapsed_s : t -> float
 
+val outcome_label : outcome -> string
+(** ["ok"], ["degraded"] (completed with faults injected), ["exhausted"],
+    ["thrashed"] or ["failed"] — the per-cell summary tag. *)
+
 val of_run :
+  ?faults:Faults.Fault_plan.stats ->
   collector:Gc_common.Collector.t ->
   workload:string ->
   start_ns:int ->
   end_ns:int ->
+  unit ->
   t
 
 val pp : Format.formatter -> t -> unit
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,7 +1,7 @@
 let works ~collector ~spec ~heap_bytes =
   match Run.run (Run.setup ~collector ~spec ~heap_bytes ()) with
   | Metrics.Completed _ -> true
-  | Metrics.Exhausted _ | Metrics.Thrashed _ -> false
+  | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> false
 
 let find ?(granularity_bytes = 64 * 1024) ?lo_bytes ?hi_bytes
     ?(volume_scale = 0.5) ~collector ~spec () =

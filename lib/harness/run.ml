@@ -1,3 +1,5 @@
+module Fault_plan = Faults.Fault_plan
+
 type setup = {
   collector : string;
   spec : Workload.Spec.t;
@@ -7,16 +9,22 @@ type setup = {
   ops_per_slice : int;
   costs : Vmsim.Costs.t;
   iterations : int;
+  faults : Fault_plan.spec option;
+  fault_seed : int;
+  verify : bool;
 }
 
 let default_slice = 256
+
+let default_fault_seed = 0x5eed
 
 let ample_frames ~heap_bytes =
   (4 * Vmsim.Page.count_for_bytes heap_bytes) + 2048
 
 let setup ?frames ?(pressure = Workload.Pressure.None_)
     ?(ops_per_slice = default_slice) ?(costs = Vmsim.Costs.default)
-    ?(iterations = 1) ~collector ~spec ~heap_bytes () =
+    ?(iterations = 1) ?faults ?(fault_seed = default_fault_seed)
+    ?(verify = false) ~collector ~spec ~heap_bytes () =
   if iterations < 1 then invalid_arg "Run.setup: iterations";
   let frames =
     match frames with Some f -> f | None -> ample_frames ~heap_bytes
@@ -30,6 +38,9 @@ let setup ?frames ?(pressure = Workload.Pressure.None_)
     ops_per_slice;
     costs;
     iterations;
+    faults;
+    fault_seed;
+    verify;
   }
 
 type instance = {
@@ -38,10 +49,13 @@ type instance = {
   mutable finish_ns : int option;
 }
 
-let run_instances ~clock ~vmm ~address_space ~pressure ~ops_per_slice instances
-    specs =
+let run_instances ~clock ~vmm ~address_space ~pressure ?plan ~ops_per_slice
+    instances specs =
   let signalmem = Workload.Signalmem.create vmm address_space in
   let ramp_start = ref None in
+  let unseen_spikes =
+    ref (match plan with Some p -> Fault_plan.spikes p | None -> [])
+  in
   let apply_pressure () =
     (* drive the schedule off the first instance's progress *)
     let inst = List.hd instances and spec = List.hd specs in
@@ -50,12 +64,20 @@ let run_instances ~clock ~vmm ~address_space ~pressure ~ops_per_slice instances
       /. float_of_int (max 1 spec.Workload.Spec.total_alloc_bytes)
     in
     let now = Vmsim.Clock.now clock in
-    (match (!ramp_start, pressure) with
-    | None, Workload.Pressure.None_ -> ()
-    | None, Workload.Pressure.Steady { after_progress; _ }
-    | None, Workload.Pressure.Ramp { after_progress; _ } ->
-        if prog >= after_progress then ramp_start := Some now
-    | Some _, _ -> ());
+    (match !ramp_start with
+    | None -> (
+        match Workload.Pressure.after_progress pressure with
+        | Some after when prog >= after -> ramp_start := Some now
+        | Some _ | None -> ())
+    | Some _ -> ());
+    (match plan with
+    | Some p ->
+        let opened, rest =
+          List.partition (fun (from, _, _) -> prog >= from) !unseen_spikes
+        in
+        List.iter (fun _ -> Fault_plan.note_spike_applied p) opened;
+        unseen_spikes := rest
+    | None -> ());
     let start_ns = Option.value !ramp_start ~default:now in
     let due =
       Workload.Pressure.due_pages pressure ~now_ns:now ~start_ns
@@ -63,6 +85,9 @@ let run_instances ~clock ~vmm ~address_space ~pressure ~ops_per_slice instances
     in
     let have = Workload.Signalmem.pinned_pages signalmem in
     if due > have then Workload.Signalmem.pin_pages signalmem (due - have)
+    else if due < have then
+      (* a pressure spike receding: give the frames back *)
+      Workload.Signalmem.unpin_pages signalmem (have - due)
   in
   let all_done () =
     List.for_all (fun inst -> inst.finish_ns <> None) instances
@@ -80,46 +105,93 @@ let run_instances ~clock ~vmm ~address_space ~pressure ~ops_per_slice instances
     apply_pressure ()
   done
 
+let exn_name e = Printexc.exn_slot_name e
+
+let make_plan s = Option.map (Fault_plan.create ~seed:s.fault_seed) s.faults
+
+let effective_pressure s plan =
+  match plan with
+  | None -> s.pressure
+  | Some p -> Workload.Pressure.with_spikes s.pressure (Fault_plan.spikes p)
+
 let run s =
   let clock = Vmsim.Clock.create () in
-  let vmm = Vmsim.Vmm.create ~costs:s.costs ~clock ~frames:s.frames () in
+  let plan = make_plan s in
+  let vmm =
+    Vmsim.Vmm.create ~costs:s.costs ?faults:plan ~clock ~frames:s.frames ()
+  in
   let proc = Vmsim.Vmm.create_process vmm ~name:"jvm" in
   let heap = Heapsim.Heap.create vmm proc in
+  let fault_stats () = Option.map Fault_plan.stats plan in
+  let start_ns = ref (Vmsim.Clock.now clock) in
+  let coll = ref None in
+  let workload = s.spec.Workload.Spec.name in
+  let partial () =
+    (* best-effort snapshot of whatever the run accumulated *)
+    match !coll with
+    | None -> None
+    | Some c -> (
+        try
+          Some
+            (Metrics.of_run ?faults:(fault_stats ()) ~collector:c ~workload
+               ~start_ns:!start_ns ~end_ns:(Vmsim.Clock.now clock) ())
+        with _ -> None)
+  in
   try
-    let coll = Registry.create ~name:s.collector ~heap_bytes:s.heap_bytes heap in
+    let c = Registry.create ~name:s.collector ~heap_bytes:s.heap_bytes heap in
+    coll := Some c;
     (* warm-up iterations (§5.1): run, then collect away their residue *)
     for i = 2 to s.iterations do
       ignore i;
-      let warm = Workload.Mutator.create s.spec coll in
+      let warm = Workload.Mutator.create s.spec c in
       while not (Workload.Mutator.step warm ~ops:s.ops_per_slice) do
         ()
       done;
-      coll.Gc_common.Collector.collect ()
+      c.Gc_common.Collector.collect ()
     done;
     if s.iterations > 1 then begin
       (* measure the final iteration only *)
-      Gc_common.Gc_stats.reset coll.Gc_common.Collector.stats;
+      Gc_common.Gc_stats.reset c.Gc_common.Collector.stats;
       Vmsim.Vm_stats.reset (Vmsim.Process.stats proc)
     end;
-    let start_ns = Vmsim.Clock.now clock in
-    let mutator = Workload.Mutator.create s.spec coll in
-    let inst = { mutator; coll; finish_ns = None } in
+    start_ns := Vmsim.Clock.now clock;
+    let mutator = Workload.Mutator.create s.spec c in
+    let inst = { mutator; coll = c; finish_ns = None } in
     run_instances ~clock ~vmm
       ~address_space:(Heapsim.Heap.address_space heap)
-      ~pressure:s.pressure ~ops_per_slice:s.ops_per_slice [ inst ] [ s.spec ];
+      ~pressure:(effective_pressure s plan) ?plan
+      ~ops_per_slice:s.ops_per_slice [ inst ] [ s.spec ];
     let end_ns = Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock) in
+    if s.verify then begin
+      Gc_common.Verify.heap heap;
+      c.Gc_common.Collector.check_invariants ()
+    end;
     Metrics.Completed
-      (Metrics.of_run ~collector:coll ~workload:s.spec.Workload.Spec.name
-         ~start_ns ~end_ns)
+      (Metrics.of_run ?faults:(fault_stats ()) ~collector:c ~workload
+         ~start_ns:!start_ns ~end_ns ())
   with
   | Gc_common.Collector.Heap_exhausted msg -> Metrics.Exhausted msg
   | Vmsim.Vmm.Thrashing msg -> Metrics.Thrashed msg
+  | e ->
+      (* one failing cell must not kill the whole matrix: record the
+         exception, the injected-fault counters and any partial stats *)
+      Metrics.Failed
+        {
+          Metrics.reason = Printexc.to_string e;
+          exn_name = exn_name e;
+          fault_stats = fault_stats ();
+          partial = partial ();
+        }
 
 let run_pair a b =
   assert (a.frames = b.frames);
   let clock = Vmsim.Clock.create () in
-  let vmm = Vmsim.Vmm.create ~costs:a.costs ~clock ~frames:a.frames () in
+  let plan = make_plan a in
+  let vmm =
+    Vmsim.Vmm.create ~costs:a.costs ?faults:plan ~clock ~frames:a.frames ()
+  in
   let shared_as = Heapsim.Address_space.create () in
+  let fault_stats () = Option.map Fault_plan.stats plan in
   let make s tag =
     let proc = Vmsim.Vmm.create_process vmm ~name:tag in
     let heap = Heapsim.Heap.create_with vmm proc ~address_space:shared_as in
@@ -131,17 +203,29 @@ let run_pair a b =
     let start_ns = Vmsim.Clock.now clock in
     let ia = make a "jvm-a" in
     let ib = make b "jvm-b" in
-    run_instances ~clock ~vmm ~address_space:shared_as ~pressure:a.pressure
+    run_instances ~clock ~vmm ~address_space:shared_as
+      ~pressure:(effective_pressure a plan) ?plan
       ~ops_per_slice:a.ops_per_slice [ ia; ib ] [ a.spec; b.spec ];
     let result inst s =
       Metrics.Completed
-        (Metrics.of_run ~collector:inst.coll
+        (Metrics.of_run ?faults:(fault_stats ()) ~collector:inst.coll
            ~workload:s.spec.Workload.Spec.name ~start_ns
            ~end_ns:
-             (Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock)))
+             (Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock)) ())
     in
     (result ia a, result ib b)
   with
   | Gc_common.Collector.Heap_exhausted msg ->
       (Metrics.Exhausted msg, Metrics.Exhausted msg)
   | Vmsim.Vmm.Thrashing msg -> (Metrics.Thrashed msg, Metrics.Thrashed msg)
+  | e ->
+      let failure =
+        Metrics.Failed
+          {
+            Metrics.reason = Printexc.to_string e;
+            exn_name = exn_name e;
+            fault_stats = fault_stats ();
+            partial = None;
+          }
+      in
+      (failure, failure)

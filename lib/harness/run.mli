@@ -19,9 +19,19 @@ type setup = {
           workload this many times, with a full collection between
           iterations, and measure only the last — so measurement starts
           on a warmed, pre-fragmented heap. Default 1. *)
+  faults : Faults.Fault_plan.spec option;
+      (** fault-injection plan threaded into the machine's VMM and swap
+          device; its scripted spikes are added to [pressure] *)
+  fault_seed : int;  (** seed for the plan — same seed, same schedule *)
+  verify : bool;
+      (** run the {!Gc_common.Verify} heap verifier and the collector's
+          own invariant check after a completed run; violations turn the
+          outcome into [Failed] *)
 }
 
 val default_slice : int
+
+val default_fault_seed : int
 
 val setup :
   ?frames:int ->
@@ -29,15 +39,22 @@ val setup :
   ?ops_per_slice:int ->
   ?costs:Vmsim.Costs.t ->
   ?iterations:int ->
+  ?faults:Faults.Fault_plan.spec ->
+  ?fault_seed:int ->
+  ?verify:bool ->
   collector:string ->
   spec:Workload.Spec.t ->
   heap_bytes:int ->
   unit ->
   setup
 (** [frames] defaults to a pressure-free machine (4× heap + slack);
-    [costs] to {!Vmsim.Costs.default} (the paper's disk). *)
+    [costs] to {!Vmsim.Costs.default} (the paper's disk); [faults] to no
+    injection; [verify] to off. *)
 
 val run : setup -> Metrics.outcome
+(** Runs in per-cell isolation: any exception other than the two
+    resource outcomes is caught and recorded as [Metrics.Failed] with
+    the fault counters and partial stats, never propagated. *)
 
 val run_pair : setup -> setup -> Metrics.outcome * Metrics.outcome
 (** Figure 7: two instances sharing one machine (and one frame pool),

@@ -1,19 +1,41 @@
 type t = {
   capacity_pages : int option;
+  faults : Faults.Fault_plan.t option;
   slots : (int, unit) Hashtbl.t;
   mutable high_water : int;
   mutable writes : int;
   mutable reads : int;
+  mutable write_errors : int;
+  mutable read_errors : int;
 }
 
 exception Full
+exception Io_error
 
-let create ?capacity_pages () =
-  { capacity_pages; slots = Hashtbl.create 256; high_water = 0; writes = 0; reads = 0 }
+let create ?capacity_pages ?faults () =
+  {
+    capacity_pages;
+    faults;
+    slots = Hashtbl.create 256;
+    high_water = 0;
+    writes = 0;
+    reads = 0;
+    write_errors = 0;
+    read_errors = 0;
+  }
 
 let occupancy_pages t = Hashtbl.length t.slots
 
 let write t page =
+  (match t.faults with
+  | None -> ()
+  | Some plan -> (
+      match Faults.Fault_plan.on_swap_write plan with
+      | Faults.Fault_plan.Proceed -> ()
+      | Faults.Fault_plan.Io_error ->
+          t.write_errors <- t.write_errors + 1;
+          raise Io_error
+      | Faults.Fault_plan.Device_full -> raise Full));
   if not (Hashtbl.mem t.slots page) then begin
     (match t.capacity_pages with
     | Some cap when occupancy_pages t >= cap -> raise Full
@@ -26,6 +48,14 @@ let write t page =
 let read t page =
   if not (Hashtbl.mem t.slots page) then
     invalid_arg (Printf.sprintf "Swap.read: page %d has no swap copy" page);
+  (match t.faults with
+  | None -> ()
+  | Some plan -> (
+      match Faults.Fault_plan.on_swap_read plan with
+      | Faults.Fault_plan.Proceed | Faults.Fault_plan.Device_full -> ()
+      | Faults.Fault_plan.Io_error ->
+          t.read_errors <- t.read_errors + 1;
+          raise Io_error));
   t.reads <- t.reads + 1
 
 let drop t page = Hashtbl.remove t.slots page
@@ -37,3 +67,7 @@ let high_water_pages t = t.high_water
 let writes t = t.writes
 
 let reads t = t.reads
+
+let write_errors t = t.write_errors
+
+let read_errors t = t.read_errors

@@ -2,15 +2,22 @@
 
     Tracks which pages currently have a swap copy, the device's occupancy
     high-water mark, and I/O counts. The paper's testbed had 2 GB of local
-    swap; an optional capacity models device exhaustion. *)
+    swap; an optional capacity models device exhaustion, and an optional
+    {!Faults.Fault_plan} injects transient I/O errors and scripted
+    device-full episodes. *)
 
 type t
 
 exception Full
-(** Raised by {!write} when the device is at capacity. *)
+(** Raised by {!write} when the device is at capacity, or during an
+    injected device-full episode. *)
 
-val create : ?capacity_pages:int -> unit -> t
-(** [capacity_pages] defaults to unlimited. *)
+exception Io_error
+(** Raised by {!write}/{!read} on an injected transient I/O error. The
+    caller may retry: injected errors are bounded, never permanent. *)
+
+val create : ?capacity_pages:int -> ?faults:Faults.Fault_plan.t -> unit -> t
+(** [capacity_pages] defaults to unlimited; [faults] to no injection. *)
 
 val write : t -> int -> unit
 (** Store (or refresh) the page's swap copy. *)
@@ -31,3 +38,9 @@ val high_water_pages : t -> int
 val writes : t -> int
 
 val reads : t -> int
+
+val write_errors : t -> int
+(** Injected write I/O errors observed by this device. *)
+
+val read_errors : t -> int
+(** Injected read I/O errors observed by this device. *)

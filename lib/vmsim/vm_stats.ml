@@ -9,6 +9,8 @@ type t = {
   mutable swap_ins : int;
   mutable swap_outs : int;
   mutable forced_evictions : int;
+  mutable swap_retries : int;
+  mutable swap_stalls : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     swap_ins = 0;
     swap_outs = 0;
     forced_evictions = 0;
+    swap_retries = 0;
+    swap_stalls = 0;
   }
 
 let reset t =
@@ -35,12 +39,14 @@ let reset t =
   t.eviction_notices <- 0;
   t.swap_ins <- 0;
   t.swap_outs <- 0;
-  t.forced_evictions <- 0
+  t.forced_evictions <- 0;
+  t.swap_retries <- 0;
+  t.swap_stalls <- 0
 
 let pp ppf t =
   Format.fprintf ppf
     "minor:%d major:%d prot:%d evict:%d discard:%d relinq:%d notices:%d \
-     swapin:%d swapout:%d forced:%d"
+     swapin:%d swapout:%d forced:%d retries:%d stalls:%d"
     t.minor_faults t.major_faults t.protection_faults t.evictions t.discards
-    t.relinquished t.eviction_notices t.swap_ins t.swap_outs
-    t.forced_evictions
+    t.relinquished t.eviction_notices t.swap_ins t.swap_outs t.forced_evictions
+    t.swap_retries t.swap_stalls

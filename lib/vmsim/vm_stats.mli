@@ -12,6 +12,10 @@ type t = {
   mutable swap_outs : int;
   mutable forced_evictions : int;
       (** desperation evictions that overrode owner vetoes *)
+  mutable swap_retries : int;
+      (** swap I/O attempts retried after a transient error *)
+  mutable swap_stalls : int;
+      (** evictions abandoned because the swap device stayed unavailable *)
 }
 
 val create : unit -> t

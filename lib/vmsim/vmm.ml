@@ -1,5 +1,7 @@
 exception Thrashing of string
 
+module Fault_plan = Faults.Fault_plan
+
 type pstate = Unmapped | Untouched | Resident | Swapped
 
 type pinfo = {
@@ -17,6 +19,10 @@ type t = {
   clock : Clock.t;
   costs : Costs.t;
   swap : Swap.t;
+  faults : Fault_plan.t option;
+  (* notices the fault plan held back (delayed or duplicated), delivered
+     at the next top-level page access *)
+  pending_notices : (Fault_plan.notice * int) Queue.t;
   reclaim_batch : int;
   mutable pages : pinfo option array;
   lru : Lru.t;
@@ -26,15 +32,18 @@ type t = {
   mutable next_pid : int;
   stats : Vm_stats.t;
   mutable in_reclaim : bool;
+  mutable delivering : bool;
 }
 
 let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
-    ~clock ~frames () =
+    ?faults ~clock ~frames () =
   if frames <= 0 then invalid_arg "Vmm.create: frames must be positive";
   {
     clock;
     costs;
-    swap = Swap.create ?capacity_pages:swap_capacity_pages ();
+    swap = Swap.create ?capacity_pages:swap_capacity_pages ?faults ();
+    faults;
+    pending_notices = Queue.create ();
     reclaim_batch;
     pages = Array.make 256 None;
     lru = Lru.create ();
@@ -44,6 +53,7 @@ let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
     next_pid = 1;
     stats = Vm_stats.create ();
     in_reclaim = false;
+    delivering = false;
   }
 
 let clock t = t.clock
@@ -135,28 +145,90 @@ let release_frame t page pi =
   pi.surrendered <- false;
   t.resident <- t.resident - 1
 
-(* Write a resident, unlisted page out to swap. *)
+(* Attempt the swap write behind an eviction, with bounded
+   retry-with-backoff on transient I/O errors. Returns false when the
+   device is full or the error persisted past the retry budget. *)
+let swap_write_retrying t page =
+  let max_attempts = 8 in
+  let rec go attempt =
+    match Swap.write t.swap page with
+    | () -> true
+    | exception Swap.Io_error ->
+        t.stats.Vm_stats.swap_retries <- t.stats.Vm_stats.swap_retries + 1;
+        (* linear backoff: each retry waits one more write-slot *)
+        Clock.advance t.clock (attempt * t.costs.Costs.swap_write_ns);
+        if attempt >= max_attempts then false else go (attempt + 1)
+    | exception Swap.Full ->
+        t.stats.Vm_stats.swap_stalls <- t.stats.Vm_stats.swap_stalls + 1;
+        false
+  in
+  go 1
+
+(* Write a resident, unlisted page out to swap. Returns false — leaving
+   the page resident, back on the active list — when the swap device
+   refuses the write; the reclaim loop then moves on to other victims. *)
 let swap_out t page pi =
   assert (pi.state = Resident && not pi.pinned);
-  if pi.dirty || not pi.in_swap then begin
-    Swap.write t.swap page;
-    Clock.advance t.clock t.costs.Costs.swap_write_ns;
-    t.stats.Vm_stats.swap_outs <- t.stats.Vm_stats.swap_outs + 1;
-    (Process.stats pi.owner).Vm_stats.swap_outs <-
-      (Process.stats pi.owner).Vm_stats.swap_outs + 1;
-    pi.in_swap <- true
-  end;
-  pi.state <- Swapped;
-  pi.dirty <- false;
-  pi.surrendered <- false;
-  pi.referenced <- false;
-  t.resident <- t.resident - 1;
-  t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
-  (Process.stats pi.owner).Vm_stats.evictions <-
-    (Process.stats pi.owner).Vm_stats.evictions + 1
+  let wrote =
+    if pi.dirty || not pi.in_swap then begin
+      if swap_write_retrying t page then begin
+        Clock.advance t.clock t.costs.Costs.swap_write_ns;
+        t.stats.Vm_stats.swap_outs <- t.stats.Vm_stats.swap_outs + 1;
+        (Process.stats pi.owner).Vm_stats.swap_outs <-
+          (Process.stats pi.owner).Vm_stats.swap_outs + 1;
+        pi.in_swap <- true;
+        true
+      end
+      else false
+    end
+    else true
+  in
+  if wrote then begin
+    pi.state <- Swapped;
+    pi.dirty <- false;
+    pi.surrendered <- false;
+    pi.referenced <- false;
+    t.resident <- t.resident - 1;
+    t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
+    (Process.stats pi.owner).Vm_stats.evictions <-
+      (Process.stats pi.owner).Vm_stats.evictions + 1;
+    true
+  end
+  else begin
+    (* eviction failed: the page stays resident and re-enters the LRU so
+       a later pass can retry once the device recovers *)
+    pi.referenced <- false;
+    pi.surrendered <- false;
+    if Lru.membership t.lru page = None then Lru.push_active_head t.lru page;
+    false
+  end
 
 (* Move up to [n] pages from the active tail into the inactive list,
    giving referenced pages a second chance. Returns how many moved. *)
+(* Deliver a pre-eviction notice now, counting it as delivered. *)
+let deliver_eviction_notice t pi h victim =
+  t.stats.Vm_stats.eviction_notices <- t.stats.Vm_stats.eviction_notices + 1;
+  (Process.stats pi.owner).Vm_stats.eviction_notices <-
+    (Process.stats pi.owner).Vm_stats.eviction_notices + 1;
+  h.Process.on_eviction_notice victim
+
+(* Route a notice through the fault plan: deliver it, drop it, queue it
+   for late delivery, or deliver now and again later. [deliver] performs
+   the immediate delivery (and its accounting). *)
+let route_notice t kind page deliver =
+  let decision =
+    match t.faults with
+    | None -> Fault_plan.Deliver
+    | Some plan -> Fault_plan.on_notice plan kind
+  in
+  match decision with
+  | Fault_plan.Deliver -> deliver ()
+  | Fault_plan.Drop -> ()
+  | Fault_plan.Delay -> Queue.add (kind, page) t.pending_notices
+  | Fault_plan.Duplicate ->
+      deliver ();
+      Queue.add (kind, page) t.pending_notices
+
 let refill_inactive t n =
   let moved = ref 0 in
   let attempts = ref 0 in
@@ -217,18 +289,17 @@ let reclaim t ~required ~target =
               pi.surrendered <- false;
               Lru.push_active_head t.lru victim
             end
-            else if pi.surrendered then swap_out t victim pi
+            else if pi.surrendered then ignore (swap_out t victim pi)
             else begin
               (* Pre-eviction notice: the page is still resident and its
                  owner may react before the PTE is unmapped. Only
-                 registered owners receive (and are billed for) one. *)
+                 registered owners receive (and are billed for) one; the
+                 fault plan may lose or hold the signal, in which case the
+                 eviction proceeds as if the owner stayed silent. *)
               (match Process.handlers pi.owner with
               | Some h ->
-                  t.stats.Vm_stats.eviction_notices <-
-                    t.stats.Vm_stats.eviction_notices + 1;
-                  (Process.stats pi.owner).Vm_stats.eviction_notices <-
-                    (Process.stats pi.owner).Vm_stats.eviction_notices + 1;
-                  h.Process.on_eviction_notice victim
+                  route_notice t Fault_plan.Eviction victim (fun () ->
+                      deliver_eviction_notice t pi h victim)
               | None -> ());
               if Lru.membership t.lru victim <> None then
                 (* handler repositioned the page (vm_relinquish) *)
@@ -241,7 +312,7 @@ let reclaim t ~required ~target =
                 pi.referenced <- false;
                 Lru.push_active_head t.lru victim
               end
-              else swap_out t victim pi
+              else ignore (swap_out t victim pi)
             end
       end
     done;
@@ -249,19 +320,28 @@ let reclaim t ~required ~target =
        re-referenced). A real kernel overrides user hints under severe
        pressure: evict the coldest unpinned pages without notices. *)
     if free_frames t < required then begin
+      (* A failed swap write re-queues the victim, so bound the number of
+         attempts or a permanently full device would spin forever. *)
+      let attempts = ref 0 in
+      let max_attempts = (2 * t.resident) + 16 in
       let steal tail remove =
-        while free_frames t < required && tail () <> None do
+        while
+          free_frames t < required && !attempts < max_attempts
+          && tail () <> None
+        do
           match tail () with
           | None -> ()
           | Some victim ->
+              incr attempts;
               let pi = info_exn t victim in
               remove victim;
               pi.referenced <- false;
-              t.stats.Vm_stats.forced_evictions <-
-                t.stats.Vm_stats.forced_evictions + 1;
-              (Process.stats pi.owner).Vm_stats.forced_evictions <-
-                (Process.stats pi.owner).Vm_stats.forced_evictions + 1;
-              swap_out t victim pi
+              if swap_out t victim pi then begin
+                t.stats.Vm_stats.forced_evictions <-
+                  t.stats.Vm_stats.forced_evictions + 1;
+                (Process.stats pi.owner).Vm_stats.forced_evictions <-
+                  (Process.stats pi.owner).Vm_stats.forced_evictions + 1
+              end
         done
       in
       steal (fun () -> Lru.inactive_tail t.lru) (Lru.remove t.lru);
@@ -303,7 +383,27 @@ let deliver_protection_fault t page pi =
   | Some h -> h.Process.on_protection_fault page
   | None -> pi.protected_ <- false
 
-let rec touch t ?(write = false) page =
+(* Read the page's swap copy, retrying past injected transient errors.
+   The fault plan bounds consecutive read errors, so the retry budget is
+   never exhausted by injection alone. *)
+let swap_read_retrying t page =
+  let max_attempts = 6 in
+  let rec go attempt =
+    match Swap.read t.swap page with
+    | () -> ()
+    | exception Swap.Io_error ->
+        t.stats.Vm_stats.swap_retries <- t.stats.Vm_stats.swap_retries + 1;
+        Clock.advance t.clock (attempt * t.costs.Costs.swap_write_ns);
+        if attempt >= max_attempts then
+          raise
+            (Thrashing
+               (Printf.sprintf "swap read of page %d failed %d times" page
+                  max_attempts))
+        else go (attempt + 1)
+  in
+  go 1
+
+let rec do_touch t ~write page =
   let pi = info_exn t page in
   match pi.state with
   | Unmapped -> invalid_arg (Printf.sprintf "Vmm.touch: page %d unmapped" page)
@@ -314,7 +414,7 @@ let rec touch t ?(write = false) page =
         deliver_protection_fault t page pi;
         (* retry the access if the handler unprotected the page; if it did
            not, the access proceeds anyway (the handler owns the policy) *)
-        if not pi.protected_ then touch t ~write page
+        if not pi.protected_ then do_touch t ~write page
       end
   | Untouched ->
       Clock.advance t.clock t.costs.Costs.minor_fault_ns;
@@ -326,7 +426,7 @@ let rec touch t ?(write = false) page =
       t.resident <- t.resident + 1;
       if not pi.pinned then Lru.push_active_head t.lru page
   | Swapped ->
-      Swap.read t.swap page;
+      swap_read_retrying t page;
       Clock.advance t.clock t.costs.Costs.major_fault_ns;
       count_fault t pi ~major:true;
       ensure_frame t;
@@ -336,11 +436,52 @@ let rec touch t ?(write = false) page =
       pi.surrendered <- false;
       t.resident <- t.resident + 1;
       if not pi.pinned then Lru.push_active_head t.lru page;
-      (* made-resident notice, then any protection upcall *)
+      (* made-resident notice (the fault plan may lose it — the
+         protection upcall below is the reliable backstop), then any
+         protection upcall *)
       (match Process.handlers pi.owner with
-      | Some h -> h.Process.on_resident page
+      | Some h ->
+          route_notice t Fault_plan.Resident page (fun () ->
+              h.Process.on_resident page)
       | None -> ());
       if pi.protected_ then deliver_protection_fault t page pi
+
+(* Late delivery of notices the fault plan held back. Notices for pages
+   that have since been unmapped, or whose owner unregistered, are
+   quietly discarded; everything else is delivered as-is — possibly
+   stale, possibly a duplicate — which is exactly the unreliability the
+   consumers must tolerate. *)
+let flush_pending_notices t =
+  if
+    (not t.delivering) && (not t.in_reclaim)
+    && not (Queue.is_empty t.pending_notices)
+  then begin
+    t.delivering <- true;
+    Fun.protect ~finally:(fun () -> t.delivering <- false) @@ fun () ->
+    let items = List.of_seq (Queue.to_seq t.pending_notices) in
+    Queue.clear t.pending_notices;
+    let items =
+      match t.faults with
+      | Some plan when Fault_plan.reorder_pending plan -> List.rev items
+      | Some _ | None -> items
+    in
+    List.iter
+      (fun (kind, page) ->
+        match info t page with
+        | Some pi when pi.state <> Unmapped -> (
+            match Process.handlers pi.owner with
+            | Some h -> (
+                match kind with
+                | Fault_plan.Eviction -> deliver_eviction_notice t pi h page
+                | Fault_plan.Resident -> h.Process.on_resident page)
+            | None -> ())
+        | Some _ | None -> ())
+      items
+  end
+
+let touch t ?(write = false) page =
+  flush_pending_notices t;
+  do_touch t ~write page
 
 let unmap_range t ~first_page ~npages =
   for p = first_page to first_page + npages - 1 do
@@ -443,6 +584,8 @@ let coldest_pages t ~owner ~n =
   Lru.iter_inactive_from_tail t.lru consider;
   Lru.iter_active_from_tail t.lru consider;
   List.rev !acc
+
+let pending_notice_count t = Queue.length t.pending_notices
 
 let count_resident_owned t proc =
   let n = ref 0 in

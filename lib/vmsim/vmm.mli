@@ -22,6 +22,7 @@ val create :
   ?costs:Costs.t ->
   ?reclaim_batch:int ->
   ?swap_capacity_pages:int ->
+  ?faults:Faults.Fault_plan.t ->
   clock:Clock.t ->
   frames:int ->
   unit ->
@@ -30,8 +31,16 @@ val create :
     frames. [reclaim_batch] (default 16) is the eviction cluster size: the
     kernel frees that many frames per reclaim pass, so available memory
     fluctuates in steps, as §3.4.3 describes. [swap_capacity_pages] bounds
-    the swap device (default unlimited); exhausting it raises
-    {!Swap.Full}. *)
+    the swap device (default unlimited); a capacity-full device fails
+    evictions gracefully (the reclaimer moves on to other victims and
+    counts a stall) rather than raising out of the paging path.
+
+    [faults] attaches a fault-injection plan: pre-eviction and
+    made-resident notices may then be dropped, delayed, duplicated or
+    reordered, and swap I/O may fail transiently or reject writes during
+    scripted device-full episodes. Delayed/duplicated notices are
+    delivered at the next top-level {!touch}. Protection-fault upcalls are
+    never faulted: they model synchronous hardware traps. *)
 
 val create_process : t -> name:string -> Process.t
 
@@ -107,6 +116,9 @@ val pinned_count : t -> int
 
 val stats : t -> Vm_stats.t
 (** Global counters. Per-process counters live in {!Process.stats}. *)
+
+val pending_notice_count : t -> int
+(** Notices the fault plan has held back and not yet delivered. *)
 
 val count_resident_owned : t -> Process.t -> int
 (** O(pages) count of resident pages owned by a process (tests only). *)

@@ -26,6 +26,11 @@ let pin_pages t n =
     done
   end
 
+let unpin_pages t n =
+  for _ = 1 to min n (Vec.length t.pinned) do
+    Vmsim.Vmm.munlock t.vmm (Vec.pop t.pinned)
+  done
+
 let unpin_all t =
   Vec.iter (fun page -> Vmsim.Vmm.munlock t.vmm page) t.pinned;
   Vec.clear t.pinned

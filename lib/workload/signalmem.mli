@@ -12,6 +12,10 @@ val create : Vmsim.Vmm.t -> Heapsim.Address_space.t -> t
 val pin_pages : t -> int -> unit
 (** Pin [n] more pages right now (mmap + touch + mlock). *)
 
+val unpin_pages : t -> int -> unit
+(** Unlock the [n] most recently pinned pages (a pressure spike
+    receding). The pages stay mapped; the kernel may now evict them. *)
+
 val unpin_all : t -> unit
 
 val pinned_pages : t -> int

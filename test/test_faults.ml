@@ -1,0 +1,227 @@
+(* Fault injection: the plan's determinism and the stack's graceful
+   degradation under lost notices, swap errors and device-full episodes. *)
+
+module FP = Faults.Fault_plan
+module Vmm = Vmsim.Vmm
+module Clock = Vmsim.Clock
+module Process = Vmsim.Process
+module Metrics = Harness.Metrics
+
+let check = Alcotest.check
+
+(* ----------------------------------------------------------------- *)
+(* Spec parsing                                                       *)
+
+let test_spec_parse () =
+  (match FP.spec_of_string "drop-evict=0.3,swap-full=2,spikes=1" with
+  | Ok spec ->
+      check (Alcotest.float 1e-9) "drop" 0.3 spec.FP.drop_eviction;
+      check Alcotest.int "episodes" 2 spec.FP.swap_full_episodes;
+      check Alcotest.int "spikes" 1 spec.FP.spike_count
+  | Error msg -> Alcotest.fail msg);
+  (match FP.spec_of_string "drop=0.5" with
+  | Ok spec -> check (Alcotest.float 1e-9) "drop alias" 0.5 spec.FP.drop_eviction
+  | Error msg -> Alcotest.fail msg);
+  check Alcotest.bool "none parses" true (FP.spec_of_string "none" = Ok FP.none);
+  check Alcotest.bool "empty parses" true (FP.spec_of_string "" = Ok FP.none);
+  check Alcotest.bool "unknown key rejected" true
+    (Result.is_error (FP.spec_of_string "frobnicate=1"));
+  check Alcotest.bool "bad probability rejected" true
+    (Result.is_error (FP.spec_of_string "drop-evict=1.5"));
+  check Alcotest.bool "missing value rejected" true
+    (Result.is_error (FP.spec_of_string "drop-evict"))
+
+let test_spec_roundtrip () =
+  let specs =
+    [
+      FP.none;
+      { FP.none with FP.drop_eviction = 0.25; delay_notice = 0.1 };
+      {
+        FP.none with
+        FP.swap_full_episodes = 3;
+        swap_full_len = 4;
+        swap_write_error = 0.05;
+        spike_count = 2;
+        spike_pages = 64;
+      };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let s = FP.spec_to_string spec in
+      match FP.spec_of_string s with
+      | Ok spec' -> check Alcotest.bool ("roundtrip " ^ s) true (spec = spec')
+      | Error msg -> Alcotest.fail msg)
+    specs
+
+(* ----------------------------------------------------------------- *)
+(* VMM-level injection                                                *)
+
+let faulty_machine ?(frames = 4) plan_spec ~seed =
+  let clock = Clock.create () in
+  let plan = FP.create ~seed plan_spec in
+  let vmm = Vmm.create ~reclaim_batch:1 ~faults:plan ~clock ~frames () in
+  let proc = Vmm.create_process vmm ~name:"p" in
+  (vmm, proc, plan)
+
+let test_drop_all_eviction_notices () =
+  let vmm, proc, plan =
+    faulty_machine { FP.none with FP.drop_eviction = 1.0 } ~seed:42
+  in
+  let noticed = ref 0 in
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun _ -> incr noticed);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.int "every notice dropped" 0 !noticed;
+  check Alcotest.bool "drops counted" true ((FP.stats plan).FP.dropped_eviction > 0);
+  check Alcotest.bool "evictions proceeded anyway" true
+    ((Vmm.stats vmm).Vmsim.Vm_stats.evictions > 0)
+
+let test_delayed_notices_flushed () =
+  let vmm, proc, plan =
+    faulty_machine { FP.none with FP.delay_notice = 1.0 } ~seed:11
+  in
+  let noticed = ref 0 in
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun _ -> incr noticed);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.bool "delays counted" true ((FP.stats plan).FP.delayed > 0);
+  (* late notices were queued, and subsequent touches flushed them *)
+  check Alcotest.bool "late notices eventually delivered" true (!noticed > 0)
+
+(* ----------------------------------------------------------------- *)
+(* End-to-end degradation                                             *)
+
+let mini_spec =
+  {
+    (Workload.Benchmarks.pseudojbb) with
+    Workload.Spec.total_alloc_bytes = 2_000_000;
+    immortal_bytes = 200_000;
+    window_bytes = 100_000;
+  }
+
+let pressured_setup ?(collector = "BC") ~faults ~fault_seed () =
+  let heap_bytes = 1_500_000 in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 256 in
+  let pressure =
+    Workload.Pressure.Steady { after_progress = 0.2; pin_pages = frames - 150 }
+  in
+  Harness.Run.setup ~collector ~spec:mini_spec ~heap_bytes ~frames ~pressure
+    ~faults ~fault_seed ~verify:true ()
+
+let degradation_plan =
+  {
+    FP.none with
+    FP.drop_eviction = 0.3;
+    drop_resident = 0.1;
+    delay_notice = 0.1;
+    duplicate_notice = 0.05;
+  }
+
+let test_bc_degrades_gracefully () =
+  match Harness.Run.run (pressured_setup ~faults:degradation_plan ~fault_seed:7 ()) with
+  | Metrics.Completed m ->
+      (* verify:true already ran the heap verifier and BC's own
+         invariant check before this outcome was produced *)
+      let s =
+        match m.Metrics.faults with
+        | Some s -> s
+        | None -> Alcotest.fail "no fault stats on a faulted run"
+      in
+      check Alcotest.bool "notices actually dropped" true
+        (s.FP.dropped_eviction > 0);
+      check Alcotest.bool "collections completed" true
+        (m.Metrics.minor + m.Metrics.full + m.Metrics.compacting > 0);
+      check Alcotest.string "outcome degraded" "degraded"
+        (Metrics.outcome_label (Metrics.Completed m))
+  | Metrics.Exhausted msg -> Alcotest.failf "exhausted: %s" msg
+  | Metrics.Thrashed msg -> Alcotest.failf "thrashed: %s" msg
+  | Metrics.Failed f -> Alcotest.failf "failed: %s" f.Metrics.reason
+
+let test_swap_full_episodes () =
+  let faults =
+    {
+      FP.none with
+      FP.swap_full_episodes = 2;
+      swap_full_len = 4;
+      swap_full_every = 16;
+      swap_write_error = 0.02;
+    }
+  in
+  (* GenMS pages heavily under pressure, guaranteeing swap writes for the
+     episode script to reject *)
+  match
+    Harness.Run.run (pressured_setup ~collector:"GenMS" ~faults ~fault_seed:3 ())
+  with
+  | Metrics.Completed m ->
+      let s = Option.get m.Metrics.faults in
+      check Alcotest.bool "device-full rejections" true
+        (s.FP.swap_full_rejections >= 1)
+  | Metrics.Exhausted msg -> Alcotest.failf "exhausted: %s" msg
+  | Metrics.Thrashed msg -> Alcotest.failf "thrashed: %s" msg
+  | Metrics.Failed f -> Alcotest.failf "failed: %s" f.Metrics.reason
+
+let test_determinism () =
+  let once () =
+    match Harness.Run.run (pressured_setup ~faults:degradation_plan ~fault_seed:21 ()) with
+    | Metrics.Completed m -> m
+    | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
+    | Metrics.Failed f -> Alcotest.fail f.Metrics.reason
+  in
+  let a = once () and b = once () in
+  (* same seed, same plan: the entire fault schedule and therefore the
+     final metrics must be bit-identical *)
+  check Alcotest.bool "identical metrics" true (a = b);
+  check Alcotest.string "identical fault stats"
+    (Format.asprintf "%a" FP.pp_stats (Option.get a.Metrics.faults))
+    (Format.asprintf "%a" FP.pp_stats (Option.get b.Metrics.faults))
+
+let test_different_seed_differs () =
+  let stats_for seed =
+    match Harness.Run.run (pressured_setup ~faults:degradation_plan ~fault_seed:seed ()) with
+    | Metrics.Completed m -> Option.get m.Metrics.faults
+    | _ -> Alcotest.fail "run did not complete"
+  in
+  let a = stats_for 1 and b = stats_for 2 in
+  (* not a hard guarantee for any pair of seeds, but these two differ *)
+  check Alcotest.bool "schedules differ across seeds" true (a <> b)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+        ] );
+      ( "vmm",
+        [
+          Alcotest.test_case "drop all notices" `Quick
+            test_drop_all_eviction_notices;
+          Alcotest.test_case "delayed notices flushed" `Quick
+            test_delayed_notices_flushed;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "BC survives 30% dropped notices" `Quick
+            test_bc_degrades_gracefully;
+          Alcotest.test_case "swap-full episodes" `Quick test_swap_full_episodes;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_different_seed_differs;
+        ] );
+    ]

@@ -145,6 +145,7 @@ let test_pause_percentiles () =
       check Alcotest.bool "percentiles positive with pauses" true
         (m.Metrics.minor + m.Metrics.full = 0 || m.Metrics.p50_pause_ms > 0.0)
   | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
+  | Metrics.Failed f -> Alcotest.fail f.Metrics.reason
 
 let test_run_completes () =
   match
@@ -160,6 +161,7 @@ let test_run_completes () =
       check Alcotest.bool "no faults without pressure" true
         (m.Metrics.major_faults = 0)
   | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
+  | Metrics.Failed f -> Alcotest.fail f.Metrics.reason
 
 let test_run_exhausted () =
   match
@@ -170,6 +172,7 @@ let test_run_exhausted () =
   | Metrics.Completed _ -> Alcotest.fail "should not fit"
   | Metrics.Exhausted _ -> ()
   | Metrics.Thrashed msg -> Alcotest.fail ("thrashed: " ^ msg)
+  | Metrics.Failed f -> Alcotest.fail ("failed: " ^ f.Metrics.reason)
 
 let test_run_under_pressure_counts_faults () =
   let heap_bytes = 768 * 1024 in
@@ -188,6 +191,7 @@ let test_run_under_pressure_counts_faults () =
       check Alcotest.bool "faults under pressure" true
         (m.Metrics.major_faults > 0)
   | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
+  | Metrics.Failed f -> Alcotest.fail f.Metrics.reason
 
 let test_two_iterations () =
   (* §5.1 methodology: warm-up iterations run, but only the last is
@@ -200,6 +204,7 @@ let test_two_iterations () =
     with
     | Metrics.Completed m -> m
     | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
+    | Metrics.Failed f -> Alcotest.fail f.Metrics.reason
   in
   let single = once 1 and double = once 2 in
   (* allocation accounting covers only the measured iteration *)

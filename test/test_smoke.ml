@@ -16,6 +16,7 @@ let smoke name () =
       Format.printf "%s: %a@." name Harness.Metrics.pp m
   | Harness.Metrics.Exhausted msg -> Alcotest.failf "%s exhausted: %s" name msg
   | Harness.Metrics.Thrashed msg -> Alcotest.failf "%s thrashed: %s" name msg
+  | Harness.Metrics.Failed f -> Alcotest.failf "%s failed: %s" name f.Harness.Metrics.reason
 
 let pressure_smoke name () =
   let heap_bytes = 1_500_000 in
@@ -42,6 +43,7 @@ let pressure_smoke name () =
         Alcotest.(check bool) "GenMS pages during GC" true (m.Harness.Metrics.gc_major_faults > 0)
   | Harness.Metrics.Exhausted msg -> Alcotest.failf "%s exhausted: %s" name msg
   | Harness.Metrics.Thrashed msg -> Alcotest.failf "%s thrashed: %s" name msg
+  | Harness.Metrics.Failed f -> Alcotest.failf "%s failed: %s" name f.Harness.Metrics.reason
 
 (* Beyond the design envelope: available memory below the live set. All
    collectors thrash; the simulation must still terminate. *)
@@ -61,6 +63,7 @@ let extreme_smoke name () =
       Format.printf "extreme %s: %a@." name Harness.Metrics.pp m
   | Harness.Metrics.Exhausted msg -> Alcotest.failf "%s exhausted: %s" name msg
   | Harness.Metrics.Thrashed msg -> Alcotest.failf "%s thrashed: %s" name msg
+  | Harness.Metrics.Failed f -> Alcotest.failf "%s failed: %s" name f.Harness.Metrics.reason
 
 let () =
   Alcotest.run "smoke"

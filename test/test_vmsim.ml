@@ -410,6 +410,90 @@ let test_swap_tracks_evictions () =
   Vmm.touch vmm !victim;
   check Alcotest.bool "reads counted" true (Vmsim.Swap.reads swap > 0)
 
+(* ----------------------------------------------------------------- *)
+(* Cooperation syscalls under failure                                  *)
+
+let test_relinquish_already_evicted () =
+  let _, vmm, proc = machine ~frames:4 ~batch:1 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:8;
+  for p = 0 to 7 do
+    Vmm.touch vmm ~write:true p
+  done;
+  let swapped = ref [] in
+  for p = 0 to 7 do
+    if Vmm.is_swapped vmm p then swapped := p :: !swapped
+  done;
+  check Alcotest.bool "some pages already evicted" true (!swapped <> []);
+  (* surrendering pages the kernel already evicted (a stale footprint
+     view after lost notices) must be a harmless no-op *)
+  Vmm.vm_relinquish vmm !swapped;
+  check Alcotest.int "nothing newly relinquished" 0
+    (Vmm.stats vmm).Vm_stats.relinquished;
+  List.iter
+    (fun p -> check Alcotest.bool "still swapped" true (Vmm.is_swapped vmm p))
+    !swapped;
+  (* same for unmapped and never-touched pages *)
+  Vmm.vm_relinquish vmm [ 200; 201 ]
+
+let test_madvise_races_reclaim () =
+  let _, vmm, proc = machine ~frames:4 ~batch:1 () in
+  (* an owner that answers every eviction notice by discarding the
+     page — madvise_dontneed issued from inside the reclaim pass *)
+  Process.register proc
+    {
+      Process.on_eviction_notice = (fun p -> Vmm.madvise_dontneed vmm p);
+      on_resident = (fun _ -> ());
+      on_protection_fault = (fun _ -> ());
+    };
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  for p = 0 to 15 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.bool "discards recorded" true
+    ((Vmm.stats vmm).Vm_stats.discards > 0);
+  check Alcotest.bool "capacity held" true (Vmm.resident_count vmm <= 4);
+  (* discarded pages need no swap copy: re-touching is a zero fill *)
+  check Alcotest.int "no major faults" 0 (Vmm.stats vmm).Vm_stats.major_faults
+
+let test_mlock_when_all_frames_pinned () =
+  let _, vmm, proc = machine ~frames:4 () in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:8;
+  for p = 0 to 3 do
+    Vmm.mlock vmm p
+  done;
+  check Alcotest.int "all frames pinned" 4 (Vmm.pinned_count vmm);
+  (* locking a fifth page needs a frame no reclaim pass can free *)
+  check Alcotest.bool "mlock past capacity raises Thrashing" true
+    (match Vmm.mlock vmm 4 with
+    | () -> false
+    | exception Vmm.Thrashing _ -> true)
+
+let test_swap_full_during_eviction () =
+  let clock = Clock.create () in
+  (* swap holds 2 pages; 4 frames; 16 dirty pages force evictions that
+     soon find the device full. The run may still complete (stalled
+     evictions retried later) or legitimately thrash once neither memory
+     nor swap can hold the working set — but Swap.Full must never escape
+     the paging path *)
+  let vmm =
+    Vmm.create ~reclaim_batch:1 ~swap_capacity_pages:2 ~clock ~frames:4 ()
+  in
+  let proc = Vmm.create_process vmm ~name:"p" in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:16;
+  (match
+     for p = 0 to 15 do
+       Vmm.touch vmm ~write:true p
+     done
+   with
+  | () -> ()
+  | exception Vmm.Thrashing _ -> ()
+  | exception Vmsim.Swap.Full -> Alcotest.fail "Swap.Full escaped eviction");
+  check Alcotest.bool "stalls recorded" true
+    ((Vmm.stats vmm).Vm_stats.swap_stalls > 0);
+  check Alcotest.bool "swap capacity respected" true
+    (Vmsim.Swap.occupancy_pages (Vmm.swap vmm) <= 2);
+  check Alcotest.bool "capacity still held" true (Vmm.resident_count vmm <= 4)
+
 (* Model property: a random touch/madvise/relinquish sequence keeps the
    VMM's resident count within capacity and consistent with page
    states. *)
@@ -483,6 +567,17 @@ let () =
           Alcotest.test_case "coldest pages" `Quick test_coldest_pages;
           Alcotest.test_case "unmap drops swap copy" `Quick
             test_unmap_swapped_drops_copy;
+        ] );
+      ( "failure modes",
+        [
+          Alcotest.test_case "relinquish already evicted" `Quick
+            test_relinquish_already_evicted;
+          Alcotest.test_case "madvise races reclaim" `Quick
+            test_madvise_races_reclaim;
+          Alcotest.test_case "mlock all pinned" `Quick
+            test_mlock_when_all_frames_pinned;
+          Alcotest.test_case "swap full during eviction" `Quick
+            test_swap_full_during_eviction;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_vmm_model ]);
     ]
