@@ -1,4 +1,4 @@
-.PHONY: all build test ci bench bench-full examples doc clean
+.PHONY: all build test ci trace-smoke bench bench-full examples doc clean
 
 all: build
 
@@ -8,11 +8,22 @@ build:
 test:
 	dune runtest
 
-# Full CI gate: everything compiles (including examples and benches) and
-# the whole suite passes — test_faults runs the fault-plan smoke tests
-# with fixed seeds, so regressions in the degradation paths fail here.
+# Full CI gate: everything compiles (including examples and benches), the
+# whole suite passes — test_faults runs the fault-plan smoke tests with
+# fixed seeds, so regressions in the degradation paths fail here — and a
+# traced run produces valid Chrome JSON covering every GC phase kind.
 ci:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) trace-smoke
+
+# Trace smoke: a small pressured run known (deterministically) to exercise
+# minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
+# the emitted JSON and fails if any expected span kind is missing.
+trace-smoke:
+	./_build/default/bin/bcgc.exe run -c BC -w _201_compress \
+	  --volume 0.1 --heap-kb 1536 --frames 500 --pin 250 \
+	  --trace /tmp/bcgc-ci-trace.json
+	./_build/default/bin/bcgc.exe trace /tmp/bcgc-ci-trace.json \
+	  --expect-phases minor,full,compacting,mark,sweep,evacuate,bookmark-scan,reconcile
 
 bench:
 	dune exec bench/main.exe

@@ -109,11 +109,12 @@ let () =
   | "recovery" -> Harness.Experiments.recovery m
   | "mixed" -> Harness.Experiments.mixed m
   | "faults" -> Harness.Experiments.faults m
+  | "trace" -> Harness.Experiments.trace_export m
   | "all" -> Harness.Experiments.all m
   | "bechamel" -> run_bechamel ()
   | other ->
       Printf.eprintf
         "unknown target %S (try table1 fig2 fig3 fig45 fig6 fig7 ablation \
-         ssd faults all bechamel)\n"
+         ssd faults trace all bechamel)\n"
         other;
       exit 1

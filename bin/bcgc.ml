@@ -63,6 +63,18 @@ let verify_arg =
   let doc = "Run the heap/VM invariant verifier after the run." in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON telemetry trace of the run to $(docv) \
+     (load it in Perfetto or chrome://tracing; summarise it with `bcgc \
+     trace')."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let timeline_arg =
+  let doc = "Print an ASCII event timeline after the run (needs --trace)." in
+  Arg.(value & flag & info [ "timeline" ] ~doc)
+
 let resolve_faults spec_str =
   match Faults.Fault_plan.spec_of_string spec_str with
   | Ok spec -> if spec = Faults.Fault_plan.none then None else Some spec
@@ -92,7 +104,7 @@ let resolve_spec workload spec_file =
   | None -> find_spec workload
 
 let run_cmd collector workload spec_file heap_kb frames pin volume verbose
-    faults fault_seed verify =
+    faults fault_seed verify trace_file timeline =
   let spec =
     Workload.Spec.scale_volume (resolve_spec workload spec_file) volume
   in
@@ -103,11 +115,41 @@ let run_cmd collector workload spec_file heap_kb frames pin volume verbose
     | Some pin_pages ->
         Workload.Pressure.Steady { after_progress = 0.1; pin_pages }
   in
+  let sink =
+    match trace_file with
+    | None -> None
+    | Some _ -> Some (Telemetry.Sink.create ())
+  in
   let setup =
     Harness.Run.setup ~collector ~spec ~heap_bytes ?frames ~pressure
-      ?faults:(resolve_faults faults) ~fault_seed ~verify ()
+      ?faults:(resolve_faults faults) ~fault_seed ~verify ?trace:sink ()
   in
-  match Harness.Run.run setup with
+  let outcome = Harness.Run.run setup in
+  (* dump the trace for every outcome — a trace of a thrashed or failed
+     run is exactly when you want to look at one *)
+  (match (trace_file, sink) with
+  | Some path, Some sink ->
+      let metadata =
+        ("outcome", Telemetry.Json.Str (Harness.Metrics.outcome_label outcome))
+        ::
+        (match outcome with
+        | Harness.Metrics.Completed m ->
+            [ ("metrics", Harness.Metrics.to_json m) ]
+        | _ -> [])
+      in
+      let oc = open_out path in
+      Telemetry.Export.write_chrome_json ~metadata sink oc;
+      close_out oc;
+      Printf.printf "trace: %d events (%d dropped) -> %s\n"
+        (Telemetry.Sink.total sink)
+        (Telemetry.Sink.dropped sink)
+        path;
+      if timeline then begin
+        Telemetry.Export.ascii_timeline sink Format.std_formatter;
+        Format.printf "%a@?" Telemetry.Report.pp sink
+      end
+  | _ -> ());
+  match outcome with
   | Harness.Metrics.Completed m ->
       Format.printf "%a@." Harness.Metrics.pp m;
       if verbose then begin
@@ -143,10 +185,17 @@ let run_cmd collector workload spec_file heap_kb frames pin volume verbose
       1
 
 let list_cmd () =
+  let print_info (i : Harness.Registry.info) =
+    Printf.printf "  %-14s %s\n" i.Harness.Registry.name i.Harness.Registry.doc
+  in
   print_endline "collectors:";
-  List.iter (Printf.printf "  %s\n") Harness.Registry.names;
+  List.iter print_info
+    (List.filter
+       (fun i -> not i.Harness.Registry.ablation)
+       Harness.Registry.all);
   print_endline "collector ablation variants:";
-  List.iter (Printf.printf "  %s\n") Harness.Registry.ablation_names;
+  List.iter print_info
+    (List.filter (fun i -> i.Harness.Registry.ablation) Harness.Registry.all);
   print_endline "workloads:";
   List.iter
     (fun spec -> Format.printf "  %a@." Workload.Spec.pp spec)
@@ -219,6 +268,105 @@ let trace_replay_cmd collector input heap_kb frames pin =
   Format.printf "%a@." Harness.Metrics.pp m;
   0
 
+(* Summarise (and validate) a Chrome trace JSON file written by
+   `bcgc run --trace`, using our own parser — the CI smoke step leans on
+   this to prove the emitted JSON actually parses. *)
+let trace_summary_cmd file expect_phases =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let content =
+    try read_file file
+    with Sys_error msg ->
+      Printf.eprintf "bcgc trace: %s\n" msg;
+      exit 1
+  in
+  match Telemetry.Json.of_string_opt content with
+  | None ->
+      Printf.eprintf "bcgc trace: %s is not valid JSON\n" file;
+      1
+  | Some json -> (
+      match
+        Option.bind (Telemetry.Json.member "traceEvents" json)
+          Telemetry.Json.to_list_opt
+      with
+      | None ->
+          Printf.eprintf "bcgc trace: %s has no traceEvents array\n" file;
+          1
+      | Some events ->
+          let spans = Hashtbl.create 8 in
+          let open_ts = Hashtbl.create 8 in
+          let instants = Hashtbl.create 8 in
+          let counters = Hashtbl.create 8 in
+          let bump tbl key by =
+            let n, dur =
+              Option.value (Hashtbl.find_opt tbl key) ~default:(0, 0.0)
+            in
+            Hashtbl.replace tbl key (n + fst by, dur +. snd by)
+          in
+          List.iter
+            (fun e ->
+              let field k conv = Option.bind (Telemetry.Json.member k e) conv in
+              match
+                (field "ph" Telemetry.Json.str_opt,
+                 field "name" Telemetry.Json.str_opt)
+              with
+              | Some "B", Some name ->
+                  let ts =
+                    Option.value ~default:0.0 (field "ts" Telemetry.Json.num_opt)
+                  in
+                  Hashtbl.replace open_ts name ts;
+                  bump spans name (1, 0.0)
+              | Some "E", Some name -> (
+                  match Hashtbl.find_opt open_ts name with
+                  | None -> ()
+                  | Some ts0 ->
+                      Hashtbl.remove open_ts name;
+                      let ts =
+                        Option.value ~default:ts0
+                          (field "ts" Telemetry.Json.num_opt)
+                      in
+                      bump spans name (0, ts -. ts0))
+              | Some "i", Some name -> bump instants name (1, 0.0)
+              | Some "C", Some name -> bump counters name (1, 0.0)
+              | _ -> ())
+            events;
+          Printf.printf "%s: %d trace events\n" file (List.length events);
+          let sorted tbl =
+            List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+          in
+          List.iter
+            (fun (name, (n, dur)) ->
+              Printf.printf "  span    %-14s %6d  %10.3f ms\n" name n
+                (dur /. 1e3))
+            (sorted spans);
+          List.iter
+            (fun (name, (n, _)) ->
+              Printf.printf "  instant %-22s %6d\n" name n)
+            (sorted instants);
+          List.iter
+            (fun (name, (n, _)) ->
+              Printf.printf "  counter %-14s %6d samples\n" name n)
+            (sorted counters);
+          let missing =
+            match expect_phases with
+            | None -> []
+            | Some spec ->
+                List.filter
+                  (fun name ->
+                    name <> "" && not (Hashtbl.mem spans name))
+                  (String.split_on_char ',' spec)
+          in
+          if missing <> [] then begin
+            Printf.eprintf "bcgc trace: missing expected phase span(s): %s\n"
+              (String.concat ", " missing);
+            1
+          end
+          else 0)
+
 let bench_cmd target full =
   let mode =
     if full then Harness.Experiments.Full else Harness.Experiments.Quick
@@ -235,6 +383,7 @@ let bench_cmd target full =
   | "recovery" -> Harness.Experiments.recovery mode
   | "mixed" -> Harness.Experiments.mixed mode
   | "faults" -> Harness.Experiments.faults mode
+  | "trace" -> Harness.Experiments.trace_export mode
   | _ -> Harness.Experiments.all mode);
   0
 
@@ -242,7 +391,7 @@ let run_t =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ heap_arg
     $ frames_arg $ pin_arg $ volume_arg $ verbose_arg $ faults_arg
-    $ fault_seed_arg $ verify_arg)
+    $ fault_seed_arg $ verify_arg $ trace_arg $ timeline_arg)
 
 let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"Run one collector on one workload") run_t
@@ -284,6 +433,25 @@ let cmd_bench =
     (Cmd.info "bench" ~doc:"Regenerate a paper table or figure")
     Term.(const bench_cmd $ target $ full)
 
+let cmd_trace =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let expect =
+    let doc =
+      "Comma-separated span names that must appear in the trace (e.g. \
+       'minor,compacting,mark'); exit nonzero when one is missing."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-phases" ] ~docv:"NAMES" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Summarise and validate a Chrome trace written by run --trace")
+    Term.(const trace_summary_cmd $ file $ expect)
+
 let () =
   let info =
     Cmd.info "bcgc" ~version:"1.0.0"
@@ -300,6 +468,7 @@ let () =
              cmd_list;
              cmd_minheap;
              cmd_bench;
+             cmd_trace;
              cmd_trace_record;
              cmd_trace_replay;
            ])

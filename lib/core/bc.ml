@@ -317,6 +317,10 @@ let bookmark_and_evict t victim =
   Vmsim.Vmm.mprotect vmm victim ~protect:true;
   Vmsim.Vmm.vm_relinquish vmm [ victim ]
 
+let bookmark_and_evict t victim =
+  Gc_common.Pause.span t.heap Telemetry.Event.Bookmark_scan (fun () ->
+      bookmark_and_evict t victim)
+
 (* A page of ours came back (mutator fault or protection-fault upcall):
    update residency, release its ledger entry, clear now-unnecessary
    bookmarks (§3.4.2) and re-remember its old-to-young pointers. *)
@@ -467,6 +471,10 @@ let reconcile_with_kernel t =
       end)
     !stale
 
+let reconcile_with_kernel t =
+  Gc_common.Pause.span t.heap Telemetry.Event.Reconcile (fun () ->
+      reconcile_with_kernel t)
+
 (* ------------------------------------------------------------------ *)
 (* Tracing                                                             *)
 
@@ -529,6 +537,10 @@ let mark_heap t ~follow =
     trace (fun enqueue -> List.iter enqueue pending)
   done
 
+let mark_heap t ~follow =
+  Gc_common.Pause.span t.heap Telemetry.Event.Mark (fun () ->
+      mark_heap t ~follow)
+
 let obj_pages_allowed heap id ~resident =
   let ok = ref true in
   Heapsim.Heap.iter_pages heap id (fun page ->
@@ -573,6 +585,10 @@ let sweep_superpages t ~resident =
         end
       done)
 
+let sweep_superpages t ~resident =
+  Gc_common.Pause.span t.heap Telemetry.Event.Sweep (fun () ->
+      sweep_superpages t ~resident)
+
 (* Sweep the large object space in place: unmarked, unbookmarked, fully
    visitable objects are freed; evicted ones are preserved. *)
 let sweep_los t ~resident =
@@ -601,6 +617,10 @@ let sweep_los t ~resident =
         Gc_common.Large_object_space.forget_range t.los ~first_page
       end);
   Gc_common.Large_object_space.replace_objects t.los survivors
+
+let sweep_los t ~resident =
+  Gc_common.Pause.span t.heap Telemetry.Event.Sweep (fun () ->
+      sweep_los t ~resident)
 
 (* ------------------------------------------------------------------ *)
 (* Evacuation into the mature space                                    *)
@@ -784,6 +804,10 @@ let evacuate_nursery t =
      done;
      raise e);
   retire_nursery_pages t
+
+let evacuate_nursery t =
+  Gc_common.Pause.span t.heap Telemetry.Event.Evacuate (fun () ->
+      evacuate_nursery t)
 
 let clear_remembered t =
   Gc_common.Write_buffer.drain t.wbuf (fun ~src:_ ~field:_ -> ());
@@ -988,9 +1012,11 @@ let compact t =
 
 let failsafe t =
   Gc_common.Pause.run t.stats t.heap Gc_stats.Full (fun () ->
+      Gc_common.Pause.span t.heap Telemetry.Event.Failsafe @@ fun () ->
       reload_nursery t;
       with_gc t @@ fun () ->
       t.failsafe_count <- t.failsafe_count + 1;
+      Gc_stats.note_failsafe t.stats;
       Charge.setup t.heap;
       reconcile_with_kernel t;
       let objects = Heapsim.Heap.objects t.heap in

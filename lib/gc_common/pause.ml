@@ -1,9 +1,35 @@
+let phase_of_kind : Gc_stats.pause_kind -> Telemetry.Event.phase = function
+  | Gc_stats.Minor -> Telemetry.Event.Minor
+  | Gc_stats.Full -> Telemetry.Event.Full
+  | Gc_stats.Compacting -> Telemetry.Event.Compacting
+
+(* Bracket [f] in a Phase_begin/Phase_end pair when the heap's VMM has a
+   telemetry sink attached. Without one this is a branch and a call — no
+   allocation, no clock advance. *)
+let span heap phase f =
+  match Vmsim.Vmm.trace (Heapsim.Heap.vmm heap) with
+  | None -> f ()
+  | Some sink ->
+      let clock = Heapsim.Heap.clock heap in
+      let pid = Vmsim.Process.pid (Heapsim.Heap.process heap) in
+      let code = Telemetry.Event.phase_code phase in
+      Telemetry.Sink.emit sink
+        ~ts_ns:(Vmsim.Clock.now clock)
+        Telemetry.Event.Phase_begin code pid;
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.Sink.emit sink
+            ~ts_ns:(Vmsim.Clock.now clock)
+            Telemetry.Event.Phase_end code pid)
+        f
+
 let run stats heap kind f =
   let pstats = Vmsim.Process.stats (Heapsim.Heap.process heap) in
   let before = pstats.Vmsim.Vm_stats.major_faults in
   Gc_stats.time_pause stats (Heapsim.Heap.clock heap) kind (fun () ->
-      Fun.protect
-        ~finally:(fun () ->
-          Gc_stats.add_gc_faults stats
-            (pstats.Vmsim.Vm_stats.major_faults - before))
-        f)
+      span heap (phase_of_kind kind) (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              Gc_stats.add_gc_faults stats
+                (pstats.Vmsim.Vm_stats.major_faults - before))
+            f))

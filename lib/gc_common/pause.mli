@@ -1,6 +1,10 @@
 (** Pause accounting wrapper: records the collection's virtual-time
     interval {e and} the major faults the collector incurred during it —
-    the paper's key observable (BC's collections fault on no pages). *)
+    the paper's key observable (BC's collections fault on no pages).
+
+    When the heap's VMM has a telemetry sink attached, [run] also
+    brackets the collection in a [Phase_begin]/[Phase_end] event pair, so
+    a trace shows every pause as a span. *)
 
 val run :
   Gc_stats.t ->
@@ -8,3 +12,9 @@ val run :
   Gc_stats.pause_kind ->
   (unit -> 'a) ->
   'a
+
+val span : Heapsim.Heap.t -> Telemetry.Event.phase -> (unit -> 'a) -> 'a
+(** [span heap phase f] brackets [f] in a begin/end event pair for
+    [phase] when a sink is attached; otherwise just runs [f]. Collectors
+    use this for their internal sub-phases (mark, sweep, evacuate,
+    bookmark scan, kernel reconcile, fail-safe). *)

@@ -209,7 +209,7 @@ let figure3 mode =
 
 let pjbb_heap_bytes = 77 * 1_048_576 / Workload.Benchmarks.scale
 
-let dynamic_setup ?costs ~collector ~spec ~available_frac () =
+let dynamic_setup ?costs ?trace ~collector ~spec ~available_frac () =
   let heap_bytes = pjbb_heap_bytes in
   let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
   let frames = heap_pages + 256 in
@@ -232,7 +232,7 @@ let dynamic_setup ?costs ~collector ~spec ~available_frac () =
         max_pages = pin_target;
       }
   in
-  Run.setup ?costs ~collector ~spec ~heap_bytes ~frames ~pressure ()
+  Run.setup ?costs ?trace ~collector ~spec ~heap_bytes ~frames ~pressure ()
 
 let dynamic_outcomes p collectors =
   let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
@@ -386,8 +386,13 @@ let figure7 mode =
 
 let ablation mode =
   let p = params mode in
+  (* every registered BC-family entry (canonical, variants, ablations),
+     then the generational yardsticks *)
   let variants =
-    ("BC" :: "BC-resize" :: "BC-fixed" :: Registry.ablation_names)
+    List.filter_map
+      (fun (i : Registry.info) ->
+        if i.Registry.family = "BC" then Some i.Registry.name else None)
+      Registry.all
     @ [ "GenMS"; "GenMS-coop" ]
   in
   let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
@@ -624,6 +629,52 @@ let faults mode =
                describe (spec.Spec.name ^ "/" ^ collector) outcome)
              collectors)
          Workload.Benchmarks.all)
+
+(* ---------------------------------------------------------------- *)
+(* Telemetry trace export                                             *)
+
+let trace_export mode =
+  let p = params mode in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let cells = [ ("BC", 0.4); ("GenMS", 0.4) ] in
+  let dir = Sys.getenv_opt "CSV_DIR" in
+  List.iter
+    (fun (collector, available_frac) ->
+      let sink = Telemetry.Sink.create () in
+      let outcome =
+        Run.run (dynamic_setup ~trace:sink ~collector ~spec ~available_frac ())
+      in
+      Printf.printf "\n== Trace: %s/pseudoJBB at %.2f available (%s mode) ==\n"
+        collector available_frac p.label;
+      (match outcome with
+      | Metrics.Completed m -> Format.printf "%a@." Metrics.pp m
+      | o -> Format.printf "%s@." (Metrics.outcome_label o));
+      Format.printf "%a@?" Telemetry.Report.pp sink;
+      match dir with
+      | None -> ()
+      | Some dir ->
+          let base =
+            Printf.sprintf "%s/trace-%s-%.0f" dir collector
+              (available_frac *. 100.)
+          in
+          let metadata =
+            ("outcome",
+             Telemetry.Json.Str (Metrics.outcome_label outcome))
+            ::
+            (match outcome with
+            | Metrics.Completed m -> [ ("metrics", Metrics.to_json m) ]
+            | _ -> [])
+          in
+          let oc = open_out (base ^ ".json") in
+          Telemetry.Export.write_chrome_json ~metadata sink oc;
+          close_out oc;
+          let buf = Buffer.create 4096 in
+          Telemetry.Export.csv sink buf;
+          let oc = open_out (base ^ ".csv") in
+          Buffer.output_buffer oc buf;
+          close_out oc;
+          Printf.printf "wrote %s.json and %s.csv\n" base base)
+    cells
 
 let all mode =
   table1 mode;

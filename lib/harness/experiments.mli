@@ -63,6 +63,13 @@ val faults : mode -> unit
     the post-run invariant verifier on; prints per-cell
     ok/degraded/failed outcomes and the injected-fault counters. *)
 
+val trace_export : mode -> unit
+(** Telemetry showcase: run BC and GenMS on pseudoJBB under dynamic
+    pressure with a trace sink attached, print the per-phase report, and
+    (when [CSV_DIR] is set) write Chrome trace JSON + event CSV files —
+    the JSON embeds the cell's {!Metrics.to_json}, the single
+    serialisation path. Not part of {!all}. *)
+
 val all : mode -> unit
 (** Everything above, in paper order, plus the SSD, recovery,
     cohabitation and fault-injection studies. *)

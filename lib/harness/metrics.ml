@@ -1,4 +1,5 @@
 module Gc_stats = Gc_common.Gc_stats
+module Json = Telemetry.Json
 
 type t = {
   collector : string;
@@ -9,6 +10,7 @@ type t = {
   minor : int;
   full : int;
   compacting : int;
+  failsafes : int;
   avg_pause_ms : float;
   p50_pause_ms : float;
   p95_pause_ms : float;
@@ -39,50 +41,112 @@ type outcome =
 
 let elapsed_s t = Vmsim.Clock.ns_to_s t.elapsed_ns
 
-let of_run ?faults ~collector ~workload ~start_ns ~end_ns () =
-  let stats = collector.Gc_common.Collector.stats in
-  let pstats =
-    Vmsim.Process.stats
-      (Heapsim.Heap.process collector.Gc_common.Collector.heap)
-  in
+(* Derive a result purely from immutable snapshots — a cell can be built
+   for any interval by [diff]ing two snapshots, and the collector's
+   mutable counters are read exactly once. *)
+let of_snapshots ?faults ~collector ~workload ~heap_bytes ~gc ~vm ~start_ns
+    ~end_ns () =
   {
-    collector = collector.Gc_common.Collector.name;
+    collector;
     workload;
-    heap_bytes =
-      collector.Gc_common.Collector.config.Gc_common.Gc_config.heap_bytes;
+    heap_bytes;
     elapsed_ns = end_ns - start_ns;
-    gc_ns = Gc_stats.total_gc_ns stats;
-    minor = Gc_stats.count stats Gc_stats.Minor;
-    full = Gc_stats.count stats Gc_stats.Full;
-    compacting = Gc_stats.count stats Gc_stats.Compacting;
-    avg_pause_ms = Gc_stats.avg_pause_ms stats;
-    p50_pause_ms = Gc_stats.pause_percentile_ms stats 0.5;
-    p95_pause_ms = Gc_stats.pause_percentile_ms stats 0.95;
-    max_pause_ms = Gc_stats.max_pause_ms stats;
-    major_faults = pstats.Vmsim.Vm_stats.major_faults;
-    gc_major_faults = Gc_stats.gc_major_faults stats;
-    evictions = pstats.Vmsim.Vm_stats.evictions;
-    discards = pstats.Vmsim.Vm_stats.discards;
-    relinquished = pstats.Vmsim.Vm_stats.relinquished;
-    footprint_pages = Gc_stats.max_heap_pages stats;
-    allocated_bytes = Gc_stats.allocated_bytes stats;
+    gc_ns = gc.Gc_stats.Snapshot.total_gc_ns;
+    minor = gc.Gc_stats.Snapshot.minor;
+    full = gc.Gc_stats.Snapshot.full;
+    compacting = gc.Gc_stats.Snapshot.compacting;
+    failsafes = gc.Gc_stats.Snapshot.failsafes;
+    avg_pause_ms = Gc_stats.Snapshot.avg_pause_ms gc;
+    p50_pause_ms = Gc_stats.Snapshot.pause_percentile_ms gc 0.5;
+    p95_pause_ms = Gc_stats.Snapshot.pause_percentile_ms gc 0.95;
+    max_pause_ms = Gc_stats.Snapshot.max_pause_ms gc;
+    major_faults = vm.Vmsim.Vm_stats.Snapshot.major_faults;
+    gc_major_faults = gc.Gc_stats.Snapshot.gc_major_faults;
+    evictions = vm.Vmsim.Vm_stats.Snapshot.evictions;
+    discards = vm.Vmsim.Vm_stats.Snapshot.discards;
+    relinquished = vm.Vmsim.Vm_stats.Snapshot.relinquished;
+    footprint_pages = gc.Gc_stats.Snapshot.max_heap_pages;
+    allocated_bytes = gc.Gc_stats.Snapshot.allocated_bytes;
     pauses =
       List.map
         (fun p -> (p.Gc_stats.start_ns, p.Gc_stats.duration_ns))
-        (Gc_stats.pauses stats);
+        gc.Gc_stats.Snapshot.pauses;
     faults;
   }
 
-(* How did the cell fare? "degraded" means it completed while faults
-   were actually being injected — the graceful-degradation regime. *)
+let of_run ?faults ~collector ~workload ~start_ns ~end_ns () =
+  let gc = Gc_stats.snapshot collector.Gc_common.Collector.stats in
+  let vm =
+    Vmsim.Vm_stats.snapshot
+      (Vmsim.Process.stats
+         (Heapsim.Heap.process collector.Gc_common.Collector.heap))
+  in
+  of_snapshots ?faults ~collector:collector.Gc_common.Collector.name ~workload
+    ~heap_bytes:
+      collector.Gc_common.Collector.config.Gc_common.Gc_config.heap_bytes
+    ~gc ~vm ~start_ns ~end_ns ()
+
+(* How did the cell fare? "degraded" means it completed, but only under
+   duress: faults were actually injected, or the collector had to fall
+   back to a fail-safe whole-heap collection (§3.5). *)
 let outcome_label = function
   | Completed { faults = Some stats; _ }
     when Faults.Fault_plan.injected_total stats > 0 ->
       "degraded"
+  | Completed { failsafes; _ } when failsafes > 0 -> "degraded"
   | Completed _ -> "ok"
   | Exhausted _ -> "exhausted"
   | Thrashed _ -> "thrashed"
   | Failed _ -> "failed"
+
+(* The one serialisation path for a cell: the bench CSV dump and the
+   trace exporter's metadata both go through this. *)
+let to_json t =
+  let fault_json (s : Faults.Fault_plan.stats) =
+    Json.Obj
+      [
+        ("dropped_eviction", Json.int s.Faults.Fault_plan.dropped_eviction);
+        ("dropped_resident", Json.int s.Faults.Fault_plan.dropped_resident);
+        ("delayed", Json.int s.Faults.Fault_plan.delayed);
+        ("duplicated", Json.int s.Faults.Fault_plan.duplicated);
+        ("reordered_flushes", Json.int s.Faults.Fault_plan.reordered_flushes);
+        ("swap_write_errors", Json.int s.Faults.Fault_plan.swap_write_errors);
+        ("swap_read_errors", Json.int s.Faults.Fault_plan.swap_read_errors);
+        ("swap_full_rejections", Json.int s.Faults.Fault_plan.swap_full_rejections);
+        ("spikes_applied", Json.int s.Faults.Fault_plan.spikes_applied);
+        ("injected_total", Json.int (Faults.Fault_plan.injected_total s));
+      ]
+  in
+  Json.Obj
+    [
+      ("collector", Json.Str t.collector);
+      ("workload", Json.Str t.workload);
+      ("heap_bytes", Json.int t.heap_bytes);
+      ("elapsed_ns", Json.int t.elapsed_ns);
+      ("gc_ns", Json.int t.gc_ns);
+      ("minor", Json.int t.minor);
+      ("full", Json.int t.full);
+      ("compacting", Json.int t.compacting);
+      ("failsafes", Json.int t.failsafes);
+      ("avg_pause_ms", Json.Num t.avg_pause_ms);
+      ("p50_pause_ms", Json.Num t.p50_pause_ms);
+      ("p95_pause_ms", Json.Num t.p95_pause_ms);
+      ("max_pause_ms", Json.Num t.max_pause_ms);
+      ("major_faults", Json.int t.major_faults);
+      ("gc_major_faults", Json.int t.gc_major_faults);
+      ("evictions", Json.int t.evictions);
+      ("discards", Json.int t.discards);
+      ("relinquished", Json.int t.relinquished);
+      ("footprint_pages", Json.int t.footprint_pages);
+      ("allocated_bytes", Json.int t.allocated_bytes);
+      ( "pauses",
+        Json.List
+          (List.map
+             (fun (s, d) -> Json.List [ Json.int s; Json.int d ])
+             t.pauses) );
+      ( "faults",
+        match t.faults with None -> Json.Null | Some s -> fault_json s );
+    ]
 
 let pp ppf t =
   Format.fprintf ppf
@@ -95,6 +159,7 @@ let pp ppf t =
     t.avg_pause_ms t.p50_pause_ms t.p95_pause_ms t.max_pause_ms t.minor
     t.full t.compacting t.major_faults
     t.gc_major_faults t.evictions t.discards t.relinquished;
+  if t.failsafes > 0 then Format.fprintf ppf " failsafe=%d" t.failsafes;
   match t.faults with
   | Some stats when Faults.Fault_plan.injected_total stats > 0 ->
       Format.fprintf ppf " [%a]" Faults.Fault_plan.pp_stats stats

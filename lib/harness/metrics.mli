@@ -9,6 +9,7 @@ type t = {
   minor : int;
   full : int;
   compacting : int;
+  failsafes : int;  (** fail-safe collections (§3.5) folded into [full] *)
   avg_pause_ms : float;
   p50_pause_ms : float;
   p95_pause_ms : float;
@@ -43,8 +44,23 @@ type outcome =
 val elapsed_s : t -> float
 
 val outcome_label : outcome -> string
-(** ["ok"], ["degraded"] (completed with faults injected), ["exhausted"],
-    ["thrashed"] or ["failed"] — the per-cell summary tag. *)
+(** ["ok"], ["degraded"] (completed, but with faults injected or after
+    fail-safe collections), ["exhausted"], ["thrashed"] or ["failed"] —
+    the per-cell summary tag. *)
+
+val of_snapshots :
+  ?faults:Faults.Fault_plan.stats ->
+  collector:string ->
+  workload:string ->
+  heap_bytes:int ->
+  gc:Gc_common.Gc_stats.snapshot ->
+  vm:Vmsim.Vm_stats.snapshot ->
+  start_ns:int ->
+  end_ns:int ->
+  unit ->
+  t
+(** Build a cell purely from immutable snapshots; [diff] two snapshots
+    to measure any sub-interval of a run. *)
 
 val of_run :
   ?faults:Faults.Fault_plan.stats ->
@@ -54,6 +70,12 @@ val of_run :
   end_ns:int ->
   unit ->
   t
+(** Snapshot the collector's stats (and its process's VM counters) now
+    and build the cell via {!of_snapshots}. *)
+
+val to_json : t -> Telemetry.Json.t
+(** The one serialisation path for a cell: bench CSV/JSON dumps and the
+    trace exporter's metadata both use this. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -2,90 +2,116 @@ module Gc_config = Gc_common.Gc_config
 
 let fixed_nursery_bytes = 4 * 1024 * 1024 / Workload.Benchmarks.scale
 
-let names =
+(* One registry entry. The old parallel string lists ([names],
+   [ablation_names]) are derived from [all] below; [create]/[config_for]
+   go through [find]. *)
+type info = {
+  name : string;  (** unique registry key, e.g. ["BC-fixed"] *)
+  family : string;  (** base collector, e.g. ["BC"] *)
+  variant : string option;  (** [None] for the canonical configuration *)
+  ablation : bool;  (** BC ablation (bench-only), not a headline entry *)
+  doc : string;  (** one-line description for [bcgc list] *)
+  config : heap_bytes:int -> Gc_config.t;
+  factory : Gc_common.Collector.factory;
+}
+
+let plain ~heap_bytes = Gc_config.make ~heap_bytes ()
+
+let fixed_nursery ~heap_bytes =
+  Gc_config.make ~heap_bytes ~nursery:(Gc_config.Fixed fixed_nursery_bytes) ()
+
+let bc_opts f ~heap_bytes =
+  Gc_config.make ~heap_bytes ~bc:(f Gc_config.default_bc_opts) ()
+
+let entry ?variant ?(ablation = false) ~family ~doc ~config factory =
+  let name =
+    match variant with None -> family | Some v -> family ^ "-" ^ v
+  in
+  { name; family; variant; ablation; doc; config; factory }
+
+let all =
   [
-    "BC";
-    "BC-resize";
-    "BC-fixed";
-    "GenMS";
-    "GenMS-fixed";
-    "GenMS-coop";
-    "GenCopy";
-    "GenCopy-fixed";
-    "CopyMS";
-    "MarkSweep";
-    "SemiSpace";
+    entry ~family:"BC" ~doc:"bookmarking collector (the paper's BC)"
+      ~config:plain Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"resize"
+      ~doc:"BC with bookmarks disabled: heap resizing only"
+      ~config:
+        (bc_opts (fun o -> { o with Gc_config.bookmarks_enabled = false }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"fixed" ~doc:"BC with the fixed nursery"
+      ~config:fixed_nursery Bookmarking.Bc.factory;
+    entry ~family:"GenMS"
+      ~doc:"generational mark-sweep, Appel-style flexible nursery"
+      ~config:plain Baselines.Gen_ms.factory;
+    entry ~family:"GenMS" ~variant:"fixed" ~doc:"GenMS with the fixed nursery"
+      ~config:fixed_nursery Baselines.Gen_ms.factory;
+    entry ~family:"GenMS" ~variant:"coop"
+      ~doc:"GenMS with Cooper-style discard-only cooperation (§6)"
+      ~config:(fun ~heap_bytes ->
+        Gc_config.make ~heap_bytes ~cooperative_discard:true ())
+      Baselines.Gen_ms.factory;
+    entry ~family:"GenCopy" ~doc:"generational copying collector"
+      ~config:plain Baselines.Gen_copy.factory;
+    entry ~family:"GenCopy" ~variant:"fixed"
+      ~doc:"GenCopy with the fixed nursery" ~config:fixed_nursery
+      Baselines.Gen_copy.factory;
+    entry ~family:"CopyMS" ~doc:"copying nursery over a mark-sweep old space"
+      ~config:plain Baselines.Copy_ms.factory;
+    entry ~family:"MarkSweep" ~doc:"whole-heap mark-sweep" ~config:plain
+      Baselines.Mark_sweep.factory;
+    entry ~family:"SemiSpace" ~doc:"two-space copying" ~config:plain
+      Baselines.Semi_space.factory;
+    (* BC ablations (bench targets only) *)
+    entry ~family:"BC" ~variant:"noaggr" ~ablation:true
+      ~doc:"BC without aggressive empty-page discards"
+      ~config:
+        (bc_opts (fun o -> { o with Gc_config.aggressive_discard = false }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"nocons" ~ablation:true
+      ~doc:"BC without conservative page bookmarks"
+      ~config:
+        (bc_opts (fun o -> { o with Gc_config.conservative_clear = false }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"nocompact" ~ablation:true
+      ~doc:"BC with the compacting collection disabled"
+      ~config:
+        (bc_opts (fun o -> { o with Gc_config.compaction_enabled = false }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"reserve0" ~ablation:true
+      ~doc:"BC with no reserve pages"
+      ~config:(bc_opts (fun o -> { o with Gc_config.reserve_pages = 0 }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"reserve32" ~ablation:true
+      ~doc:"BC with a 32-page reserve"
+      ~config:(bc_opts (fun o -> { o with Gc_config.reserve_pages = 32 }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"ptraware" ~ablation:true
+      ~doc:"BC with pointer-aware victim selection (8 candidates)"
+      ~config:
+        (bc_opts (fun o -> { o with Gc_config.pointer_aware_victims = 8 }))
+      Bookmarking.Bc.factory;
+    entry ~family:"BC" ~variant:"noregrow" ~ablation:true
+      ~doc:"BC that never regrows the heap after pressure lifts"
+      ~config:(bc_opts (fun o -> { o with Gc_config.regrow = false }))
+      Bookmarking.Bc.factory;
   ]
 
-(* Ablation variants of BC (bench targets only). *)
+let find name = List.find_opt (fun i -> i.name = name) all
+
+(* Thin derivations keeping the old API shape. *)
+let names =
+  List.filter_map (fun i -> if i.ablation then None else Some i.name) all
+
 let ablation_names =
-  [
-    "BC-noaggr";
-    "BC-nocons";
-    "BC-nocompact";
-    "BC-reserve0";
-    "BC-reserve32";
-    "BC-ptraware";
-    "BC-noregrow";
-  ]
+  List.filter_map (fun i -> if i.ablation then Some i.name else None) all
+
+let unknown name =
+  invalid_arg (Printf.sprintf "Registry: unknown collector %S" name)
 
 let config_for ~name ~heap_bytes =
-  let fixed = Gc_config.Fixed fixed_nursery_bytes in
-  match name with
-  | "BC" | "GenMS" | "GenCopy" | "CopyMS" | "MarkSweep" | "SemiSpace" ->
-      Gc_config.make ~heap_bytes ()
-  | "BC-resize" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.bookmarks_enabled = false }
-        ()
-  | "BC-fixed" -> Gc_config.make ~heap_bytes ~nursery:fixed ()
-  | "GenMS-fixed" | "GenCopy-fixed" ->
-      Gc_config.make ~heap_bytes ~nursery:fixed ()
-  | "GenMS-coop" -> Gc_config.make ~heap_bytes ~cooperative_discard:true ()
-  | "BC-noaggr" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.aggressive_discard = false }
-        ()
-  | "BC-nocons" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.conservative_clear = false }
-        ()
-  | "BC-nocompact" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.compaction_enabled = false }
-        ()
-  | "BC-reserve0" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.reserve_pages = 0 }
-        ()
-  | "BC-reserve32" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.reserve_pages = 32 }
-        ()
-  | "BC-ptraware" ->
-      Gc_config.make ~heap_bytes
-        ~bc:
-          { Gc_config.default_bc_opts with Gc_config.pointer_aware_victims = 8 }
-        ()
-  | "BC-noregrow" ->
-      Gc_config.make ~heap_bytes
-        ~bc:{ Gc_config.default_bc_opts with Gc_config.regrow = false }
-        ()
-  | _ -> invalid_arg (Printf.sprintf "Registry: unknown collector %S" name)
-
-let factory_for name =
-  match name with
-  | "BC" | "BC-resize" | "BC-fixed" | "BC-noaggr" | "BC-nocons"
-  | "BC-nocompact" | "BC-reserve0" | "BC-reserve32" | "BC-ptraware"
-  | "BC-noregrow" ->
-      Bookmarking.Bc.factory
-  | "GenMS" | "GenMS-fixed" | "GenMS-coop" -> Baselines.Gen_ms.factory
-  | "GenCopy" | "GenCopy-fixed" -> Baselines.Gen_copy.factory
-  | "CopyMS" -> Baselines.Copy_ms.factory
-  | "MarkSweep" -> Baselines.Mark_sweep.factory
-  | "SemiSpace" -> Baselines.Semi_space.factory
-  | _ -> invalid_arg (Printf.sprintf "Registry: unknown collector %S" name)
+  match find name with Some i -> i.config ~heap_bytes | None -> unknown name
 
 let create ~name ~heap_bytes heap =
-  let config = config_for ~name ~heap_bytes in
-  (factory_for name) config heap
+  match find name with
+  | Some i -> i.factory (i.config ~heap_bytes) heap
+  | None -> unknown name

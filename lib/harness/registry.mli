@@ -1,15 +1,34 @@
-(** Name-indexed collector registry. *)
+(** Typed collector registry.
+
+    Each collector the harness can instantiate is described by one
+    {!info} record; [all] is the single source of truth, and the legacy
+    string lists ([names], [ablation_names]) are derived from it. *)
+
+type info = {
+  name : string;  (** unique registry key, e.g. ["BC-fixed"] *)
+  family : string;  (** base collector, e.g. ["BC"] *)
+  variant : string option;  (** [None] for the canonical configuration *)
+  ablation : bool;  (** BC ablation (bench-only), not a headline entry *)
+  doc : string;  (** one-line description for [bcgc list] *)
+  config : heap_bytes:int -> Gc_common.Gc_config.t;
+  factory : Gc_common.Collector.factory;
+}
+
+val all : info list
+(** Every registered collector, headline entries first, then the BC
+    ablations, in presentation order. *)
+
+val find : string -> info option
 
 val names : string list
-(** All registered collector names, including variants:
+(** Headline collector names, including variants:
     ["BC"; "BC-resize"; "BC-fixed"; "GenMS"; "GenMS-fixed"; "GenMS-coop";
      "GenCopy"; "GenCopy-fixed"; "CopyMS"; "MarkSweep"; "SemiSpace"].
     "GenMS-coop" is the Cooper-style discard-only cooperative collector
-    of the paper's related work (§6). *)
+    of the paper's related work (§6). Derived from {!all}. *)
 
 val ablation_names : string list
-(** BC ablation variants: ["BC-noaggr"; "BC-nocons"; "BC-nocompact";
-    "BC-reserve0"; "BC-reserve32"]. *)
+(** BC ablation variants (bench targets only). Derived from {!all}. *)
 
 val fixed_nursery_bytes : int
 (** Nursery size used by the "-fixed" variants (the paper's 4 MB,

@@ -12,6 +12,7 @@ type setup = {
   faults : Fault_plan.spec option;
   fault_seed : int;
   verify : bool;
+  trace : Telemetry.Sink.t option;
 }
 
 let default_slice = 256
@@ -24,7 +25,7 @@ let ample_frames ~heap_bytes =
 let setup ?frames ?(pressure = Workload.Pressure.None_)
     ?(ops_per_slice = default_slice) ?(costs = Vmsim.Costs.default)
     ?(iterations = 1) ?faults ?(fault_seed = default_fault_seed)
-    ?(verify = false) ~collector ~spec ~heap_bytes () =
+    ?(verify = false) ?trace ~collector ~spec ~heap_bytes () =
   if iterations < 1 then invalid_arg "Run.setup: iterations";
   let frames =
     match frames with Some f -> f | None -> ample_frames ~heap_bytes
@@ -41,6 +42,7 @@ let setup ?frames ?(pressure = Workload.Pressure.None_)
     faults;
     fault_seed;
     verify;
+    trace;
   }
 
 type instance = {
@@ -92,6 +94,22 @@ let run_instances ~clock ~vmm ~address_space ~pressure ?plan ~ops_per_slice
   let all_done () =
     List.for_all (fun inst -> inst.finish_ns <> None) instances
   in
+  (* one Alloc_slice event per scheduling round: ops per slice plus the
+     cumulative allocation volume (a Chrome counter track) *)
+  let slice_event () =
+    match Vmsim.Vmm.trace vmm with
+    | None -> ()
+    | Some sink ->
+        let bytes =
+          List.fold_left
+            (fun acc inst ->
+              acc + Workload.Mutator.allocated_bytes inst.mutator)
+            0 instances
+        in
+        Telemetry.Sink.emit sink
+          ~ts_ns:(Vmsim.Clock.now clock)
+          Telemetry.Event.Alloc_slice ops_per_slice bytes
+  in
   while not (all_done ()) do
     List.iter
       (fun inst ->
@@ -102,6 +120,7 @@ let run_instances ~clock ~vmm ~address_space ~pressure ?plan ~ops_per_slice
           if finished then inst.finish_ns <- Some (Vmsim.Clock.now clock)
         end)
       instances;
+    slice_event ();
     apply_pressure ()
   done
 
@@ -120,6 +139,7 @@ let run s =
   let vmm =
     Vmsim.Vmm.create ~costs:s.costs ?faults:plan ~clock ~frames:s.frames ()
   in
+  Vmsim.Vmm.set_trace vmm s.trace;
   let proc = Vmsim.Vmm.create_process vmm ~name:"jvm" in
   let heap = Heapsim.Heap.create vmm proc in
   let fault_stats () = Option.map Fault_plan.stats plan in
@@ -152,7 +172,9 @@ let run s =
     if s.iterations > 1 then begin
       (* measure the final iteration only *)
       Gc_common.Gc_stats.reset c.Gc_common.Collector.stats;
-      Vmsim.Vm_stats.reset (Vmsim.Process.stats proc)
+      Vmsim.Vm_stats.reset (Vmsim.Process.stats proc);
+      (* ... and keep the trace aligned with the measured interval *)
+      Option.iter Telemetry.Sink.clear s.trace
     end;
     start_ns := Vmsim.Clock.now clock;
     let mutator = Workload.Mutator.create s.spec c in
@@ -190,6 +212,7 @@ let run_pair a b =
   let vmm =
     Vmsim.Vmm.create ~costs:a.costs ?faults:plan ~clock ~frames:a.frames ()
   in
+  Vmsim.Vmm.set_trace vmm a.trace;
   let shared_as = Heapsim.Address_space.create () in
   let fault_stats () = Option.map Fault_plan.stats plan in
   let make s tag =

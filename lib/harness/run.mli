@@ -27,6 +27,10 @@ type setup = {
       (** run the {!Gc_common.Verify} heap verifier and the collector's
           own invariant check after a completed run; violations turn the
           outcome into [Failed] *)
+  trace : Telemetry.Sink.t option;
+      (** telemetry sink attached to the machine's VMM for the run; with
+          [None] (the default) every emission site reduces to a branch,
+          and results are bit-identical to an untraced run *)
 }
 
 val default_slice : int
@@ -42,6 +46,7 @@ val setup :
   ?faults:Faults.Fault_plan.spec ->
   ?fault_seed:int ->
   ?verify:bool ->
+  ?trace:Telemetry.Sink.t ->
   collector:string ->
   spec:Workload.Spec.t ->
   heap_bytes:int ->

@@ -1,0 +1,204 @@
+(* Event taxonomy for the structured trace.
+
+   An event is a (timestamp, kind, a, b) quadruple; [a] and [b] are
+   integer payloads whose meaning depends on the kind (documented on each
+   constructor). Keeping the payload as two plain ints means a sink can
+   store events in pre-allocated flat arrays and emission never allocates,
+   even with tracing on. *)
+
+(* GC phase spans. The first four are whole collections (one per
+   [Gc_stats.pause_kind], plus the §3.5 fail-safe which the pause clock
+   books as Full); the rest are sub-phases BC emits inside a collection. *)
+type phase =
+  | Minor
+  | Full
+  | Compacting
+  | Failsafe
+  | Mark  (* full-heap marking, bookmarks as roots *)
+  | Sweep  (* superpage + LOS sweep *)
+  | Evacuate  (* nursery evacuation into the mature space *)
+  | Bookmark_scan  (* scanning a victim page before surrendering it *)
+  | Reconcile  (* replaying kernel truth lost to an unreliable channel *)
+
+let phase_code = function
+  | Minor -> 0
+  | Full -> 1
+  | Compacting -> 2
+  | Failsafe -> 3
+  | Mark -> 4
+  | Sweep -> 5
+  | Evacuate -> 6
+  | Bookmark_scan -> 7
+  | Reconcile -> 8
+
+let phase_of_code = function
+  | 0 -> Minor
+  | 1 -> Full
+  | 2 -> Compacting
+  | 3 -> Failsafe
+  | 4 -> Mark
+  | 5 -> Sweep
+  | 6 -> Evacuate
+  | 7 -> Bookmark_scan
+  | 8 -> Reconcile
+  | n -> invalid_arg (Printf.sprintf "Telemetry.Event.phase_of_code: %d" n)
+
+let phase_name = function
+  | Minor -> "minor"
+  | Full -> "full"
+  | Compacting -> "compacting"
+  | Failsafe -> "failsafe"
+  | Mark -> "mark"
+  | Sweep -> "sweep"
+  | Evacuate -> "evacuate"
+  | Bookmark_scan -> "bookmark-scan"
+  | Reconcile -> "reconcile"
+
+let all_phases =
+  [ Minor; Full; Compacting; Failsafe; Mark; Sweep; Evacuate; Bookmark_scan;
+    Reconcile ]
+
+(* Collection-level phases (the "GC phase kinds" a trace summary and the
+   CI smoke check reason about, as opposed to BC-internal sub-phases). *)
+let collection_phases = [ Minor; Full; Compacting; Failsafe ]
+
+(* Injected-fault codes carried by [Fault_injected]. *)
+type injection =
+  | Dropped_eviction
+  | Dropped_resident
+  | Delayed_notice
+  | Duplicated_notice
+  | Reordered_flush
+  | Swap_write_error
+  | Swap_read_error
+  | Swap_full
+  | Pressure_spike
+
+let injection_code = function
+  | Dropped_eviction -> 0
+  | Dropped_resident -> 1
+  | Delayed_notice -> 2
+  | Duplicated_notice -> 3
+  | Reordered_flush -> 4
+  | Swap_write_error -> 5
+  | Swap_read_error -> 6
+  | Swap_full -> 7
+  | Pressure_spike -> 8
+
+let injection_of_code = function
+  | 0 -> Dropped_eviction
+  | 1 -> Dropped_resident
+  | 2 -> Delayed_notice
+  | 3 -> Duplicated_notice
+  | 4 -> Reordered_flush
+  | 5 -> Swap_write_error
+  | 6 -> Swap_read_error
+  | 7 -> Swap_full
+  | 8 -> Pressure_spike
+  | n -> invalid_arg (Printf.sprintf "Telemetry.Event.injection_of_code: %d" n)
+
+let injection_name = function
+  | Dropped_eviction -> "dropped-eviction"
+  | Dropped_resident -> "dropped-resident"
+  | Delayed_notice -> "delayed-notice"
+  | Duplicated_notice -> "duplicated-notice"
+  | Reordered_flush -> "reordered-flush"
+  | Swap_write_error -> "swap-write-error"
+  | Swap_read_error -> "swap-read-error"
+  | Swap_full -> "swap-full"
+  | Pressure_spike -> "pressure-spike"
+
+(* Every constructor is constant: storing a kind is storing an immediate.
+   Payload conventions:
+     Phase_begin / Phase_end    a = phase code             b = owner pid
+     Alloc_slice                a = ops done so far        b = allocated bytes
+     Eviction_notice            a = page                   b = owner pid
+     Made_resident              a = page                   b = owner pid
+     Major_fault / Minor_fault /
+     Protection_fault           a = page                   b = owner pid
+     Eviction / Forced_eviction a = page                   b = owner pid
+     Discard / Relinquish       a = page                   b = owner pid
+     Swap_read / Swap_write     a = page                   b = owner pid
+     Fault_injected             a = injection code         b = page (or 0)
+     Pressure_step              a = pinned pages now       b = delta (+/-)
+     Gauge_resident             a = resident frames        b = free frames *)
+type kind =
+  | Phase_begin
+  | Phase_end
+  | Alloc_slice
+  | Eviction_notice
+  | Made_resident
+  | Major_fault
+  | Minor_fault
+  | Protection_fault
+  | Eviction
+  | Forced_eviction
+  | Discard
+  | Relinquish
+  | Swap_read
+  | Swap_write
+  | Fault_injected
+  | Pressure_step
+  | Gauge_resident
+
+let kind_code = function
+  | Phase_begin -> 0
+  | Phase_end -> 1
+  | Alloc_slice -> 2
+  | Eviction_notice -> 3
+  | Made_resident -> 4
+  | Major_fault -> 5
+  | Minor_fault -> 6
+  | Protection_fault -> 7
+  | Eviction -> 8
+  | Forced_eviction -> 9
+  | Discard -> 10
+  | Relinquish -> 11
+  | Swap_read -> 12
+  | Swap_write -> 13
+  | Fault_injected -> 14
+  | Pressure_step -> 15
+  | Gauge_resident -> 16
+
+let kind_count = 17
+
+let all_kinds =
+  [ Phase_begin; Phase_end; Alloc_slice; Eviction_notice; Made_resident;
+    Major_fault; Minor_fault; Protection_fault; Eviction; Forced_eviction;
+    Discard; Relinquish; Swap_read; Swap_write; Fault_injected; Pressure_step;
+    Gauge_resident ]
+
+let kind_name = function
+  | Phase_begin -> "phase-begin"
+  | Phase_end -> "phase-end"
+  | Alloc_slice -> "alloc-slice"
+  | Eviction_notice -> "eviction-notice"
+  | Made_resident -> "made-resident"
+  | Major_fault -> "major-fault"
+  | Minor_fault -> "minor-fault"
+  | Protection_fault -> "protection-fault"
+  | Eviction -> "eviction"
+  | Forced_eviction -> "forced-eviction"
+  | Discard -> "discard"
+  | Relinquish -> "relinquish"
+  | Swap_read -> "swap-read"
+  | Swap_write -> "swap-write"
+  | Fault_injected -> "fault-injected"
+  | Pressure_step -> "pressure-step"
+  | Gauge_resident -> "gauge-resident"
+
+(* Decoded view handed to consumers (exporters, summaries, tests). *)
+type t = { ts_ns : int; kind : kind; a : int; b : int }
+
+let pp ppf e =
+  Format.fprintf ppf "%d %s" e.ts_ns (kind_name e.kind);
+  match e.kind with
+  | Phase_begin | Phase_end ->
+      Format.fprintf ppf " %s" (phase_name (phase_of_code e.a))
+  | Fault_injected ->
+      Format.fprintf ppf " %s page=%d" (injection_name (injection_of_code e.a))
+        e.b
+  | Alloc_slice -> Format.fprintf ppf " ops=%d bytes=%d" e.a e.b
+  | Pressure_step -> Format.fprintf ppf " pinned=%d delta=%+d" e.a e.b
+  | Gauge_resident -> Format.fprintf ppf " resident=%d free=%d" e.a e.b
+  | _ -> Format.fprintf ppf " page=%d pid=%d" e.a e.b

@@ -1,0 +1,77 @@
+(* Power-of-two duration histogram: bucket i holds durations in
+   [2^i, 2^(i+1)) nanoseconds, with an exact count, sum and max. *)
+
+let nbuckets = 48
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable total_ns : int;
+  mutable max_ns : int;
+}
+
+let create () =
+  { buckets = Array.make nbuckets 0; count = 0; total_ns = 0; max_ns = 0 }
+
+let bucket_of_ns ns =
+  if ns <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let v = ref ns in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr b
+    done;
+    min !b (nbuckets - 1)
+  end
+
+let bucket_lo i = if i = 0 then 0 else 1 lsl i
+
+let add t ns =
+  let ns = max 0 ns in
+  t.buckets.(bucket_of_ns ns) <- t.buckets.(bucket_of_ns ns) + 1;
+  t.count <- t.count + 1;
+  t.total_ns <- t.total_ns + ns;
+  if ns > t.max_ns then t.max_ns <- ns
+
+let count t = t.count
+
+let total_ns t = t.total_ns
+
+let max_ns t = t.max_ns
+
+let mean_ns t = if t.count = 0 then 0.0 else float_of_int t.total_ns /. float_of_int t.count
+
+(* Smallest bucket upper bound below which at least [p] of the samples
+   fall — a conservative percentile from bucketed data. *)
+let percentile_ns t p =
+  if t.count = 0 then 0
+  else begin
+    let want =
+      int_of_float (ceil (p *. float_of_int t.count)) |> max 1 |> min t.count
+    in
+    let seen = ref 0 and result = ref (2 * t.max_ns) in
+    (try
+       for i = 0 to nbuckets - 1 do
+         seen := !seen + t.buckets.(i);
+         if !seen >= want then begin
+           result := min t.max_ns (bucket_lo (i + 1));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let iter_nonempty t f =
+  Array.iteri (fun i n -> if n > 0 then f ~lo_ns:(bucket_lo i) ~count:n) t.buckets
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else begin
+    Format.fprintf ppf "n=%d mean=%.3fms max=%.3fms" t.count
+      (mean_ns t /. 1e6)
+      (float_of_int t.max_ns /. 1e6);
+    iter_nonempty t (fun ~lo_ns ~count ->
+        Format.fprintf ppf " [>=%.3fms:%d]" (float_of_int lo_ns /. 1e6) count)
+  end

@@ -1,0 +1,236 @@
+(* Minimal JSON tree, printer and recursive-descent parser — enough to
+   write Chrome trace_event files and to validate/summarise them without
+   pulling in an external dependency. Numbers are kept as floats (ints
+   print without a fractional part); strings are escaped per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let int n = Num (float_of_int n)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  write buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of string
+
+type parser_state = { s : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let parse_literal st lit v =
+  if
+    st.pos + String.length lit <= String.length st.s
+    && String.sub st.s st.pos (String.length lit) = lit
+  then begin
+    st.pos <- st.pos + String.length lit;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" lit)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string"
+    else begin
+      let c = st.s.[st.pos] in
+      st.pos <- st.pos + 1;
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          (if st.pos >= String.length st.s then fail st "bad escape"
+           else
+             let e = st.s.[st.pos] in
+             st.pos <- st.pos + 1;
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+                 if st.pos + 4 > String.length st.s then fail st "bad \\u"
+                 else begin
+                   let hex = String.sub st.s st.pos 4 in
+                   st.pos <- st.pos + 4;
+                   match int_of_string_opt ("0x" ^ hex) with
+                   | None -> fail st "bad \\u"
+                   | Some code ->
+                       (* raw codepoint; fine for the ASCII we emit *)
+                       if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                       else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+                 end
+             | _ -> fail st "bad escape");
+          go ()
+      | c -> Buffer.add_char buf c; go ()
+    end
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let numchar c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.s && numchar st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  match float_of_string_opt (String.sub st.s start (st.pos - start)) with
+  | Some f -> Num f
+  | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        expect st '}';
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              expect st '}';
+              List.rev ((k, v) :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        expect st ']';
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              items (v :: acc)
+          | Some ']' ->
+              expect st ']';
+              List.rev (v :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+(* Accessors for consumers walking parsed trees. *)
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list_opt = function List items -> Some items | _ -> None
+
+let str_opt = function Str s -> Some s | _ -> None
+
+let num_opt = function Num f -> Some f | _ -> None

@@ -1,0 +1,85 @@
+(* Pre-allocated ring buffer of trace events plus exact per-kind counters.
+
+   The ring holds the newest [capacity] events (older ones are overwritten
+   — [dropped] says how many); the counter array is updated on every
+   emission, so totals stay exact even after the ring wraps. Emission
+   writes four flat array slots and bumps two counters: no allocation, no
+   clock interaction, so attaching a sink can never change virtual-time
+   results. *)
+
+type t = {
+  ts : int array;
+  kinds : Event.kind array;
+  a : int array;
+  b : int array;
+  capacity : int;
+  mutable next : int;  (* next write index in the ring *)
+  mutable total : int;  (* events ever emitted *)
+  counts : int array;  (* per-kind emission totals, indexed by kind code *)
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Telemetry.Sink.create: capacity";
+  {
+    ts = Array.make capacity 0;
+    kinds = Array.make capacity Event.Phase_begin;
+    a = Array.make capacity 0;
+    b = Array.make capacity 0;
+    capacity;
+    next = 0;
+    total = 0;
+    counts = Array.make Event.kind_count 0;
+  }
+
+let capacity t = t.capacity
+
+let total t = t.total
+
+let length t = min t.total t.capacity
+
+let dropped t = max 0 (t.total - t.capacity)
+
+let emit t ~ts_ns kind a b =
+  let i = t.next in
+  t.ts.(i) <- ts_ns;
+  t.kinds.(i) <- kind;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.next <- (if i + 1 = t.capacity then 0 else i + 1);
+  t.total <- t.total + 1;
+  let c = Event.kind_code kind in
+  t.counts.(c) <- t.counts.(c) + 1
+
+let count t kind = t.counts.(Event.kind_code kind)
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0;
+  Array.fill t.counts 0 Event.kind_count 0
+
+(* Iterate the retained events, oldest first. *)
+let iter t f =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  for i = 0 to n - 1 do
+    let j = (start + i) mod t.capacity in
+    f { Event.ts_ns = t.ts.(j); kind = t.kinds.(j); a = t.a.(j); b = t.b.(j) }
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let span_ns t =
+  let n = length t in
+  if n = 0 then (0, 0)
+  else begin
+    let first = ref max_int and last = ref min_int in
+    iter t (fun e ->
+        if e.Event.ts_ns < !first then first := e.Event.ts_ns;
+        if e.Event.ts_ns > !last then last := e.Event.ts_ns);
+    (!first, !last)
+  end

@@ -43,6 +43,64 @@ let reset t =
   t.swap_retries <- 0;
   t.swap_stalls <- 0
 
+(* Immutable view of the counters at one instant. Mid-run samplers
+   (telemetry gauges, per-phase attribution) take two snapshots and
+   [diff] them instead of reading mutable fields twice and risking a
+   torn pair. *)
+module Snapshot = struct
+  type t = {
+    minor_faults : int;
+    major_faults : int;
+    protection_faults : int;
+    evictions : int;
+    discards : int;
+    relinquished : int;
+    eviction_notices : int;
+    swap_ins : int;
+    swap_outs : int;
+    forced_evictions : int;
+    swap_retries : int;
+    swap_stalls : int;
+  }
+
+  (* [diff earlier later]: counters accumulated between the two. *)
+  let diff a b =
+    {
+      minor_faults = b.minor_faults - a.minor_faults;
+      major_faults = b.major_faults - a.major_faults;
+      protection_faults = b.protection_faults - a.protection_faults;
+      evictions = b.evictions - a.evictions;
+      discards = b.discards - a.discards;
+      relinquished = b.relinquished - a.relinquished;
+      eviction_notices = b.eviction_notices - a.eviction_notices;
+      swap_ins = b.swap_ins - a.swap_ins;
+      swap_outs = b.swap_outs - a.swap_outs;
+      forced_evictions = b.forced_evictions - a.forced_evictions;
+      swap_retries = b.swap_retries - a.swap_retries;
+      swap_stalls = b.swap_stalls - a.swap_stalls;
+    }
+end
+
+type snapshot = Snapshot.t
+
+let snapshot t : snapshot =
+  {
+    Snapshot.minor_faults = t.minor_faults;
+    major_faults = t.major_faults;
+    protection_faults = t.protection_faults;
+    evictions = t.evictions;
+    discards = t.discards;
+    relinquished = t.relinquished;
+    eviction_notices = t.eviction_notices;
+    swap_ins = t.swap_ins;
+    swap_outs = t.swap_outs;
+    forced_evictions = t.forced_evictions;
+    swap_retries = t.swap_retries;
+    swap_stalls = t.swap_stalls;
+  }
+
+let diff = Snapshot.diff
+
 let pp ppf t =
   Format.fprintf ppf
     "minor:%d major:%d prot:%d evict:%d discard:%d relinq:%d notices:%d \

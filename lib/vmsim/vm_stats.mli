@@ -22,4 +22,31 @@ val create : unit -> t
 
 val reset : t -> unit
 
+(** Immutable view of the counters at one instant. *)
+module Snapshot : sig
+  type t = {
+    minor_faults : int;
+    major_faults : int;
+    protection_faults : int;
+    evictions : int;
+    discards : int;
+    relinquished : int;
+    eviction_notices : int;
+    swap_ins : int;
+    swap_outs : int;
+    forced_evictions : int;
+    swap_retries : int;
+    swap_stalls : int;
+  }
+
+  val diff : t -> t -> t
+  (** [diff earlier later]: counters accumulated between the two. *)
+end
+
+type snapshot = Snapshot.t
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+
 val pp : Format.formatter -> t -> unit

@@ -33,7 +33,25 @@ type t = {
   stats : Vm_stats.t;
   mutable in_reclaim : bool;
   mutable delivering : bool;
+  mutable trace : Telemetry.Sink.t option;
 }
+
+(* Trace emission: with no sink attached this is one branch and a return
+   — no allocation, and never a clock advance, so attaching (or not
+   attaching) a sink cannot change virtual-time results. *)
+let[@inline] ev t kind a b =
+  match t.trace with
+  | None -> ()
+  | Some sink -> Telemetry.Sink.emit sink ~ts_ns:(Clock.now t.clock) kind a b
+
+let[@inline] ev_inject t which page =
+  match t.trace with
+  | None -> ()
+  | Some sink ->
+      Telemetry.Sink.emit sink ~ts_ns:(Clock.now t.clock)
+        Telemetry.Event.Fault_injected
+        (Telemetry.Event.injection_code which)
+        page
 
 let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
     ?faults ~clock ~frames () =
@@ -54,7 +72,14 @@ let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
     stats = Vm_stats.create ();
     in_reclaim = false;
     delivering = false;
+    trace = None;
   }
+
+(* Attach a telemetry sink ([None] detaches). The swap device shares it so
+   injected swap faults are stamped at their exact decision point. *)
+let set_trace t sink = t.trace <- sink
+
+let trace t = t.trace
 
 let clock t = t.clock
 
@@ -154,11 +179,13 @@ let swap_write_retrying t page =
     match Swap.write t.swap page with
     | () -> true
     | exception Swap.Io_error ->
+        ev_inject t Telemetry.Event.Swap_write_error page;
         t.stats.Vm_stats.swap_retries <- t.stats.Vm_stats.swap_retries + 1;
         (* linear backoff: each retry waits one more write-slot *)
         Clock.advance t.clock (attempt * t.costs.Costs.swap_write_ns);
         if attempt >= max_attempts then false else go (attempt + 1)
     | exception Swap.Full ->
+        ev_inject t Telemetry.Event.Swap_full page;
         t.stats.Vm_stats.swap_stalls <- t.stats.Vm_stats.swap_stalls + 1;
         false
   in
@@ -173,6 +200,7 @@ let swap_out t page pi =
     if pi.dirty || not pi.in_swap then begin
       if swap_write_retrying t page then begin
         Clock.advance t.clock t.costs.Costs.swap_write_ns;
+        ev t Telemetry.Event.Swap_write page (Process.pid pi.owner);
         t.stats.Vm_stats.swap_outs <- t.stats.Vm_stats.swap_outs + 1;
         (Process.stats pi.owner).Vm_stats.swap_outs <-
           (Process.stats pi.owner).Vm_stats.swap_outs + 1;
@@ -189,6 +217,7 @@ let swap_out t page pi =
     pi.surrendered <- false;
     pi.referenced <- false;
     t.resident <- t.resident - 1;
+    ev t Telemetry.Event.Eviction page (Process.pid pi.owner);
     t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
     (Process.stats pi.owner).Vm_stats.evictions <-
       (Process.stats pi.owner).Vm_stats.evictions + 1;
@@ -207,6 +236,7 @@ let swap_out t page pi =
    giving referenced pages a second chance. Returns how many moved. *)
 (* Deliver a pre-eviction notice now, counting it as delivered. *)
 let deliver_eviction_notice t pi h victim =
+  ev t Telemetry.Event.Eviction_notice victim (Process.pid pi.owner);
   t.stats.Vm_stats.eviction_notices <- t.stats.Vm_stats.eviction_notices + 1;
   (Process.stats pi.owner).Vm_stats.eviction_notices <-
     (Process.stats pi.owner).Vm_stats.eviction_notices + 1;
@@ -223,9 +253,17 @@ let route_notice t kind page deliver =
   in
   match decision with
   | Fault_plan.Deliver -> deliver ()
-  | Fault_plan.Drop -> ()
-  | Fault_plan.Delay -> Queue.add (kind, page) t.pending_notices
+  | Fault_plan.Drop ->
+      ev_inject t
+        (match kind with
+        | Fault_plan.Eviction -> Telemetry.Event.Dropped_eviction
+        | Fault_plan.Resident -> Telemetry.Event.Dropped_resident)
+        page
+  | Fault_plan.Delay ->
+      ev_inject t Telemetry.Event.Delayed_notice page;
+      Queue.add (kind, page) t.pending_notices
   | Fault_plan.Duplicate ->
+      ev_inject t Telemetry.Event.Duplicated_notice page;
       deliver ();
       Queue.add (kind, page) t.pending_notices
 
@@ -337,6 +375,8 @@ let reclaim t ~required ~target =
               remove victim;
               pi.referenced <- false;
               if swap_out t victim pi then begin
+                ev t Telemetry.Event.Forced_eviction victim
+                  (Process.pid pi.owner);
                 t.stats.Vm_stats.forced_evictions <-
                   t.stats.Vm_stats.forced_evictions + 1;
                 (Process.stats pi.owner).Vm_stats.forced_evictions <-
@@ -351,7 +391,8 @@ let reclaim t ~required ~target =
       raise
         (Thrashing
            (Printf.sprintf "reclaim gave up: %d free of %d required"
-              (free_frames t) required))
+              (free_frames t) required));
+    ev t Telemetry.Event.Gauge_resident t.resident (free_frames t)
   end
 
 (* Make room for one more resident page, freeing a cluster when memory is
@@ -376,6 +417,7 @@ let count_fault t pi ~major =
 
 let deliver_protection_fault t page pi =
   Clock.advance t.clock t.costs.Costs.protection_fault_ns;
+  ev t Telemetry.Event.Protection_fault page (Process.pid pi.owner);
   t.stats.Vm_stats.protection_faults <- t.stats.Vm_stats.protection_faults + 1;
   (Process.stats pi.owner).Vm_stats.protection_faults <-
     (Process.stats pi.owner).Vm_stats.protection_faults + 1;
@@ -392,6 +434,7 @@ let swap_read_retrying t page =
     match Swap.read t.swap page with
     | () -> ()
     | exception Swap.Io_error ->
+        ev_inject t Telemetry.Event.Swap_read_error page;
         t.stats.Vm_stats.swap_retries <- t.stats.Vm_stats.swap_retries + 1;
         Clock.advance t.clock (attempt * t.costs.Costs.swap_write_ns);
         if attempt >= max_attempts then
@@ -418,6 +461,7 @@ let rec do_touch t ~write page =
       end
   | Untouched ->
       Clock.advance t.clock t.costs.Costs.minor_fault_ns;
+      ev t Telemetry.Event.Minor_fault page (Process.pid pi.owner);
       count_fault t pi ~major:false;
       ensure_frame t;
       pi.state <- Resident;
@@ -428,6 +472,8 @@ let rec do_touch t ~write page =
   | Swapped ->
       swap_read_retrying t page;
       Clock.advance t.clock t.costs.Costs.major_fault_ns;
+      ev t Telemetry.Event.Swap_read page (Process.pid pi.owner);
+      ev t Telemetry.Event.Major_fault page (Process.pid pi.owner);
       count_fault t pi ~major:true;
       ensure_frame t;
       pi.state <- Resident;
@@ -442,6 +488,7 @@ let rec do_touch t ~write page =
       (match Process.handlers pi.owner with
       | Some h ->
           route_notice t Fault_plan.Resident page (fun () ->
+              ev t Telemetry.Event.Made_resident page (Process.pid pi.owner);
               h.Process.on_resident page)
       | None -> ());
       if pi.protected_ then deliver_protection_fault t page pi
@@ -462,7 +509,9 @@ let flush_pending_notices t =
     Queue.clear t.pending_notices;
     let items =
       match t.faults with
-      | Some plan when Fault_plan.reorder_pending plan -> List.rev items
+      | Some plan when Fault_plan.reorder_pending plan ->
+          ev_inject t Telemetry.Event.Reordered_flush 0;
+          List.rev items
       | Some _ | None -> items
     in
     List.iter
@@ -473,7 +522,10 @@ let flush_pending_notices t =
             | Some h -> (
                 match kind with
                 | Fault_plan.Eviction -> deliver_eviction_notice t pi h page
-                | Fault_plan.Resident -> h.Process.on_resident page)
+                | Fault_plan.Resident ->
+                    ev t Telemetry.Event.Made_resident page
+                      (Process.pid pi.owner);
+                    h.Process.on_resident page)
             | None -> ())
         | Some _ | None -> ())
       items
@@ -512,6 +564,7 @@ let madvise_dontneed t page =
       | Resident ->
           if pi.pinned then invalid_arg "Vmm.madvise_dontneed: page is pinned";
           release_frame t page pi;
+          ev t Telemetry.Event.Discard page (Process.pid pi.owner);
           t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
           (Process.stats pi.owner).Vm_stats.discards <-
             (Process.stats pi.owner).Vm_stats.discards + 1
@@ -520,6 +573,7 @@ let madvise_dontneed t page =
           pi.state <- Untouched;
           pi.in_swap <- false;
           pi.dirty <- false;
+          ev t Telemetry.Event.Discard page (Process.pid pi.owner);
           t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
           (Process.stats pi.owner).Vm_stats.discards <-
             (Process.stats pi.owner).Vm_stats.discards + 1)
@@ -536,6 +590,7 @@ let vm_relinquish t pages =
             pi.surrendered <- true;
             if Lru.membership t.lru page <> None then Lru.remove t.lru page;
             Lru.push_inactive_tail t.lru page;
+            ev t Telemetry.Event.Relinquish page (Process.pid pi.owner);
             t.stats.Vm_stats.relinquished <- t.stats.Vm_stats.relinquished + 1;
             (Process.stats pi.owner).Vm_stats.relinquished <-
               (Process.stats pi.owner).Vm_stats.relinquished + 1

@@ -112,6 +112,15 @@ val free_frames : t -> int
 
 val pinned_count : t -> int
 
+(** {1 Tracing} *)
+
+val set_trace : t -> Telemetry.Sink.t option -> unit
+(** Attach (or detach) a telemetry sink. With no sink attached, every
+    emission site is a single branch and return — no allocation and no
+    clock advance, so tracing cannot perturb virtual-time results. *)
+
+val trace : t -> Telemetry.Sink.t option
+
 (** {1 Statistics} *)
 
 val stats : t -> Vm_stats.t

@@ -15,6 +15,17 @@ let create vmm address_space =
     pinned = Vec.create ();
   }
 
+(* One Pressure_step event per pin/unpin batch: new pinned total plus the
+   signed delta. No sink, no work. *)
+let step_event t ~delta =
+  if delta <> 0 then
+    match Vmsim.Vmm.trace t.vmm with
+    | None -> ()
+    | Some sink ->
+        Telemetry.Sink.emit sink
+          ~ts_ns:(Vmsim.Clock.now (Vmsim.Vmm.clock t.vmm))
+          Telemetry.Event.Pressure_step (Vec.length t.pinned) delta
+
 let pin_pages t n =
   if n > 0 then begin
     let first_page = Heapsim.Address_space.reserve t.address_space ~npages:n in
@@ -23,17 +34,22 @@ let pin_pages t n =
       Vmsim.Vmm.touch t.vmm ~write:true page;
       Vmsim.Vmm.mlock t.vmm page;
       Vec.push t.pinned page
-    done
+    done;
+    step_event t ~delta:n
   end
 
 let unpin_pages t n =
-  for _ = 1 to min n (Vec.length t.pinned) do
+  let released = min n (Vec.length t.pinned) in
+  for _ = 1 to released do
     Vmsim.Vmm.munlock t.vmm (Vec.pop t.pinned)
-  done
+  done;
+  step_event t ~delta:(-released)
 
 let unpin_all t =
+  let released = Vec.length t.pinned in
   Vec.iter (fun page -> Vmsim.Vmm.munlock t.vmm page) t.pinned;
-  Vec.clear t.pinned
+  Vec.clear t.pinned;
+  step_event t ~delta:(-released)
 
 let pinned_pages t = Vec.length t.pinned
 
