@@ -1,4 +1,8 @@
-.PHONY: all build test ci trace-smoke bench bench-full examples doc clean
+.PHONY: all build test ci trace-smoke multiproc-smoke bench bench-full examples doc clean
+
+# Worker processes for the experiment matrices; results are byte-identical
+# whatever the fan-out (the simulation runs in virtual time).
+JOBS ?= $(shell nproc)
 
 all: build
 
@@ -10,10 +14,11 @@ test:
 
 # Full CI gate: everything compiles (including examples and benches), the
 # whole suite passes — test_faults runs the fault-plan smoke tests with
-# fixed seeds, so regressions in the degradation paths fail here — and a
-# traced run produces valid Chrome JSON covering every GC phase kind.
+# fixed seeds, so regressions in the degradation paths fail here — and
+# traced runs (one solo, one two-process) produce valid Chrome JSON
+# covering every expected GC phase kind.
 ci:
-	dune build @all && dune runtest && $(MAKE) trace-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke
 
 # Trace smoke: a small pressured run known (deterministically) to exercise
 # minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
@@ -25,11 +30,21 @@ trace-smoke:
 	./_build/default/bin/bcgc.exe trace /tmp/bcgc-ci-trace.json \
 	  --expect-phases minor,full,compacting,mark,sweep,evacuate,bookmark-scan,reconcile
 
+# Multiproc smoke: BC and a competing GenMS instance share one tight
+# machine; the primary must still complete every phase kind, and the
+# trace must carry the per-process progress counter.
+multiproc-smoke:
+	./_build/default/bin/bcgc.exe run -c BC --coworker GenMS -w _201_compress \
+	  --volume 0.1 --heap-kb 1536 --frames 500 \
+	  --trace /tmp/bcgc-ci-multiproc.json
+	./_build/default/bin/bcgc.exe trace /tmp/bcgc-ci-multiproc.json \
+	  --expect-phases minor,full,compacting,mark,sweep,evacuate,bookmark-scan,reconcile
+
 bench:
-	dune exec bench/main.exe
+	JOBS=$(JOBS) dune exec bench/main.exe
 
 bench-full:
-	FULL=1 dune exec bench/main.exe
+	FULL=1 JOBS=$(JOBS) dune exec bench/main.exe
 
 examples:
 	dune exec examples/quickstart.exe

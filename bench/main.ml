@@ -4,14 +4,20 @@
 
    Usage:
      bench/main.exe                 -- everything, quick sweeps
-     bench/main.exe table1|fig2|fig3|fig45|fig6|fig7|ablation|all
+     bench/main.exe table1|fig2|fig3|fig45|fig6|fig7|ablation|multiproc|all
      bench/main.exe bechamel        -- Bechamel microbenchmarks
-     FULL=1 bench/main.exe all      -- full (slow) sweeps *)
+     FULL=1 bench/main.exe all      -- full (slow) sweeps
+     JOBS=8 bench/main.exe all      -- fan cells over 8 forked workers *)
 
 let mode () =
   match Sys.getenv_opt "FULL" with
   | Some ("1" | "true" | "yes") -> Harness.Experiments.Full
   | Some _ | None -> Harness.Experiments.Quick
+
+let jobs () =
+  match Option.bind (Sys.getenv_opt "JOBS") int_of_string_opt with
+  | Some n -> n
+  | None -> 1
 
 (* One Bechamel test per table/figure: each measures the real time of a
    miniature instance of that experiment's simulation kernel. *)
@@ -28,18 +34,18 @@ let bechamel_tests () =
     let spec = mini_spec 0.02 in
     let heap_bytes = 2 * 1024 * 1024 in
     let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
-    let setup =
+    let plan =
+      let base = Harness.Run.Plan.make ~collector ~spec ~heap_bytes in
       match pressure with
-      | `None -> Harness.Run.setup ~collector ~spec ~heap_bytes ()
+      | `None -> base
       | `Steady ->
-          Harness.Run.setup ~collector ~spec ~heap_bytes
-            ~frames:(heap_pages + 128)
-            ~pressure:
-              (Workload.Pressure.Steady
-                 { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 })
-            ()
+          base
+          |> Harness.Run.Plan.with_frames (heap_pages + 128)
+          |> Harness.Run.Plan.with_pressure
+               (Workload.Pressure.Steady
+                  { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 })
     in
-    match Harness.Run.run setup with
+    match Harness.Run.exec plan with
     | Harness.Metrics.Completed _ -> ()
     | Harness.Metrics.Exhausted msg | Harness.Metrics.Thrashed msg ->
         failwith msg
@@ -65,11 +71,11 @@ let bechamel_tests () =
            let spec = mini_spec 0.02 in
            let heap_bytes = 2 * 1024 * 1024 in
            let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
-           let s =
-             Harness.Run.setup ~collector:"BC" ~spec ~heap_bytes
-               ~frames:(2 * heap_pages) ()
-           in
-           ignore (Harness.Run.run_pair s s)));
+           ignore
+             (Harness.Run.exec_all
+                (Harness.Run.Plan.make ~collector:"BC" ~spec ~heap_bytes
+                |> Harness.Run.Plan.with_frames (2 * heap_pages)
+                |> Harness.Run.Plan.with_process ~collector:"BC" ~spec))));
   ]
 
 let run_bechamel () =
@@ -96,6 +102,7 @@ let run_bechamel () =
 
 let () =
   let m = mode () in
+  Harness.Experiments.set_jobs (jobs ());
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match target with
   | "table1" -> Harness.Experiments.table1 m
@@ -108,6 +115,7 @@ let () =
   | "ssd" -> Harness.Experiments.ssd m
   | "recovery" -> Harness.Experiments.recovery m
   | "mixed" -> Harness.Experiments.mixed m
+  | "multiproc" -> Harness.Experiments.multiprocess m
   | "faults" -> Harness.Experiments.faults m
   | "trace" -> Harness.Experiments.trace_export m
   | "all" -> Harness.Experiments.all m
@@ -115,6 +123,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown target %S (try table1 fig2 fig3 fig45 fig6 fig7 ablation \
-         ssd faults trace all bechamel)\n"
+         ssd multiproc faults trace all bechamel)\n"
         other;
       exit 1

@@ -75,6 +75,14 @@ let timeline_arg =
   let doc = "Print an ASCII event timeline after the run (needs --trace)." in
   Arg.(value & flag & info [ "timeline" ] ~doc)
 
+let coworker_arg =
+  let doc =
+    "Run a second instance of the workload (seed shifted) under collector \
+     $(docv) on the same machine, competing for the same frames; metrics \
+     are reported for the primary instance."
+  in
+  Arg.(value & opt (some string) None & info [ "coworker" ] ~docv:"NAME" ~doc)
+
 let resolve_faults spec_str =
   match Faults.Fault_plan.spec_of_string spec_str with
   | Ok spec -> if spec = Faults.Fault_plan.none then None else Some spec
@@ -104,7 +112,7 @@ let resolve_spec workload spec_file =
   | None -> find_spec workload
 
 let run_cmd collector workload spec_file heap_kb frames pin volume verbose
-    faults fault_seed verify trace_file timeline =
+    faults fault_seed verify trace_file timeline coworker =
   let spec =
     Workload.Spec.scale_volume (resolve_spec workload spec_file) volume
   in
@@ -120,11 +128,22 @@ let run_cmd collector workload spec_file heap_kb frames pin volume verbose
     | None -> None
     | Some _ -> Some (Telemetry.Sink.create ())
   in
-  let setup =
-    Harness.Run.setup ~collector ~spec ~heap_bytes ?frames ~pressure
-      ?faults:(resolve_faults faults) ~fault_seed ~verify ?trace:sink ()
+  let module Plan = Harness.Run.Plan in
+  let opt v f = match v with None -> Fun.id | Some x -> f x in
+  let plan =
+    Plan.make ~collector ~spec ~heap_bytes
+    |> opt frames Plan.with_frames
+    |> Plan.with_pressure pressure
+    |> opt (resolve_faults faults) (Plan.with_faults ~seed:fault_seed)
+    |> (if verify then Plan.with_verify else Fun.id)
+    |> opt sink Plan.with_trace
+    |> opt coworker (fun c plan ->
+           Plan.with_process ~collector:c
+             ~spec:
+               { spec with Workload.Spec.seed = spec.Workload.Spec.seed + 17 }
+             plan)
   in
-  let outcome = Harness.Run.run setup in
+  let outcome = Harness.Run.exec plan in
   (* dump the trace for every outcome — a trace of a thrashed or failed
      run is exactly when you want to look at one *)
   (match (trace_file, sink) with
@@ -367,10 +386,11 @@ let trace_summary_cmd file expect_phases =
           end
           else 0)
 
-let bench_cmd target full =
+let bench_cmd target full jobs =
   let mode =
     if full then Harness.Experiments.Full else Harness.Experiments.Quick
   in
+  Harness.Experiments.set_jobs jobs;
   (match target with
   | "table1" -> Harness.Experiments.table1 mode
   | "fig2" -> Harness.Experiments.figure2 mode
@@ -382,6 +402,7 @@ let bench_cmd target full =
   | "ssd" -> Harness.Experiments.ssd mode
   | "recovery" -> Harness.Experiments.recovery mode
   | "mixed" -> Harness.Experiments.mixed mode
+  | "multiproc" -> Harness.Experiments.multiprocess mode
   | "faults" -> Harness.Experiments.faults mode
   | "trace" -> Harness.Experiments.trace_export mode
   | _ -> Harness.Experiments.all mode);
@@ -391,7 +412,7 @@ let run_t =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ heap_arg
     $ frames_arg $ pin_arg $ volume_arg $ verbose_arg $ faults_arg
-    $ fault_seed_arg $ verify_arg $ trace_arg $ timeline_arg)
+    $ fault_seed_arg $ verify_arg $ trace_arg $ timeline_arg $ coworker_arg)
 
 let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"Run one collector on one workload") run_t
@@ -429,9 +450,16 @@ let cmd_trace_replay =
 let cmd_bench =
   let target = Arg.(value & pos 0 string "all" & info [] ~docv:"TARGET") in
   let full = Arg.(value & flag & info [ "full" ]) in
+  let jobs =
+    let doc =
+      "Fan independent cells out over $(docv) forked workers. Results are \
+       byte-identical to -j 1 — the simulation runs in virtual time."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate a paper table or figure")
-    Term.(const bench_cmd $ target $ full)
+    Term.(const bench_cmd $ target $ full $ jobs)
 
 let cmd_trace =
   let file =

@@ -31,9 +31,9 @@ let () =
       List.iter
         (fun collector ->
           match
-            Harness.Run.run
-              (Harness.Run.setup ~collector ~spec:cache_service
-                 ~heap_bytes:(heap_mb * 1024 * 1024) ())
+            Harness.Run.exec
+              (Harness.Run.Plan.make ~collector ~spec:cache_service
+                 ~heap_bytes:(heap_mb * 1024 * 1024))
           with
           | Harness.Metrics.Completed m ->
               Format.printf "  %-10s %6.3fs, %3d collections, avg pause %6.2fms@."

@@ -10,13 +10,14 @@ let run collector =
   let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
   (* only ~55% of the two heaps fits in memory *)
   let frames = 2 * heap_pages * 55 / 100 in
-  let setup seed_shift =
-    Harness.Run.setup ~collector
-      ~spec:{ spec with Workload.Spec.seed = spec.Workload.Spec.seed + seed_shift }
-      ~heap_bytes ~frames ()
+  let plan =
+    Harness.Run.Plan.make ~collector ~spec ~heap_bytes
+    |> Harness.Run.Plan.with_frames frames
+    |> Harness.Run.Plan.with_process ~collector
+         ~spec:{ spec with Workload.Spec.seed = spec.Workload.Spec.seed + 31 }
   in
-  match Harness.Run.run_pair (setup 0) (setup 31) with
-  | Harness.Metrics.Completed a, Harness.Metrics.Completed b ->
+  match Harness.Run.exec_all plan with
+  | [ Harness.Metrics.Completed a; Harness.Metrics.Completed b ] ->
       Format.printf
         "%-10s elapsed %6.2fs | pauses %7.2fms / %7.2fms | faults %d + %d@."
         collector

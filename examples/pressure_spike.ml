@@ -25,8 +25,10 @@ let run collector =
       }
   in
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector ~spec ~heap_bytes ~frames ~pressure ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector ~spec ~heap_bytes
+      |> Harness.Run.Plan.with_frames frames
+      |> Harness.Run.Plan.with_pressure pressure)
   with
   | Harness.Metrics.Completed m ->
       Format.printf

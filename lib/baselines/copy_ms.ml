@@ -5,6 +5,8 @@ module Gc_stats = Gc_common.Gc_stats
 
 let name = "CopyMS"
 
+let doc = "copying nursery over a mark-sweep old space"
+
 type t = {
   heap : Heapsim.Heap.t;
   config : Gc_common.Gc_config.t;

@@ -7,3 +7,5 @@
 val factory : Gc_common.Collector.factory
 
 val name : string
+
+val doc : string

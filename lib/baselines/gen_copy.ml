@@ -5,6 +5,8 @@ module Gc_stats = Gc_common.Gc_stats
 
 let name = "GenCopy"
 
+let doc = "generational copying collector"
+
 let fixed_nursery_name = "GenCopy-fixed"
 
 let los_threshold = 8180

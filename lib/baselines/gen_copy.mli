@@ -9,4 +9,6 @@ val factory : Gc_common.Collector.factory
 
 val name : string
 
+val doc : string
+
 val fixed_nursery_name : string

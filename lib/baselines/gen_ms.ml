@@ -5,6 +5,8 @@ module Gc_stats = Gc_common.Gc_stats
 
 let name = "GenMS"
 
+let doc = "generational mark-sweep, Appel-style flexible nursery"
+
 let fixed_nursery_name = "GenMS-fixed"
 
 type t = {

@@ -11,5 +11,7 @@ val factory : Gc_common.Collector.factory
 
 val name : string
 
+val doc : string
+
 val fixed_nursery_name : string
 (** Display name used for the fixed-size-nursery variant (Figure 5(b)). *)

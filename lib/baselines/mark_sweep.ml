@@ -6,6 +6,8 @@ let max_cell = 2048
 
 let name = "MarkSweep"
 
+let doc = "whole-heap mark-sweep"
+
 type t = {
   heap : Heapsim.Heap.t;
   config : Gc_common.Gc_config.t;

@@ -12,3 +12,5 @@ val max_cell : int
 val factory : Gc_common.Collector.factory
 
 val name : string
+
+val doc : string

@@ -5,6 +5,8 @@ module Gc_stats = Gc_common.Gc_stats
 
 let name = "SemiSpace"
 
+let doc = "two-space copying"
+
 let los_threshold = 8180
 
 type t = {

@@ -8,6 +8,8 @@ module Space_tag = Baselines.Space_tag
 
 let name = "BC"
 
+let doc = "bookmarking collector (the paper's BC)"
+
 let resizing_only_name = "BC-resize"
 
 let los_threshold = Gc_common.Size_class.max_cell

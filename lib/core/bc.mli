@@ -28,6 +28,8 @@
 
 val name : string
 
+val doc : string
+
 val resizing_only_name : string
 
 val factory : Gc_common.Collector.factory

@@ -13,6 +13,14 @@ type t = {
 
 type factory = Gc_config.t -> Heapsim.Heap.t -> t
 
+module type S = sig
+  val name : string
+
+  val doc : string
+
+  val factory : factory
+end
+
 let charge_alloc heap ~bytes =
   let costs = Heapsim.Heap.costs heap in
   Vmsim.Clock.advance (Heapsim.Heap.clock heap)

@@ -27,5 +27,21 @@ type t = {
 type factory = Gc_config.t -> Heapsim.Heap.t -> t
 (** Collectors are factories from a configuration and a fresh heap. *)
 
+(** The interface every collector implementation module satisfies.
+    Passing implementations around as [(module S)] lets the registry
+    build entries from the modules themselves — family name, default
+    doc line and factory come from one place — instead of re-stating
+    them per entry and keying a second string lookup at instantiation
+    time. *)
+module type S = sig
+  val name : string
+  (** Canonical family name (["BC"], ["GenMS"], ...). *)
+
+  val doc : string
+  (** One-line description of the canonical configuration. *)
+
+  val factory : factory
+end
+
 val charge_alloc : Heapsim.Heap.t -> bytes:int -> unit
 (** Charge the mutator-side allocation cost (shared by all collectors). *)

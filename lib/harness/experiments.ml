@@ -1,5 +1,6 @@
 module Spec = Workload.Spec
 module Pressure = Workload.Pressure
+module Plan = Run.Plan
 
 type mode = Quick | Full
 
@@ -57,18 +58,81 @@ let baseline_collectors _p =
 let pressure_collectors = [ "BC"; "BC-resize"; "GenMS"; "GenCopy"; "CopyMS"; "SemiSpace" ]
 
 (* --------------------------------------------------------------- *)
+(* Parallel cell driver                                             *)
+
+(* Worker count for the experiment matrices (bcgc bench -j N). Cells are
+   independent machines in virtual time, so results are byte-identical
+   whatever the fan-out; every sweep below computes its whole cell list
+   first and prints afterwards, keeping the output stable too. *)
+let jobs = ref 1
+
+let set_jobs n = jobs := max 1 n
+
+let get_jobs () = !jobs
+
+let run_cells plans = Parallel.outcomes ~jobs:!jobs plans
+
+let rec chunk n = function
+  | [] -> []
+  | xs ->
+      let rec take k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> take (k - 1) (x :: acc) tl
+      in
+      let row, rest = take n [] xs in
+      row :: chunk n rest
+
+(* Flat fan-out, reassembled into rows of [width] cells. *)
+let run_matrix ~width plans = chunk width (run_cells plans)
+
+let map_cells ~fallback f xs =
+  Parallel.map ~jobs:!jobs f xs
+  |> List.map (function Ok v -> v | Error msg -> fallback msg)
+
+let lost_worker reason =
+  Metrics.Failed
+    {
+      Metrics.reason;
+      exn_name = "Parallel.Worker_lost";
+      fault_stats = None;
+      partial = None;
+    }
+
+(* Two-process cells (figure 7, mixed, multiprocess): one plan, both
+   outcomes. *)
+let run_pairs plans =
+  map_cells
+    ~fallback:(fun msg ->
+      let f = lost_worker msg in
+      (f, f))
+    (fun plan ->
+      match Run.exec_all plan with
+      | [ a; b ] -> (a, b)
+      | _ -> invalid_arg "run_pairs: plan must have exactly two processes")
+    plans
+
+(* --------------------------------------------------------------- *)
 (* Table 1                                                          *)
+
+let min_heap_probe ~volume_scale specs =
+  map_cells
+    ~fallback:(fun _ -> None)
+    (fun spec -> Minheap.find ~volume_scale ~collector:"BC" ~spec ())
+    specs
 
 let table1 mode =
   let p = params mode in
   Printf.printf "\n== Table 1: benchmark statistics (all bytes = paper/8, %s mode) ==\n"
     p.label;
+  let min_heaps =
+    min_heap_probe ~volume_scale:p.minheap_volume Workload.Benchmarks.all
+  in
   let rows =
-    List.map
-      (fun spec ->
-        let min_heap =
-          Minheap.find ~volume_scale:p.minheap_volume ~collector:"BC" ~spec ()
-        in
+    List.map2
+      (fun spec min_heap ->
         [
           spec.Spec.name;
           Table.fmt_bytes spec.Spec.total_alloc_bytes;
@@ -82,7 +146,7 @@ let table1 mode =
                 (float_of_int b /. float_of_int spec.Spec.paper_min_heap_bytes)
           | None -> "-");
         ])
-      Workload.Benchmarks.all
+      Workload.Benchmarks.all min_heaps
   in
   Table.print_table
     ~header:
@@ -100,9 +164,6 @@ let pause_opt = function
   | Metrics.Completed m -> Some m.Metrics.avg_pause_ms
   | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> None
 
-let run_plain ~collector ~spec ~heap_bytes =
-  Run.run (Run.setup ~collector ~spec ~heap_bytes ())
-
 (* --------------------------------------------------------------- *)
 (* Figure 2                                                         *)
 
@@ -112,31 +173,36 @@ let figure2 mode =
   (* the heap-size axis is relative to each benchmark's measured minimum
      heap (Table 1's measured column), as in the paper *)
   let min_heaps =
-    List.map
-      (fun spec ->
-        let measured =
-          Minheap.find ~volume_scale:p.minheap_volume ~collector:"BC" ~spec ()
-        in
-        ( spec,
-          Option.value measured ~default:spec.Spec.paper_min_heap_bytes ))
+    List.map2
+      (fun spec measured ->
+        (spec, Option.value measured ~default:spec.Spec.paper_min_heap_bytes))
       Workload.Benchmarks.all
+      (min_heap_probe ~volume_scale:p.minheap_volume Workload.Benchmarks.all)
+  in
+  (* one flat fan-out: multiplier × benchmark × collector *)
+  let plans =
+    List.concat_map
+      (fun mult ->
+        List.concat_map
+          (fun (spec, min_heap) ->
+            let spec = Spec.scale_volume spec p.suite_volume in
+            let heap_bytes = int_of_float (mult *. float_of_int min_heap) in
+            List.map
+              (fun collector -> Plan.make ~collector ~spec ~heap_bytes)
+              collectors)
+          min_heaps)
+      p.f2_multipliers
+  in
+  let by_mult =
+    chunk (List.length min_heaps)
+      (run_matrix ~width:(List.length collectors) plans)
   in
   let rows =
-    List.map
-      (fun mult ->
+    List.map2
+      (fun mult per_bench ->
         (* per benchmark, elapsed per collector; then geomean of the
            ratios to BC over the benchmarks where both completed *)
-        let per_bench =
-          List.map
-            (fun (spec, min_heap) ->
-              let spec = Spec.scale_volume spec p.suite_volume in
-              let heap_bytes = int_of_float (mult *. float_of_int min_heap) in
-              List.map
-                (fun collector ->
-                  elapsed_opt (run_plain ~collector ~spec ~heap_bytes))
-                collectors)
-            min_heaps
-        in
+        let per_bench = List.map (List.map elapsed_opt) per_bench in
         let cells =
           List.mapi
             (fun i _collector ->
@@ -153,7 +219,7 @@ let figure2 mode =
             collectors
         in
         (Printf.sprintf "%.2fx" mult, cells))
-      p.f2_multipliers
+      p.f2_multipliers by_mult
   in
   Table.print_series
     ~title:
@@ -163,27 +229,30 @@ let figure2 mode =
 (* --------------------------------------------------------------- *)
 (* Figure 3                                                         *)
 
-let steady_setup ~collector ~spec ~heap_bytes =
+let steady_plan ~collector ~spec ~heap_bytes =
   let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
   let frames = heap_pages + 128 in
   let pressure =
     Pressure.Steady { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 }
   in
-  Run.setup ~collector ~spec ~heap_bytes ~frames ~pressure ()
+  Plan.make ~collector ~spec ~heap_bytes
+  |> Plan.with_frames frames
+  |> Plan.with_pressure pressure
 
 let figure3 mode =
   let p = params mode in
   let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
   let results =
-    List.map
-      (fun heap_mb ->
-        let heap_bytes = mb heap_mb in
-        ( heap_mb,
-          List.map
-            (fun collector ->
-              Run.run (steady_setup ~collector ~spec ~heap_bytes))
-            pressure_collectors ))
-      p.f3_heap_mb
+    List.combine p.f3_heap_mb
+      (run_matrix
+         ~width:(List.length pressure_collectors)
+         (List.concat_map
+            (fun heap_mb ->
+              List.map
+                (fun collector ->
+                  steady_plan ~collector ~spec ~heap_bytes:(mb heap_mb))
+                pressure_collectors)
+            p.f3_heap_mb))
   in
   Table.print_series
     ~title:
@@ -209,7 +278,7 @@ let figure3 mode =
 
 let pjbb_heap_bytes = 77 * 1_048_576 / Workload.Benchmarks.scale
 
-let dynamic_setup ?costs ?trace ~collector ~spec ~available_frac () =
+let dynamic_plan ?costs ?trace ~collector ~spec ~available_frac () =
   let heap_bytes = pjbb_heap_bytes in
   let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
   let frames = heap_pages + 256 in
@@ -232,18 +301,24 @@ let dynamic_setup ?costs ?trace ~collector ~spec ~available_frac () =
         max_pages = pin_target;
       }
   in
-  Run.setup ?costs ?trace ~collector ~spec ~heap_bytes ~frames ~pressure ()
+  Plan.make ~collector ~spec ~heap_bytes
+  |> Plan.with_frames frames
+  |> Plan.with_pressure pressure
+  |> (match costs with None -> Fun.id | Some c -> Plan.with_costs c)
+  |> match trace with None -> Fun.id | Some s -> Plan.with_trace s
 
 let dynamic_outcomes p collectors =
   let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
-  List.map
-    (fun available_frac ->
-      ( available_frac,
-        List.map
-          (fun collector ->
-            Run.run (dynamic_setup ~collector ~spec ~available_frac ()))
-          collectors ))
-    p.dyn_available
+  List.combine p.dyn_available
+    (run_matrix
+       ~width:(List.length collectors)
+       (List.concat_map
+          (fun available_frac ->
+            List.map
+              (fun collector ->
+                dynamic_plan ~collector ~spec ~available_frac ())
+              collectors)
+          p.dyn_available))
 
 let figure45 mode =
   let p = params mode in
@@ -292,19 +367,29 @@ let figure6 mode =
     List.init 11 (fun i ->
         int_of_float (1e6 *. Float.pow 10.0 (float_of_int i /. 2.0)))
   in
-  List.iter
-    (fun (tag, available_frac) ->
+  let outcome_rows =
+    run_matrix
+      ~width:(List.length collectors)
+      (List.concat_map
+         (fun (_tag, available_frac) ->
+           List.map
+             (fun collector ->
+               dynamic_plan ~collector ~spec ~available_frac ())
+             collectors)
+         p.f6_available)
+  in
+  List.iter2
+    (fun (tag, available_frac) outcomes ->
       let curves =
         List.map
-          (fun collector ->
-            match Run.run (dynamic_setup ~collector ~spec ~available_frac ()) with
+          (function
             | Metrics.Completed m ->
                 Some
                   (Bmu.curve ~pauses:m.Metrics.pauses
                      ~total_ns:m.Metrics.elapsed_ns ~windows)
             | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ ->
                 None)
-          collectors
+          outcomes
       in
       Table.print_series
         ~title:
@@ -323,10 +408,20 @@ let figure6 mode =
                      | None -> None)
                    curves ))
              windows))
-    p.f6_available
+    p.f6_available outcome_rows
 
 (* --------------------------------------------------------------- *)
 (* Figure 7                                                         *)
+
+(* Two instances of [collector] (the second on a shifted workload seed)
+   sharing one machine. *)
+let pair_plan ?(coworker : string option) ~collector ~spec ~heap_bytes ~frames
+    () =
+  let coworker = Option.value coworker ~default:collector in
+  Plan.make ~collector ~spec ~heap_bytes
+  |> Plan.with_frames frames
+  |> Plan.with_process ~collector:coworker
+       ~spec:{ spec with Spec.seed = spec.Spec.seed + 17 }
 
 let figure7 mode =
   let p = params mode in
@@ -335,22 +430,20 @@ let figure7 mode =
   let heap_bytes = pjbb_heap_bytes in
   let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
   let results =
-    List.map
-      (fun frac ->
-        let frames =
-          max 512 (int_of_float (frac *. float_of_int (2 * heap_pages)))
-        in
-        ( frac,
-          List.map
-            (fun collector ->
-              let instance seed_shift =
-                Run.setup ~collector
-                  ~spec:{ spec with Spec.seed = spec.Spec.seed + seed_shift }
-                  ~heap_bytes ~frames ()
-              in
-              Run.run_pair (instance 0) (instance 17))
-            collectors ))
-      p.f7_available
+    List.combine p.f7_available
+      (chunk (List.length collectors)
+         (run_pairs
+            (List.concat_map
+               (fun frac ->
+                 let frames =
+                   max 512
+                     (int_of_float (frac *. float_of_int (2 * heap_pages)))
+                 in
+                 List.map
+                   (fun collector ->
+                     pair_plan ~collector ~spec ~heap_bytes ~frames ())
+                   collectors)
+               p.f7_available)))
   in
   let elapsed_pair (a, b) =
     match (a, b) with
@@ -398,12 +491,17 @@ let ablation mode =
   let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
   (* severe enough that discarding alone cannot absorb the pressure *)
   let frac = 0.38 in
+  let outcomes =
+    run_cells
+      (List.map
+         (fun collector ->
+           dynamic_plan ~collector ~spec ~available_frac:frac ())
+         variants)
+  in
   let rows =
-    List.map
-      (fun collector ->
-        match
-          Run.run (dynamic_setup ~collector ~spec ~available_frac:frac ())
-        with
+    List.map2
+      (fun collector outcome ->
+        match outcome with
         | Metrics.Completed m ->
             [
               collector;
@@ -417,7 +515,7 @@ let ablation mode =
         | Metrics.Exhausted msg -> [ collector; "exhausted: " ^ msg ]
         | Metrics.Thrashed msg -> [ collector; "thrashed: " ^ msg ]
         | Metrics.Failed f -> [ collector; "failed: " ^ f.Metrics.reason ])
-      variants
+      variants outcomes
   in
   Printf.printf
     "\n== Ablations: BC variants under dynamic pressure (38%% of heap \
@@ -435,21 +533,26 @@ let ssd mode =
   let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
   let collectors = [ "BC"; "GenMS"; "GenCopy"; "CopyMS" ] in
   let devices = [ ("disk(5ms)", Vmsim.Costs.default); ("ssd(80us)", Vmsim.Costs.ssd) ] in
-  let rows =
+  let combos =
     List.concat_map
       (fun (tag, costs) ->
-        List.map
-          (fun frac ->
-            ( Printf.sprintf "%s@%.2f" tag frac,
+        List.map (fun frac -> (tag, costs, frac)) [ 0.5; 0.4 ])
+      devices
+  in
+  let rows =
+    List.map2
+      (fun (tag, _, frac) outcomes ->
+        (Printf.sprintf "%s@%.2f" tag frac, List.map elapsed_opt outcomes))
+      combos
+      (run_matrix
+         ~width:(List.length collectors)
+         (List.concat_map
+            (fun (_, costs, frac) ->
               List.map
                 (fun collector ->
-                  elapsed_opt
-                    (Run.run
-                       (dynamic_setup ~costs ~collector ~spec
-                          ~available_frac:frac ())))
-                collectors ))
-          [ 0.5; 0.4 ])
-      devices
+                  dynamic_plan ~costs ~collector ~spec ~available_frac:frac ())
+                collectors)
+            combos))
   in
   Table.print_series
     ~title:
@@ -468,14 +571,16 @@ let recovery mode =
   let collectors = [ "BC"; "BC-noregrow"; "GenMS" ] in
   let run collector =
     (* pin down to 45% of the heap between 20% and 50% progress; the run
-       finishes with memory abundant again *)
-    let clock = Vmsim.Clock.create () in
-    let vmm = Vmsim.Vmm.create ~clock ~frames () in
-    let proc = Vmsim.Vmm.create_process vmm ~name:"jvm" in
-    let heap = Heapsim.Heap.create vmm proc in
-    let c = Registry.create ~name:collector ~heap_bytes heap in
+       finishes with memory abundant again. Hand-rolled machine: the
+       pressure schedule here reacts to progress in ways Pressure.t
+       doesn't express. *)
+    let machine = Machine.create ~frames () in
+    let clock = Machine.clock machine in
+    let proc = Machine.spawn machine ~name:"jvm" ~heap_bytes in
+    let c = Registry.instantiate_name ~name:collector proc in
     let signalmem =
-      Workload.Signalmem.create vmm (Heapsim.Heap.address_space heap)
+      Workload.Signalmem.create (Machine.vmm machine)
+        (Machine.address_space machine)
     in
     let mutator = Workload.Mutator.create spec c in
     let release_ns = ref None in
@@ -504,15 +609,16 @@ let recovery mode =
        Some (Vmsim.Clock.ns_to_s finish, after)
      with Gc_common.Collector.Heap_exhausted _ | Vmsim.Vmm.Thrashing _ -> None)
   in
+  let results = map_cells ~fallback:(fun _ -> None) run collectors in
   Printf.printf
     "\n== Beyond the paper: recovery after a transient spike (pin to 35%% \
      between 15%%-35%% progress) ==\n";
   Table.print_table
     ~header:[ "collector"; "total(s)"; "after release(s)" ]
     ~rows:
-      (List.map
-         (fun collector ->
-           match run collector with
+      (List.map2
+         (fun collector result ->
+           match result with
            | Some (total_s, after_s) ->
                [
                  collector;
@@ -520,7 +626,7 @@ let recovery mode =
                  Table.fmt_seconds after_s;
                ]
            | None -> [ collector; "failed"; "-" ])
-         collectors)
+         collectors results)
 
 (* ---------------------------------------------------------------- *)
 (* Beyond the paper: heterogeneous cohabitation                       *)
@@ -531,27 +637,25 @@ let mixed mode =
   let heap_bytes = pjbb_heap_bytes in
   let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
   let frames = 2 * heap_pages * 6 / 10 in
-  let pairing a b =
-    let instance collector seed_shift =
-      Run.setup ~collector
-        ~spec:{ spec with Spec.seed = spec.Spec.seed + seed_shift }
-        ~heap_bytes ~frames ()
-    in
-    let describe tag = function
-      | Metrics.Completed m ->
-          [
-            tag;
-            Table.fmt_seconds (Metrics.elapsed_s m);
-            Table.fmt_ms m.Metrics.avg_pause_ms;
-            string_of_int m.Metrics.major_faults;
-          ]
-      | Metrics.Exhausted _ -> [ tag; "exhausted"; "-"; "-" ]
-      | Metrics.Thrashed _ -> [ tag; "thrashed"; "-"; "-" ]
-      | Metrics.Failed _ -> [ tag; "failed"; "-"; "-" ]
-    in
-    let ra, rb = Run.run_pair (instance a 0) (instance b 17) in
-    [ describe (a ^ " (with " ^ b ^ ")") ra;
-      describe (b ^ " (with " ^ a ^ ")") rb ]
+  let pairings = [ ("BC", "BC"); ("GenMS", "GenMS"); ("BC", "GenMS") ] in
+  let results =
+    run_pairs
+      (List.map
+         (fun (a, b) ->
+           pair_plan ~collector:a ~coworker:b ~spec ~heap_bytes ~frames ())
+         pairings)
+  in
+  let describe tag = function
+    | Metrics.Completed m ->
+        [
+          tag;
+          Table.fmt_seconds (Metrics.elapsed_s m);
+          Table.fmt_ms m.Metrics.avg_pause_ms;
+          string_of_int m.Metrics.major_faults;
+        ]
+    | Metrics.Exhausted _ -> [ tag; "exhausted"; "-"; "-" ]
+    | Metrics.Thrashed _ -> [ tag; "thrashed"; "-"; "-" ]
+    | Metrics.Failed _ -> [ tag; "failed"; "-"; "-" ]
   in
   Printf.printf
     "\n== Beyond the paper: two collectors sharing one machine (60%% of \
@@ -559,7 +663,123 @@ let mixed mode =
   Table.print_table
     ~header:[ "instance"; "time(s)"; "avg pause(ms)"; "faults" ]
     ~rows:
-      (pairing "BC" "BC" @ pairing "GenMS" "GenMS" @ pairing "BC" "GenMS")
+      (List.concat
+         (List.map2
+            (fun (a, b) (ra, rb) ->
+              [ describe (a ^ " (with " ^ b ^ ")") ra;
+                describe (b ^ " (with " ^ a ^ ")") rb ])
+            pairings results))
+
+(* ---------------------------------------------------------------- *)
+(* Multiprocess contention (§5: two JVMs competing for memory)        *)
+
+let multiprocess mode =
+  let p = params mode in
+  let spec = Spec.scale_volume Workload.Benchmarks.pseudojbb p.pjbb_volume in
+  let heap_bytes = pjbb_heap_bytes in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  (* enough physical memory for one instance to run comfortably, nothing
+     like enough for two: 55% of the combined heaps, as in the paper's
+     §5 dual-JVM runs. Solo rows use the same frame count, so the only
+     new variable in the contended rows is the competing process. *)
+  let frames = max 512 (2 * heap_pages * 55 / 100) in
+  let collectors = [ "BC"; "GenMS"; "GenCopy"; "CopyMS"; "SemiSpace" ] in
+  let competitor = "GenMS" in
+  let solo collector =
+    Plan.make ~collector ~spec ~heap_bytes |> Plan.with_frames frames
+  in
+  let solos = run_cells (List.map solo collectors) in
+  let contended =
+    run_pairs
+      (List.map
+         (fun collector ->
+           pair_plan ~collector ~coworker:competitor ~spec ~heap_bytes
+             ~frames ())
+         collectors)
+  in
+  let fmt_opt f = function Some v -> f v | None -> "-" in
+  let label_of = function
+    | Metrics.Completed _ -> "ok"
+    | o -> Metrics.outcome_label o
+  in
+  let rows =
+    List.map2
+      (fun collector (solo_o, (victim_o, _comp_o)) ->
+        let slowdown =
+          match (elapsed_opt solo_o, elapsed_opt victim_o) with
+          | Some s, Some c when s > 0. -> Printf.sprintf "%.1fx" (c /. s)
+          | _ -> label_of victim_o
+        in
+        let p95 = function
+          | Metrics.Completed m -> Some m.Metrics.p95_pause_ms
+          | _ -> None
+        in
+        let faults = function
+          | Metrics.Completed m -> string_of_int m.Metrics.major_faults
+          | _ -> "-"
+        in
+        [
+          collector;
+          fmt_opt Table.fmt_seconds (elapsed_opt solo_o);
+          fmt_opt Table.fmt_seconds (elapsed_opt victim_o);
+          slowdown;
+          fmt_opt Table.fmt_ms (p95 solo_o);
+          fmt_opt Table.fmt_ms (p95 victim_o);
+          faults victim_o;
+        ])
+      collectors
+      (List.combine solos contended)
+  in
+  Printf.printf
+    "\n== Multiprocess (§5): each collector vs a competing %s instance \
+     (55%% of combined heaps, %s mode) ==\n"
+    competitor p.label;
+  Table.print_table
+    ~header:
+      [ "collector"; "solo(s)"; "contended(s)"; "slowdown"; "solo p95(ms)";
+        "contended p95(ms)"; "faults" ]
+    ~rows;
+  (* scheduling policies: the same BC + GenMS machine under round-robin,
+     3:1 proportional share and strict priority — per-process windows
+     make the interference visible from both sides *)
+  let policies =
+    [
+      ("round-robin", Fun.id);
+      ( "proportional 3:1",
+        fun plan ->
+          plan |> Plan.with_share 3 |> Plan.with_policy Machine.Proportional
+      );
+      ( "priority BC",
+        fun plan ->
+          plan |> Plan.with_priority 1 |> Plan.with_policy Machine.Priority );
+    ]
+  in
+  let policy_results =
+    run_pairs
+      (List.map
+         (fun (_, refine) ->
+           refine
+             (pair_plan ~collector:"BC" ~coworker:competitor ~spec
+                ~heap_bytes ~frames ()))
+         policies)
+  in
+  Printf.printf
+    "\n== Multiprocess: BC + %s under different scheduling policies ==\n"
+    competitor;
+  Table.print_table
+    ~header:
+      [ "policy"; "BC time(s)"; "BC p95(ms)"; Printf.sprintf "%s time(s)" competitor;
+        Printf.sprintf "%s p95(ms)" competitor ]
+    ~rows:
+      (List.map2
+         (fun (tag, _) (bc_o, comp_o) ->
+           let time o = fmt_opt Table.fmt_seconds (elapsed_opt o) in
+           let p95 = function
+             | Metrics.Completed m -> Table.fmt_ms m.Metrics.p95_pause_ms
+             | o -> Metrics.outcome_label o
+           in
+           [ tag; time bc_o; p95 bc_o; time comp_o; p95 comp_o ])
+         policies policy_results)
 
 (* ---------------------------------------------------------------- *)
 (* Beyond the paper: graceful degradation under an unreliable kernel  *)
@@ -603,32 +823,35 @@ let faults mode =
     in
     [ name; label; detail; injected ]
   in
+  let cells =
+    List.concat_map
+      (fun spec ->
+        let spec = Spec.scale_volume spec p.suite_volume in
+        let heap_bytes = max (2 * spec.Spec.paper_min_heap_bytes) 1_500_000 in
+        let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+        let frames = heap_pages + 192 in
+        let pressure =
+          Pressure.Steady
+            { after_progress = 0.1; pin_pages = heap_pages * 4 / 10 }
+        in
+        List.map
+          (fun collector ->
+            ( spec.Spec.name ^ "/" ^ collector,
+              Plan.make ~collector ~spec ~heap_bytes
+              |> Plan.with_frames frames
+              |> Plan.with_pressure pressure
+              |> Plan.with_faults fault_spec
+              |> Plan.with_verify ))
+          collectors)
+      Workload.Benchmarks.all
+  in
+  let outcomes = run_cells (List.map snd cells) in
   Printf.printf
     "\n== Beyond the paper: fault injection (drop 30%% of eviction notices, \
      swap errors, 2 swap-full episodes) ==\n";
   Table.print_table
     ~header:[ "benchmark/collector"; "outcome"; "time(s)/exn"; "injected" ]
-    ~rows:
-      (List.concat_map
-         (fun spec ->
-           let spec = Spec.scale_volume spec p.suite_volume in
-           let heap_bytes = max (2 * spec.Spec.paper_min_heap_bytes) 1_500_000 in
-           let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
-           let frames = heap_pages + 192 in
-           let pressure =
-             Pressure.Steady
-               { after_progress = 0.1; pin_pages = heap_pages * 4 / 10 }
-           in
-           List.map
-             (fun collector ->
-               let outcome =
-                 Run.run
-                   (Run.setup ~collector ~spec ~heap_bytes ~frames ~pressure
-                      ~faults:fault_spec ~verify:true ())
-               in
-               describe (spec.Spec.name ^ "/" ^ collector) outcome)
-             collectors)
-         Workload.Benchmarks.all)
+    ~rows:(List.map2 (fun (name, _) o -> describe name o) cells outcomes)
 
 (* ---------------------------------------------------------------- *)
 (* Telemetry trace export                                             *)
@@ -642,7 +865,7 @@ let trace_export mode =
     (fun (collector, available_frac) ->
       let sink = Telemetry.Sink.create () in
       let outcome =
-        Run.run (dynamic_setup ~trace:sink ~collector ~spec ~available_frac ())
+        Run.exec (dynamic_plan ~trace:sink ~collector ~spec ~available_frac ())
       in
       Printf.printf "\n== Trace: %s/pseudoJBB at %.2f available (%s mode) ==\n"
         collector available_frac p.label;
@@ -687,4 +910,5 @@ let all mode =
   ssd mode;
   recovery mode;
   mixed mode;
+  multiprocess mode;
   faults mode

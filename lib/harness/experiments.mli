@@ -7,6 +7,15 @@
 
 type mode = Quick | Full
 
+val set_jobs : int -> unit
+(** Fan the independent cells of each sweep out over this many forked
+    workers (see {!Parallel}); clamped below at 1 (sequential, the
+    default). Simulation is deterministic in virtual time and every
+    sweep computes its whole matrix before printing, so the output is
+    byte-identical whatever the worker count. *)
+
+val get_jobs : unit -> int
+
 val table1 : mode -> unit
 (** Table 1: total allocation and measured minimum heap per benchmark,
     against the paper's (scaled) numbers. *)
@@ -56,6 +65,15 @@ val mixed : mode -> unit
     BC+GenMS) — does the cooperative collector get exploited by a paging
     neighbour that never gives memory back? *)
 
+val multiprocess : mode -> unit
+(** The paper's shared-machine scenario (§5) head-on: each collector runs
+    pseudoJBB solo and then again beside a competing GenMS instance on
+    one {!Machine} with 55% of the combined heaps in physical memory,
+    reporting per-process slowdown, p95 pause and fault counts — BC
+    degrades gracefully where the baselines page-storm. A second table
+    re-runs the BC+GenMS pairing under the round-robin, proportional-
+    share and priority scheduling policies. *)
+
 val faults : mode -> unit
 (** Beyond the paper: robustness matrix. Every benchmark × {BC, GenMS}
     under a standard fault plan (≈30% of eviction notices dropped, swap
@@ -72,4 +90,4 @@ val trace_export : mode -> unit
 
 val all : mode -> unit
 (** Everything above, in paper order, plus the SSD, recovery,
-    cohabitation and fault-injection studies. *)
+    cohabitation, multiprocess and fault-injection studies. *)

@@ -1,0 +1,246 @@
+module Fault_plan = Faults.Fault_plan
+
+type policy = Round_robin | Proportional | Priority
+
+type process = {
+  name : string;
+  vproc : Vmsim.Process.t;
+  heap : Heapsim.Heap.t;
+  heap_bytes : int;
+  share : int;
+  priority : int;
+  mutable collector : Gc_common.Collector.t option;
+  mutable mutator : Workload.Mutator.t option;
+  mutable spec : Workload.Spec.t option;
+  mutable finish_ns : int option;
+  mutable window_start_ns : int;
+}
+
+type t = {
+  clock : Vmsim.Clock.t;
+  vmm : Vmsim.Vmm.t;
+  address_space : Heapsim.Address_space.t;
+  plan : Fault_plan.t option;
+  trace : Telemetry.Sink.t option;
+  mutable policy : policy;
+  mutable procs : process list;  (* spawn order *)
+}
+
+let default_slice = 256
+
+let create ?(costs = Vmsim.Costs.default) ?faults ?trace
+    ?(policy = Round_robin) ~frames () =
+  let clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~costs ?faults:faults ~clock ~frames () in
+  Vmsim.Vmm.set_trace vmm trace;
+  {
+    clock;
+    vmm;
+    address_space = Heapsim.Address_space.create ();
+    plan = faults;
+    trace;
+    policy;
+    procs = [];
+  }
+
+let clock t = t.clock
+
+let vmm t = t.vmm
+
+let address_space t = t.address_space
+
+let fault_plan t = t.plan
+
+let policy t = t.policy
+
+let set_policy t p = t.policy <- p
+
+let processes t = t.procs
+
+let spawn ?(share = 1) ?(priority = 0) t ~name ~heap_bytes =
+  if share < 1 then invalid_arg "Machine.spawn: share";
+  let vproc = Vmsim.Vmm.create_process t.vmm ~name in
+  let heap =
+    Heapsim.Heap.create_with t.vmm vproc ~address_space:t.address_space
+  in
+  let p =
+    {
+      name;
+      vproc;
+      heap;
+      heap_bytes;
+      share;
+      priority;
+      collector = None;
+      mutator = None;
+      spec = None;
+      finish_ns = None;
+      window_start_ns = Vmsim.Clock.now t.clock;
+    }
+  in
+  t.procs <- t.procs @ [ p ];
+  p
+
+let name p = p.name
+
+let pid p = Vmsim.Process.pid p.vproc
+
+let vm_process p = p.vproc
+
+let heap p = p.heap
+
+let heap_bytes p = p.heap_bytes
+
+let set_collector p c = p.collector <- Some c
+
+let collector p =
+  match p.collector with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Machine: process %S has no collector" p.name)
+
+let load p spec =
+  let c = collector p in
+  p.window_start_ns <- Vmsim.Clock.now (Heapsim.Heap.clock p.heap);
+  p.spec <- Some spec;
+  p.finish_ns <- None;
+  p.mutator <- Some (Workload.Mutator.create spec c)
+
+let warm_up p ~iterations ~ops_per_slice spec =
+  let c = collector p in
+  for i = 2 to iterations do
+    ignore i;
+    let warm = Workload.Mutator.create spec c in
+    while not (Workload.Mutator.step warm ~ops:ops_per_slice) do () done;
+    c.Gc_common.Collector.collect ()
+  done
+
+let reset_window p =
+  (match p.collector with
+  | Some c -> Gc_common.Gc_stats.reset c.Gc_common.Collector.stats
+  | None -> ());
+  Vmsim.Vm_stats.reset (Vmsim.Process.stats p.vproc)
+
+let finish_ns p = p.finish_ns
+
+let window_start_ns p = p.window_start_ns
+
+let allocated_bytes p =
+  match p.mutator with
+  | Some m -> Workload.Mutator.allocated_bytes m
+  | None -> 0
+
+let mutator_exn p =
+  match p.mutator with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Machine.run: process %S has no workload loaded"
+           p.name)
+
+(* One slice of one process; records its finish time on completion. *)
+let step_slice t ~ops_per_slice p =
+  if p.finish_ns = None then begin
+    let finished = Workload.Mutator.step (mutator_exn p) ~ops:ops_per_slice in
+    if finished then p.finish_ns <- Some (Vmsim.Clock.now t.clock)
+  end
+
+let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
+    t =
+  (match t.procs with
+  | [] -> invalid_arg "Machine.run: no processes"
+  | ps -> List.iter (fun p -> ignore (mutator_exn p)) ps);
+  let first = List.hd t.procs in
+  let first_spec =
+    match first.spec with Some s -> s | None -> assert false
+  in
+  let signalmem = Workload.Signalmem.create t.vmm t.address_space in
+  let ramp_start = ref None in
+  let unseen_spikes =
+    ref (match t.plan with Some p -> Fault_plan.spikes p | None -> [])
+  in
+  let apply_pressure () =
+    (* drive the schedule off the first process's progress *)
+    let prog =
+      float_of_int (allocated_bytes first)
+      /. float_of_int (max 1 first_spec.Workload.Spec.total_alloc_bytes)
+    in
+    let now = Vmsim.Clock.now t.clock in
+    (match !ramp_start with
+    | None -> (
+        match Workload.Pressure.after_progress pressure with
+        | Some after when prog >= after -> ramp_start := Some now
+        | Some _ | None -> ())
+    | Some _ -> ());
+    (match t.plan with
+    | Some p ->
+        let opened, rest =
+          List.partition (fun (from, _, _) -> prog >= from) !unseen_spikes
+        in
+        List.iter (fun _ -> Fault_plan.note_spike_applied p) opened;
+        unseen_spikes := rest
+    | None -> ());
+    let start_ns = Option.value !ramp_start ~default:now in
+    let due =
+      Workload.Pressure.due_pages pressure ~now_ns:now ~start_ns
+        ~progress:prog
+    in
+    let have = Workload.Signalmem.pinned_pages signalmem in
+    if due > have then Workload.Signalmem.pin_pages signalmem (due - have)
+    else if due < have then
+      (* a pressure spike receding: give the frames back *)
+      Workload.Signalmem.unpin_pages signalmem (have - due)
+  in
+  let all_done () = List.for_all (fun p -> p.finish_ns <> None) t.procs in
+  (* one Alloc_slice event per scheduling round: ops per slice plus the
+     cumulative allocation volume (a Chrome counter track); on a
+     multi-process machine, one Proc_progress per process so the trace
+     can attribute the volume *)
+  let slice_event () =
+    match t.trace with
+    | None -> ()
+    | Some sink ->
+        let bytes =
+          List.fold_left (fun acc p -> acc + allocated_bytes p) 0 t.procs
+        in
+        let now = Vmsim.Clock.now t.clock in
+        Telemetry.Sink.emit sink ~ts_ns:now Telemetry.Event.Alloc_slice
+          ops_per_slice bytes;
+        match t.procs with
+        | [] | [ _ ] -> ()
+        | ps ->
+            List.iter
+              (fun p ->
+                Telemetry.Sink.emit sink ~ts_ns:now
+                  Telemetry.Event.Proc_progress (pid p) (allocated_bytes p))
+              ps
+  in
+  let round () =
+    match t.policy with
+    | Round_robin -> List.iter (step_slice t ~ops_per_slice) t.procs
+    | Proportional ->
+        List.iter
+          (fun p ->
+            for _ = 1 to p.share do
+              step_slice t ~ops_per_slice p
+            done)
+          t.procs
+    | Priority -> (
+        let best =
+          List.fold_left
+            (fun acc p ->
+              if p.finish_ns <> None then acc
+              else
+                match acc with
+                | Some b when b.priority >= p.priority -> acc
+                | _ -> Some p)
+            None t.procs
+        in
+        match best with Some p -> step_slice t ~ops_per_slice p | None -> ())
+  in
+  while not (all_done ()) do
+    round ();
+    slice_event ();
+    apply_pressure ()
+  done

@@ -21,6 +21,7 @@ type t = {
   discards : int;
   relinquished : int;
   footprint_pages : int;
+  resident_peak_pages : int;
   allocated_bytes : int;
   pauses : (int * int) list;
   faults : Faults.Fault_plan.stats option;
@@ -66,6 +67,7 @@ let of_snapshots ?faults ~collector ~workload ~heap_bytes ~gc ~vm ~start_ns
     discards = vm.Vmsim.Vm_stats.Snapshot.discards;
     relinquished = vm.Vmsim.Vm_stats.Snapshot.relinquished;
     footprint_pages = gc.Gc_stats.Snapshot.max_heap_pages;
+    resident_peak_pages = vm.Vmsim.Vm_stats.Snapshot.peak_resident_pages;
     allocated_bytes = gc.Gc_stats.Snapshot.allocated_bytes;
     pauses =
       List.map
@@ -138,6 +140,7 @@ let to_json t =
       ("discards", Json.int t.discards);
       ("relinquished", Json.int t.relinquished);
       ("footprint_pages", Json.int t.footprint_pages);
+      ("resident_peak_pages", Json.int t.resident_peak_pages);
       ("allocated_bytes", Json.int t.allocated_bytes);
       ( "pauses",
         Json.List

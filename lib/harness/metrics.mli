@@ -20,6 +20,10 @@ type t = {
   discards : int;
   relinquished : int;
   footprint_pages : int;  (** high-water heap pages *)
+  resident_peak_pages : int;
+      (** high-water pages of the process actually backed by frames
+          during the window — the residency the machine's other
+          processes had to live with *)
   allocated_bytes : int;
   pauses : (int * int) list;  (** (start, duration), for BMU *)
   faults : Faults.Fault_plan.stats option;

@@ -1,5 +1,5 @@
 let works ~collector ~spec ~heap_bytes =
-  match Run.run (Run.setup ~collector ~spec ~heap_bytes ()) with
+  match Run.exec (Run.Plan.make ~collector ~spec ~heap_bytes) with
   | Metrics.Completed _ -> true
   | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> false
 

@@ -1,0 +1,73 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let wrap f x =
+  match f x with v -> Ok v | exception e -> Error (Printexc.to_string e)
+
+(* Worker [k] computes items k, k+jobs, k+2*jobs, ... and streams
+   [(index, result)] pairs down its pipe. The parent drains every pipe
+   to EOF before reaping, so a worker can never block on a full pipe
+   while the parent sits in waitpid. *)
+let forked_map ~jobs f items =
+  let n = Array.length items in
+  flush stdout;
+  flush stderr;
+  let spawn k =
+    let rd, wr = Unix.pipe ~cloexec:false () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close rd;
+        let oc = Unix.out_channel_of_descr wr in
+        (try
+           let i = ref k in
+           while !i < n do
+             Marshal.to_channel oc (!i, wrap f items.(!i)) [];
+             i := !i + jobs
+           done;
+           flush oc
+         with _ -> ( try flush oc with _ -> ()));
+        (* _exit, not exit: no at_exit, and the parent's stdio buffers
+           inherited by the fork must not be flushed a second time *)
+        Unix._exit 0
+    | pid ->
+        Unix.close wr;
+        (pid, rd)
+  in
+  let workers = List.init jobs spawn in
+  let results =
+    Array.make n (Error "worker died before returning this result")
+  in
+  List.iter
+    (fun (pid, rd) ->
+      let ic = Unix.in_channel_of_descr rd in
+      (try
+         while true do
+           let i, r = (Marshal.from_channel ic : int * ('b, string) result) in
+           results.(i) <- r
+         done
+       with End_of_file | Failure _ -> ());
+      close_in ic;
+      ignore (Unix.waitpid [] pid))
+    workers;
+  Array.to_list results
+
+let map ~jobs f xs =
+  let items = Array.of_list xs in
+  let jobs = min jobs (Array.length items) in
+  if jobs <= 1 then Array.to_list (Array.map (wrap f) items)
+  else forked_map ~jobs f items
+
+let outcomes ~jobs plans =
+  let jobs =
+    if List.exists Run.Plan.traced plans then 1 else jobs
+  in
+  map ~jobs Run.exec plans
+  |> List.map (function
+       | Ok o -> o
+       | Error reason ->
+           Metrics.Failed
+             {
+               Metrics.reason;
+               exn_name = "Parallel.Worker_lost";
+               fault_stats = None;
+               partial = None;
+             })

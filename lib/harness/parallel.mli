@@ -1,0 +1,37 @@
+(** Fork-based fan-out of independent runs across Unix workers.
+
+    The whole simulation is deterministic in virtual time, so farming
+    cells of an experiment matrix out to forked worker processes and
+    marshalling the results back produces byte-identical metrics to a
+    sequential sweep — only the wall-clock changes. Results always come
+    back in input order, whatever order the workers finish in.
+
+    Failure isolation is per item twice over: {!Run.exec} already turns
+    a cell's exception into [Metrics.Failed] inside the worker, and if
+    a worker process itself dies (segfault, kill, marshal failure) only
+    its unfinished items are reported as [Error] — the rest of the
+    matrix is unaffected. *)
+
+val default_jobs : unit -> int
+(** Worker count matching the machine's available cores. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> ('b, string) result list
+(** [map ~jobs f xs] applies [f] to every item, fanning out across
+    [jobs] forked workers (items are strided round-robin, so the
+    assignment is deterministic), and returns per-item results in input
+    order. An item whose [f] raises yields [Error] with the exception
+    text; items lost to a dead worker yield [Error] too. With
+    [jobs <= 1], or fewer items than that, runs sequentially in this
+    process — same results, no forks.
+
+    [f]'s result must be marshallable (plain data: no closures, no
+    custom blocks); workers run with their own copy of the heap, so
+    mutations made by [f] are invisible to the parent. *)
+
+val outcomes : jobs:int -> Run.Plan.t list -> Metrics.outcome list
+(** {!map} specialised to executing plans: each plan runs through
+    {!Run.exec}, and a lost worker's items surface as [Metrics.Failed]
+    cells rather than [Error]s, so matrix printers need no second
+    error path. Plans carrying a trace sink run sequentially in this
+    process whatever [jobs] says — a sink filled in a forked child
+    would be thrown away with the child's heap. *)

@@ -23,77 +23,77 @@ let fixed_nursery ~heap_bytes =
 let bc_opts f ~heap_bytes =
   Gc_config.make ~heap_bytes ~bc:(f Gc_config.default_bc_opts) ()
 
-let entry ?variant ?(ablation = false) ~family ~doc ~config factory =
+(* Entries are built from the implementation modules themselves
+   ({!Gc_common.Collector.S}): the family name, the default doc line and
+   the factory all come from the module, so an entry only states what is
+   special about it (variant tag, config tweak, overriding doc). *)
+let entry ?variant ?(ablation = false) ?doc ~config
+    (module C : Gc_common.Collector.S) =
+  let family = C.name in
   let name =
     match variant with None -> family | Some v -> family ^ "-" ^ v
   in
-  { name; family; variant; ablation; doc; config; factory }
+  let doc = match doc with Some d -> d | None -> C.doc in
+  { name; family; variant; ablation; doc; config; factory = C.factory }
+
+let bc = (module Bookmarking.Bc : Gc_common.Collector.S)
 
 let all =
   [
-    entry ~family:"BC" ~doc:"bookmarking collector (the paper's BC)"
-      ~config:plain Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"resize"
-      ~doc:"BC with bookmarks disabled: heap resizing only"
+    entry ~config:plain bc;
+    entry ~variant:"resize" ~doc:"BC with bookmarks disabled: heap resizing only"
       ~config:
         (bc_opts (fun o -> { o with Gc_config.bookmarks_enabled = false }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"fixed" ~doc:"BC with the fixed nursery"
-      ~config:fixed_nursery Bookmarking.Bc.factory;
-    entry ~family:"GenMS"
-      ~doc:"generational mark-sweep, Appel-style flexible nursery"
-      ~config:plain Baselines.Gen_ms.factory;
-    entry ~family:"GenMS" ~variant:"fixed" ~doc:"GenMS with the fixed nursery"
-      ~config:fixed_nursery Baselines.Gen_ms.factory;
-    entry ~family:"GenMS" ~variant:"coop"
+      bc;
+    entry ~variant:"fixed" ~doc:"BC with the fixed nursery"
+      ~config:fixed_nursery bc;
+    entry ~config:plain (module Baselines.Gen_ms);
+    entry ~variant:"fixed" ~doc:"GenMS with the fixed nursery"
+      ~config:fixed_nursery
+      (module Baselines.Gen_ms);
+    entry ~variant:"coop"
       ~doc:"GenMS with Cooper-style discard-only cooperation (§6)"
       ~config:(fun ~heap_bytes ->
         Gc_config.make ~heap_bytes ~cooperative_discard:true ())
-      Baselines.Gen_ms.factory;
-    entry ~family:"GenCopy" ~doc:"generational copying collector"
-      ~config:plain Baselines.Gen_copy.factory;
-    entry ~family:"GenCopy" ~variant:"fixed"
-      ~doc:"GenCopy with the fixed nursery" ~config:fixed_nursery
-      Baselines.Gen_copy.factory;
-    entry ~family:"CopyMS" ~doc:"copying nursery over a mark-sweep old space"
-      ~config:plain Baselines.Copy_ms.factory;
-    entry ~family:"MarkSweep" ~doc:"whole-heap mark-sweep" ~config:plain
-      Baselines.Mark_sweep.factory;
-    entry ~family:"SemiSpace" ~doc:"two-space copying" ~config:plain
-      Baselines.Semi_space.factory;
+      (module Baselines.Gen_ms);
+    entry ~config:plain (module Baselines.Gen_copy);
+    entry ~variant:"fixed" ~doc:"GenCopy with the fixed nursery"
+      ~config:fixed_nursery
+      (module Baselines.Gen_copy);
+    entry ~config:plain (module Baselines.Copy_ms);
+    entry ~config:plain (module Baselines.Mark_sweep);
+    entry ~config:plain (module Baselines.Semi_space);
     (* BC ablations (bench targets only) *)
-    entry ~family:"BC" ~variant:"noaggr" ~ablation:true
+    entry ~variant:"noaggr" ~ablation:true
       ~doc:"BC without aggressive empty-page discards"
       ~config:
         (bc_opts (fun o -> { o with Gc_config.aggressive_discard = false }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"nocons" ~ablation:true
+      bc;
+    entry ~variant:"nocons" ~ablation:true
       ~doc:"BC without conservative page bookmarks"
       ~config:
         (bc_opts (fun o -> { o with Gc_config.conservative_clear = false }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"nocompact" ~ablation:true
+      bc;
+    entry ~variant:"nocompact" ~ablation:true
       ~doc:"BC with the compacting collection disabled"
       ~config:
         (bc_opts (fun o -> { o with Gc_config.compaction_enabled = false }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"reserve0" ~ablation:true
-      ~doc:"BC with no reserve pages"
+      bc;
+    entry ~variant:"reserve0" ~ablation:true ~doc:"BC with no reserve pages"
       ~config:(bc_opts (fun o -> { o with Gc_config.reserve_pages = 0 }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"reserve32" ~ablation:true
-      ~doc:"BC with a 32-page reserve"
+      bc;
+    entry ~variant:"reserve32" ~ablation:true ~doc:"BC with a 32-page reserve"
       ~config:(bc_opts (fun o -> { o with Gc_config.reserve_pages = 32 }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"ptraware" ~ablation:true
+      bc;
+    entry ~variant:"ptraware" ~ablation:true
       ~doc:"BC with pointer-aware victim selection (8 candidates)"
       ~config:
         (bc_opts (fun o -> { o with Gc_config.pointer_aware_victims = 8 }))
-      Bookmarking.Bc.factory;
-    entry ~family:"BC" ~variant:"noregrow" ~ablation:true
+      bc;
+    entry ~variant:"noregrow" ~ablation:true
       ~doc:"BC that never regrows the heap after pressure lifts"
       ~config:(bc_opts (fun o -> { o with Gc_config.regrow = false }))
-      Bookmarking.Bc.factory;
+      bc;
   ]
 
 let find name = List.find_opt (fun i -> i.name = name) all
@@ -115,3 +115,18 @@ let create ~name ~heap_bytes heap =
   match find name with
   | Some i -> i.factory (i.config ~heap_bytes) heap
   | None -> unknown name
+
+(* The typed instantiation path: callers resolve an [info] once (or hold
+   one statically) and apply it to a machine process — no second
+   string lookup between "which collector" and "build it". *)
+let instantiate i proc =
+  let c =
+    i.factory
+      (i.config ~heap_bytes:(Machine.heap_bytes proc))
+      (Machine.heap proc)
+  in
+  Machine.set_collector proc c;
+  c
+
+let instantiate_name ~name proc =
+  match find name with Some i -> instantiate i proc | None -> unknown name

@@ -38,4 +38,15 @@ val create : name:string -> heap_bytes:int -> Heapsim.Heap.t -> Gc_common.Collec
 (** Instantiate a collector by name with an appropriate configuration.
     Raises [Invalid_argument] on unknown names. *)
 
+val instantiate : info -> Machine.process -> Gc_common.Collector.t
+(** Build the collector described by [info] over a machine process's
+    heap (sized by the process's [heap_bytes]) and attach it to the
+    process. The typed path: resolve the [info] once, instantiate as
+    many times as there are processes — no string-keyed double
+    lookup. *)
+
+val instantiate_name : name:string -> Machine.process -> Gc_common.Collector.t
+(** [instantiate] after a single [find]; raises [Invalid_argument] on
+    unknown names. *)
+
 val config_for : name:string -> heap_bytes:int -> Gc_common.Gc_config.t

@@ -1,5 +1,243 @@
 module Fault_plan = Faults.Fault_plan
 
+let default_slice = Machine.default_slice
+
+let default_fault_seed = 0x5eed
+
+let ample_frames ~heap_bytes =
+  (4 * Vmsim.Page.count_for_bytes heap_bytes) + 2048
+
+module Plan = struct
+  type proc = {
+    collector : string;
+    spec : Workload.Spec.t;
+    heap_bytes : int;
+    share : int;
+    priority : int;
+  }
+
+  type t = {
+    procs : proc list;  (* head = primary process *)
+    frames : int option;
+    pressure : Workload.Pressure.t;
+    ops_per_slice : int;
+    costs : Vmsim.Costs.t;
+    iterations : int;
+    faults : Fault_plan.spec option;
+    fault_seed : int;
+    verify : bool;
+    trace : Telemetry.Sink.t option;
+    policy : Machine.policy;
+  }
+
+  let make ~collector ~spec ~heap_bytes =
+    {
+      procs = [ { collector; spec; heap_bytes; share = 1; priority = 0 } ];
+      frames = None;
+      pressure = Workload.Pressure.None_;
+      ops_per_slice = default_slice;
+      costs = Vmsim.Costs.default;
+      iterations = 1;
+      faults = None;
+      fault_seed = default_fault_seed;
+      verify = false;
+      trace = None;
+      policy = Machine.Round_robin;
+    }
+
+  let with_frames frames t = { t with frames = Some frames }
+
+  let with_pressure pressure t = { t with pressure }
+
+  let with_ops_per_slice ops_per_slice t =
+    if ops_per_slice < 1 then invalid_arg "Plan.with_ops_per_slice";
+    { t with ops_per_slice }
+
+  let with_costs costs t = { t with costs }
+
+  let with_iterations iterations t =
+    if iterations < 1 then invalid_arg "Plan.with_iterations";
+    { t with iterations }
+
+  let with_faults ?(seed = default_fault_seed) spec t =
+    { t with faults = Some spec; fault_seed = seed }
+
+  let with_verify t = { t with verify = true }
+
+  let with_trace sink t = { t with trace = Some sink }
+
+  let with_policy policy t = { t with policy }
+
+  let with_share share t =
+    match t.procs with
+    | p :: rest -> { t with procs = { p with share } :: rest }
+    | [] -> assert false
+
+  let with_priority priority t =
+    match t.procs with
+    | p :: rest -> { t with procs = { p with priority } :: rest }
+    | [] -> assert false
+
+  let with_process ?(share = 1) ?(priority = 0) ?heap_bytes ~collector ~spec t
+      =
+    let heap_bytes =
+      match heap_bytes with
+      | Some b -> b
+      | None -> (List.hd t.procs).heap_bytes
+    in
+    {
+      t with
+      procs = t.procs @ [ { collector; spec; heap_bytes; share; priority } ];
+    }
+
+  let procs t = t.procs
+
+  let nprocs t = List.length t.procs
+
+  let primary t = List.hd t.procs
+
+  let collector t = (primary t).collector
+
+  let spec t = (primary t).spec
+
+  let heap_bytes t = (primary t).heap_bytes
+
+  let iterations t = t.iterations
+
+  let traced t = t.trace <> None
+
+  (* Frames needed to run without any physical-memory pressure: room for
+     every process's heap plus slack. *)
+  let frames t =
+    match t.frames with
+    | Some f -> f
+    | None ->
+        ample_frames
+          ~heap_bytes:
+            (List.fold_left (fun acc p -> acc + p.heap_bytes) 0 t.procs)
+end
+
+let exn_name e = Printexc.exn_slot_name e
+
+(* Process names: the historical "jvm" for a single process, "jvm-a",
+   "jvm-b", ... when several share the machine. *)
+let proc_names n =
+  if n = 1 then [ "jvm" ]
+  else
+    List.init n (fun i ->
+        if i < 26 then Printf.sprintf "jvm-%c" (Char.chr (Char.code 'a' + i))
+        else Printf.sprintf "jvm-%d" (i + 1))
+
+let effective_pressure (p : Plan.t) plan =
+  match plan with
+  | None -> p.Plan.pressure
+  | Some fp ->
+      Workload.Pressure.with_spikes p.Plan.pressure (Fault_plan.spikes fp)
+
+let exec_all (p : Plan.t) =
+  let n = Plan.nprocs p in
+  let plan = Option.map (Fault_plan.create ~seed:p.Plan.fault_seed) p.Plan.faults in
+  let m =
+    Machine.create ~costs:p.Plan.costs ?faults:plan ?trace:p.Plan.trace
+      ~policy:p.Plan.policy ~frames:(Plan.frames p) ()
+  in
+  let clock = Machine.clock m in
+  let fault_stats () = Option.map Fault_plan.stats plan in
+  let mprocs =
+    List.map2
+      (fun (pr : Plan.proc) name ->
+        Machine.spawn ~share:pr.Plan.share ~priority:pr.Plan.priority m ~name
+          ~heap_bytes:pr.Plan.heap_bytes)
+      p.Plan.procs (proc_names n)
+  in
+  let pairs = List.combine p.Plan.procs mprocs in
+  let partial () =
+    (* best-effort snapshot of whatever the primary accumulated *)
+    match pairs with
+    | (pr, mp) :: _ -> (
+        match
+          try Some (Machine.collector mp) with Invalid_argument _ -> None
+        with
+        | None -> None
+        | Some c -> (
+            try
+              Some
+                (Metrics.of_run ?faults:(fault_stats ()) ~collector:c
+                   ~workload:pr.Plan.spec.Workload.Spec.name
+                   ~start_ns:(Machine.window_start_ns mp)
+                   ~end_ns:(Vmsim.Clock.now clock) ())
+            with _ -> None))
+    | [] -> None
+  in
+  try
+    List.iter
+      (fun ((pr : Plan.proc), mp) ->
+        ignore (Registry.instantiate_name ~name:pr.Plan.collector mp))
+      pairs;
+    (* warm-up iterations (§5.1): run, then collect away their residue *)
+    List.iter
+      (fun ((pr : Plan.proc), mp) ->
+        Machine.warm_up mp ~iterations:p.Plan.iterations
+          ~ops_per_slice:p.Plan.ops_per_slice pr.Plan.spec)
+      pairs;
+    if p.Plan.iterations > 1 then begin
+      (* measure the final iteration only *)
+      List.iter (fun (_, mp) -> Machine.reset_window mp) pairs;
+      (* ... and keep the trace aligned with the measured interval *)
+      Option.iter Telemetry.Sink.clear p.Plan.trace
+    end;
+    List.iter
+      (fun ((pr : Plan.proc), mp) -> Machine.load mp pr.Plan.spec)
+      pairs;
+    Machine.run
+      ~pressure:(effective_pressure p plan)
+      ~ops_per_slice:p.Plan.ops_per_slice m;
+    if p.Plan.verify then
+      List.iter
+        (fun (_, mp) ->
+          Gc_common.Verify.heap (Machine.heap mp);
+          (Machine.collector mp).Gc_common.Collector.check_invariants ())
+        pairs;
+    List.map
+      (fun ((pr : Plan.proc), mp) ->
+        let end_ns =
+          Option.value (Machine.finish_ns mp)
+            ~default:(Vmsim.Clock.now clock)
+        in
+        Metrics.Completed
+          (Metrics.of_run ?faults:(fault_stats ())
+             ~collector:(Machine.collector mp)
+             ~workload:pr.Plan.spec.Workload.Spec.name
+             ~start_ns:(Machine.window_start_ns mp) ~end_ns ()))
+      pairs
+  with
+  | Gc_common.Collector.Heap_exhausted msg ->
+      List.map (fun _ -> Metrics.Exhausted msg) p.Plan.procs
+  | Vmsim.Vmm.Thrashing msg ->
+      List.map (fun _ -> Metrics.Thrashed msg) p.Plan.procs
+  | e ->
+      (* one failing cell must not kill the whole matrix: record the
+         exception, the injected-fault counters and any partial stats
+         (for the primary; cohabitants share the machine's fate) *)
+      let failure partial =
+        Metrics.Failed
+          {
+            Metrics.reason = Printexc.to_string e;
+            exn_name = exn_name e;
+            fault_stats = fault_stats ();
+            partial;
+          }
+      in
+      List.mapi
+        (fun i _ -> failure (if i = 0 then partial () else None))
+        p.Plan.procs
+
+let exec p =
+  match exec_all p with o :: _ -> o | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated flat-record API, kept as a shim for one release.         *)
+
 type setup = {
   collector : string;
   spec : Workload.Spec.t;
@@ -14,13 +252,6 @@ type setup = {
   verify : bool;
   trace : Telemetry.Sink.t option;
 }
-
-let default_slice = 256
-
-let default_fault_seed = 0x5eed
-
-let ample_frames ~heap_bytes =
-  (4 * Vmsim.Page.count_for_bytes heap_bytes) + 2048
 
 let setup ?frames ?(pressure = Workload.Pressure.None_)
     ?(ops_per_slice = default_slice) ?(costs = Vmsim.Costs.default)
@@ -45,210 +276,37 @@ let setup ?frames ?(pressure = Workload.Pressure.None_)
     trace;
   }
 
-type instance = {
-  mutator : Workload.Mutator.t;
-  coll : Gc_common.Collector.t;
-  mutable finish_ns : int option;
-}
-
-let run_instances ~clock ~vmm ~address_space ~pressure ?plan ~ops_per_slice
-    instances specs =
-  let signalmem = Workload.Signalmem.create vmm address_space in
-  let ramp_start = ref None in
-  let unseen_spikes =
-    ref (match plan with Some p -> Fault_plan.spikes p | None -> [])
-  in
-  let apply_pressure () =
-    (* drive the schedule off the first instance's progress *)
-    let inst = List.hd instances and spec = List.hd specs in
-    let prog =
-      float_of_int (Workload.Mutator.allocated_bytes inst.mutator)
-      /. float_of_int (max 1 spec.Workload.Spec.total_alloc_bytes)
-    in
-    let now = Vmsim.Clock.now clock in
-    (match !ramp_start with
-    | None -> (
-        match Workload.Pressure.after_progress pressure with
-        | Some after when prog >= after -> ramp_start := Some now
-        | Some _ | None -> ())
-    | Some _ -> ());
-    (match plan with
-    | Some p ->
-        let opened, rest =
-          List.partition (fun (from, _, _) -> prog >= from) !unseen_spikes
-        in
-        List.iter (fun _ -> Fault_plan.note_spike_applied p) opened;
-        unseen_spikes := rest
-    | None -> ());
-    let start_ns = Option.value !ramp_start ~default:now in
-    let due =
-      Workload.Pressure.due_pages pressure ~now_ns:now ~start_ns
-        ~progress:prog
-    in
-    let have = Workload.Signalmem.pinned_pages signalmem in
-    if due > have then Workload.Signalmem.pin_pages signalmem (due - have)
-    else if due < have then
-      (* a pressure spike receding: give the frames back *)
-      Workload.Signalmem.unpin_pages signalmem (have - due)
-  in
-  let all_done () =
-    List.for_all (fun inst -> inst.finish_ns <> None) instances
-  in
-  (* one Alloc_slice event per scheduling round: ops per slice plus the
-     cumulative allocation volume (a Chrome counter track) *)
-  let slice_event () =
-    match Vmsim.Vmm.trace vmm with
-    | None -> ()
-    | Some sink ->
-        let bytes =
-          List.fold_left
-            (fun acc inst ->
-              acc + Workload.Mutator.allocated_bytes inst.mutator)
-            0 instances
-        in
-        Telemetry.Sink.emit sink
-          ~ts_ns:(Vmsim.Clock.now clock)
-          Telemetry.Event.Alloc_slice ops_per_slice bytes
-  in
-  while not (all_done ()) do
-    List.iter
-      (fun inst ->
-        if inst.finish_ns = None then begin
-          let finished =
-            Workload.Mutator.step inst.mutator ~ops:ops_per_slice
-          in
-          if finished then inst.finish_ns <- Some (Vmsim.Clock.now clock)
-        end)
-      instances;
-    slice_event ();
-    apply_pressure ()
-  done
-
-let exn_name e = Printexc.exn_slot_name e
-
-let make_plan s = Option.map (Fault_plan.create ~seed:s.fault_seed) s.faults
-
-let effective_pressure s plan =
-  match plan with
-  | None -> s.pressure
-  | Some p -> Workload.Pressure.with_spikes s.pressure (Fault_plan.spikes p)
-
-let run s =
-  let clock = Vmsim.Clock.create () in
-  let plan = make_plan s in
-  let vmm =
-    Vmsim.Vmm.create ~costs:s.costs ?faults:plan ~clock ~frames:s.frames ()
-  in
-  Vmsim.Vmm.set_trace vmm s.trace;
-  let proc = Vmsim.Vmm.create_process vmm ~name:"jvm" in
-  let heap = Heapsim.Heap.create vmm proc in
-  let fault_stats () = Option.map Fault_plan.stats plan in
-  let start_ns = ref (Vmsim.Clock.now clock) in
-  let coll = ref None in
-  let workload = s.spec.Workload.Spec.name in
-  let partial () =
-    (* best-effort snapshot of whatever the run accumulated *)
-    match !coll with
-    | None -> None
-    | Some c -> (
-        try
-          Some
-            (Metrics.of_run ?faults:(fault_stats ()) ~collector:c ~workload
-               ~start_ns:!start_ns ~end_ns:(Vmsim.Clock.now clock) ())
-        with _ -> None)
-  in
-  try
-    let c = Registry.create ~name:s.collector ~heap_bytes:s.heap_bytes heap in
-    coll := Some c;
-    (* warm-up iterations (§5.1): run, then collect away their residue *)
-    for i = 2 to s.iterations do
-      ignore i;
-      let warm = Workload.Mutator.create s.spec c in
-      while not (Workload.Mutator.step warm ~ops:s.ops_per_slice) do
-        ()
-      done;
-      c.Gc_common.Collector.collect ()
-    done;
-    if s.iterations > 1 then begin
-      (* measure the final iteration only *)
-      Gc_common.Gc_stats.reset c.Gc_common.Collector.stats;
-      Vmsim.Vm_stats.reset (Vmsim.Process.stats proc);
-      (* ... and keep the trace aligned with the measured interval *)
-      Option.iter Telemetry.Sink.clear s.trace
-    end;
-    start_ns := Vmsim.Clock.now clock;
-    let mutator = Workload.Mutator.create s.spec c in
-    let inst = { mutator; coll = c; finish_ns = None } in
-    run_instances ~clock ~vmm
-      ~address_space:(Heapsim.Heap.address_space heap)
-      ~pressure:(effective_pressure s plan) ?plan
-      ~ops_per_slice:s.ops_per_slice [ inst ] [ s.spec ];
-    let end_ns = Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock) in
-    if s.verify then begin
-      Gc_common.Verify.heap heap;
-      c.Gc_common.Collector.check_invariants ()
-    end;
-    Metrics.Completed
-      (Metrics.of_run ?faults:(fault_stats ()) ~collector:c ~workload
-         ~start_ns:!start_ns ~end_ns ())
-  with
-  | Gc_common.Collector.Heap_exhausted msg -> Metrics.Exhausted msg
-  | Vmsim.Vmm.Thrashing msg -> Metrics.Thrashed msg
-  | e ->
-      (* one failing cell must not kill the whole matrix: record the
-         exception, the injected-fault counters and any partial stats *)
-      Metrics.Failed
+let plan_of_setup s =
+  {
+    Plan.procs =
+      [
         {
-          Metrics.reason = Printexc.to_string e;
-          exn_name = exn_name e;
-          fault_stats = fault_stats ();
-          partial = partial ();
-        }
+          Plan.collector = s.collector;
+          spec = s.spec;
+          heap_bytes = s.heap_bytes;
+          share = 1;
+          priority = 0;
+        };
+      ];
+    frames = Some s.frames;
+    pressure = s.pressure;
+    ops_per_slice = s.ops_per_slice;
+    costs = s.costs;
+    iterations = s.iterations;
+    faults = s.faults;
+    fault_seed = s.fault_seed;
+    verify = s.verify;
+    trace = s.trace;
+    policy = Machine.Round_robin;
+  }
+
+let run s = exec (plan_of_setup s)
 
 let run_pair a b =
   assert (a.frames = b.frames);
-  let clock = Vmsim.Clock.create () in
-  let plan = make_plan a in
-  let vmm =
-    Vmsim.Vmm.create ~costs:a.costs ?faults:plan ~clock ~frames:a.frames ()
+  let p =
+    plan_of_setup a
+    |> Plan.with_process ~collector:b.collector ~spec:b.spec
+         ~heap_bytes:b.heap_bytes
   in
-  Vmsim.Vmm.set_trace vmm a.trace;
-  let shared_as = Heapsim.Address_space.create () in
-  let fault_stats () = Option.map Fault_plan.stats plan in
-  let make s tag =
-    let proc = Vmsim.Vmm.create_process vmm ~name:tag in
-    let heap = Heapsim.Heap.create_with vmm proc ~address_space:shared_as in
-    let coll = Registry.create ~name:s.collector ~heap_bytes:s.heap_bytes heap in
-    let mutator = Workload.Mutator.create s.spec coll in
-    { mutator; coll; finish_ns = None }
-  in
-  try
-    let start_ns = Vmsim.Clock.now clock in
-    let ia = make a "jvm-a" in
-    let ib = make b "jvm-b" in
-    run_instances ~clock ~vmm ~address_space:shared_as
-      ~pressure:(effective_pressure a plan) ?plan
-      ~ops_per_slice:a.ops_per_slice [ ia; ib ] [ a.spec; b.spec ];
-    let result inst s =
-      Metrics.Completed
-        (Metrics.of_run ?faults:(fault_stats ()) ~collector:inst.coll
-           ~workload:s.spec.Workload.Spec.name ~start_ns
-           ~end_ns:
-             (Option.value inst.finish_ns ~default:(Vmsim.Clock.now clock)) ())
-    in
-    (result ia a, result ib b)
-  with
-  | Gc_common.Collector.Heap_exhausted msg ->
-      (Metrics.Exhausted msg, Metrics.Exhausted msg)
-  | Vmsim.Vmm.Thrashing msg -> (Metrics.Thrashed msg, Metrics.Thrashed msg)
-  | e ->
-      let failure =
-        Metrics.Failed
-          {
-            Metrics.reason = Printexc.to_string e;
-            exn_name = exn_name e;
-            fault_stats = fault_stats ();
-            partial = None;
-          }
-      in
-      (failure, failure)
+  match exec_all p with [ oa; ob ] -> (oa, ob) | _ -> assert false

@@ -1,41 +1,161 @@
-(** Experiment runner: one collector × workload × heap size × physical
-    memory × pressure schedule → metrics.
+(** Experiment runner: N (collector × workload × heap size) processes ×
+    physical memory × pressure schedule → per-process metrics.
 
-    Each run builds a fresh virtual machine: clock, VMM with the given
-    frame count, one simulated process per JVM instance plus (when a
-    schedule is given) a [signalmem] process. The mutators are stepped in
-    slices; the pressure schedule is applied between slices. *)
+    A run is described by a {!Plan}: an immutable value built with
+    {!Plan.make} and refined by [with_*] combinators, then executed
+    with {!exec} (primary process's outcome) or {!exec_all} (every
+    process's outcome). Each execution builds a fresh {!Machine}:
+    clock, VMM with the given frame count, one simulated process per
+    JVM instance — a plan may host several, sharing the frame pool —
+    plus (when a schedule is given) a [signalmem] process. The mutators
+    are stepped in slices under the plan's scheduling policy; the
+    pressure schedule is applied between rounds.
 
-type setup = {
-  collector : string;  (** registry name *)
-  spec : Workload.Spec.t;
-  heap_bytes : int;
-  frames : int;  (** physical memory, in pages *)
-  pressure : Workload.Pressure.t;
-  ops_per_slice : int;
-  costs : Vmsim.Costs.t;  (** the machine's cost model *)
-  iterations : int;
-      (** the paper's compile-and-reset methodology (§5.1): run the
-          workload this many times, with a full collection between
-          iterations, and measure only the last — so measurement starts
-          on a warmed, pre-fragmented heap. Default 1. *)
-  faults : Faults.Fault_plan.spec option;
-      (** fault-injection plan threaded into the machine's VMM and swap
-          device; its scripted spikes are added to [pressure] *)
-  fault_seed : int;  (** seed for the plan — same seed, same schedule *)
-  verify : bool;
-      (** run the {!Gc_common.Verify} heap verifier and the collector's
-          own invariant check after a completed run; violations turn the
-          outcome into [Failed] *)
-  trace : Telemetry.Sink.t option;
-      (** telemetry sink attached to the machine's VMM for the run; with
-          [None] (the default) every emission site reduces to a branch,
-          and results are bit-identical to an untraced run *)
-}
+    {[
+      Run.Plan.make ~collector:"BC" ~spec ~heap_bytes
+      |> Run.Plan.with_frames 900
+      |> Run.Plan.with_iterations 2
+      |> Run.Plan.with_process ~collector:"GenMS" ~spec:other
+      |> Run.exec_all
+    ]} *)
+
+module Plan : sig
+  type proc = private {
+    collector : string;  (** registry name *)
+    spec : Workload.Spec.t;
+    heap_bytes : int;
+    share : int;  (** slice weight under [Proportional] *)
+    priority : int;  (** ordering under [Priority]; higher wins *)
+  }
+
+  type t
+
+  val make : collector:string -> spec:Workload.Spec.t -> heap_bytes:int -> t
+  (** A single-process plan with the defaults: ample frames (no
+      pressure), no faults, one iteration, no verification, no trace,
+      round-robin scheduling. *)
+
+  val with_frames : int -> t -> t
+  (** Physical memory, in pages. Default: room for every process's heap
+      plus slack (4× total heap pages + 2048). *)
+
+  val with_pressure : Workload.Pressure.t -> t -> t
+
+  val with_ops_per_slice : int -> t -> t
+
+  val with_costs : Vmsim.Costs.t -> t -> t
+  (** The machine's cost model; defaults to {!Vmsim.Costs.default}
+      (the paper's disk). *)
+
+  val with_iterations : int -> t -> t
+  (** The paper's compile-and-reset methodology (§5.1): run the
+      workload this many times, with a full collection between
+      iterations, and measure only the last — so measurement starts on
+      a warmed, pre-fragmented heap. Default 1. *)
+
+  val with_faults : ?seed:int -> Faults.Fault_plan.spec -> t -> t
+  (** Fault-injection plan threaded into the machine's VMM and swap
+      device; its scripted spikes are added to the pressure schedule.
+      [seed] defaults to {!default_fault_seed} — same seed, same
+      schedule. *)
+
+  val with_verify : t -> t
+  (** Run the {!Gc_common.Verify} heap oracle and every collector's own
+      invariant check after a completed run; violations turn the
+      outcome into [Failed]. *)
+
+  val with_trace : Telemetry.Sink.t -> t -> t
+  (** Attach a telemetry sink to the machine's VMM for the run; without
+      one every emission site reduces to a branch, and results are
+      bit-identical to an untraced run. *)
+
+  val with_policy : Machine.policy -> t -> t
+
+  val with_share : int -> t -> t
+  (** Slice weight of the {e primary} process under [Proportional]. *)
+
+  val with_priority : int -> t -> t
+  (** Priority of the {e primary} process under [Priority]. *)
+
+  val with_process :
+    ?share:int ->
+    ?priority:int ->
+    ?heap_bytes:int ->
+    collector:string ->
+    spec:Workload.Spec.t ->
+    t ->
+    t
+  (** Add another mutator process to the machine. [heap_bytes] defaults
+      to the primary's. Processes may use different collectors — each
+      gets its own collector instance and heap; they share the clock,
+      the frame pool and the swap device. *)
+
+  val procs : t -> proc list
+  (** Primary first, in scheduling order. *)
+
+  val nprocs : t -> int
+
+  val primary : t -> proc
+
+  val collector : t -> string
+  (** Of the primary process. *)
+
+  val spec : t -> Workload.Spec.t
+  (** Of the primary process. *)
+
+  val heap_bytes : t -> int
+  (** Of the primary process. *)
+
+  val iterations : t -> int
+
+  val traced : t -> bool
+
+  val frames : t -> int
+  (** The explicit frame count, or the ample default. *)
+end
 
 val default_slice : int
 
 val default_fault_seed : int
+
+val ample_frames : heap_bytes:int -> int
+(** A pressure-free machine for one heap of this size. *)
+
+val exec : Plan.t -> Metrics.outcome
+(** Execute the plan and return the {e primary} process's outcome. Runs
+    in per-cell isolation: any exception other than the two resource
+    outcomes is caught and recorded as [Metrics.Failed] with the fault
+    counters and partial stats, never propagated. *)
+
+val exec_all : Plan.t -> Metrics.outcome list
+(** Every process's outcome, in plan order. Each process's metrics
+    window opens when its workload loads and closes when its own
+    mutator finishes. On a resource failure ([Exhausted] / [Thrashed] /
+    [Failed]) the whole machine goes down and every process reports the
+    same outcome (the primary carries any partial stats). *)
+
+(** {1 Deprecated flat-record API}
+
+    The previous entry points, kept as a shim for one release. New code
+    builds a {!Plan}. *)
+
+type setup = {
+  collector : string;
+  spec : Workload.Spec.t;
+  heap_bytes : int;
+  frames : int;
+  pressure : Workload.Pressure.t;
+  ops_per_slice : int;
+  costs : Vmsim.Costs.t;
+  iterations : int;
+  faults : Faults.Fault_plan.spec option;
+  fault_seed : int;
+  verify : bool;
+  trace : Telemetry.Sink.t option;
+}
+[@@deprecated "build a Run.Plan instead"]
+
+[@@@alert "-deprecated"]
 
 val setup :
   ?frames:int ->
@@ -52,16 +172,10 @@ val setup :
   heap_bytes:int ->
   unit ->
   setup
-(** [frames] defaults to a pressure-free machine (4× heap + slack);
-    [costs] to {!Vmsim.Costs.default} (the paper's disk); [faults] to no
-    injection; [verify] to off. *)
+[@@deprecated "use Run.Plan.make and the with_* combinators"]
 
 val run : setup -> Metrics.outcome
-(** Runs in per-cell isolation: any exception other than the two
-    resource outcomes is caught and recorded as [Metrics.Failed] with
-    the fault counters and partial stats, never propagated. *)
+[@@deprecated "use Run.exec"]
 
 val run_pair : setup -> setup -> Metrics.outcome * Metrics.outcome
-(** Figure 7: two instances sharing one machine (and one frame pool),
-    interleaved slice by slice. The two setups must agree on [frames];
-    pressure comes only from their combined footprints. *)
+[@@deprecated "use Run.Plan.with_process and Run.exec_all"]

@@ -121,7 +121,8 @@ let injection_name = function
      Swap_read / Swap_write     a = page                   b = owner pid
      Fault_injected             a = injection code         b = page (or 0)
      Pressure_step              a = pinned pages now       b = delta (+/-)
-     Gauge_resident             a = resident frames        b = free frames *)
+     Gauge_resident             a = resident frames        b = free frames
+     Proc_progress              a = owner pid              b = allocated bytes *)
 type kind =
   | Phase_begin
   | Phase_end
@@ -140,6 +141,7 @@ type kind =
   | Fault_injected
   | Pressure_step
   | Gauge_resident
+  | Proc_progress
 
 let kind_code = function
   | Phase_begin -> 0
@@ -159,14 +161,15 @@ let kind_code = function
   | Fault_injected -> 14
   | Pressure_step -> 15
   | Gauge_resident -> 16
+  | Proc_progress -> 17
 
-let kind_count = 17
+let kind_count = 18
 
 let all_kinds =
   [ Phase_begin; Phase_end; Alloc_slice; Eviction_notice; Made_resident;
     Major_fault; Minor_fault; Protection_fault; Eviction; Forced_eviction;
     Discard; Relinquish; Swap_read; Swap_write; Fault_injected; Pressure_step;
-    Gauge_resident ]
+    Gauge_resident; Proc_progress ]
 
 let kind_name = function
   | Phase_begin -> "phase-begin"
@@ -186,6 +189,7 @@ let kind_name = function
   | Fault_injected -> "fault-injected"
   | Pressure_step -> "pressure-step"
   | Gauge_resident -> "gauge-resident"
+  | Proc_progress -> "proc-progress"
 
 (* Decoded view handed to consumers (exporters, summaries, tests). *)
 type t = { ts_ns : int; kind : kind; a : int; b : int }
@@ -201,4 +205,5 @@ let pp ppf e =
   | Alloc_slice -> Format.fprintf ppf " ops=%d bytes=%d" e.a e.b
   | Pressure_step -> Format.fprintf ppf " pinned=%d delta=%+d" e.a e.b
   | Gauge_resident -> Format.fprintf ppf " resident=%d free=%d" e.a e.b
+  | Proc_progress -> Format.fprintf ppf " pid=%d bytes=%d" e.a e.b
   | _ -> Format.fprintf ppf " page=%d pid=%d" e.a e.b

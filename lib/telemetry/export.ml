@@ -61,6 +61,17 @@ let chrome_event (e : Event.t) =
   | Event.Gauge_resident ->
       counter "frames"
         [ ("resident", Json.int e.Event.a); ("free", Json.int e.Event.b) ]
+  | Event.Proc_progress ->
+      (* per-process counter track: pid comes from the payload, unlike the
+         machine-wide counters which live on pid 0 *)
+      Json.Obj
+        [
+          ("name", Json.Str "proc-allocated");
+          ("ph", Json.Str "C");
+          ("ts", Json.Num (us_of_ns e.Event.ts_ns));
+          ("pid", Json.int e.Event.a);
+          ("args", Json.Obj [ ("bytes", Json.int e.Event.b) ]);
+        ]
   | Event.Fault_injected -> instant "fault" [ ("page", Json.int e.Event.b) ]
   | Event.Eviction_notice | Event.Made_resident | Event.Major_fault
   | Event.Minor_fault | Event.Protection_fault | Event.Eviction

@@ -11,6 +11,8 @@ type t = {
   mutable forced_evictions : int;
   mutable swap_retries : int;
   mutable swap_stalls : int;
+  mutable resident_pages : int;
+  mutable peak_resident_pages : int;
 }
 
 let create () =
@@ -27,7 +29,17 @@ let create () =
     forced_evictions = 0;
     swap_retries = 0;
     swap_stalls = 0;
+    resident_pages = 0;
+    peak_resident_pages = 0;
   }
+
+(* Pages resident right now is a gauge, not a counter: opening a fresh
+   measurement window must not zero it (the pages are still mapped), so
+   [reset] keeps the gauge and restarts the high-water mark from it. *)
+let add_resident t delta =
+  t.resident_pages <- t.resident_pages + delta;
+  if t.resident_pages > t.peak_resident_pages then
+    t.peak_resident_pages <- t.resident_pages
 
 let reset t =
   t.minor_faults <- 0;
@@ -41,7 +53,8 @@ let reset t =
   t.swap_outs <- 0;
   t.forced_evictions <- 0;
   t.swap_retries <- 0;
-  t.swap_stalls <- 0
+  t.swap_stalls <- 0;
+  t.peak_resident_pages <- t.resident_pages
 
 (* Immutable view of the counters at one instant. Mid-run samplers
    (telemetry gauges, per-phase attribution) take two snapshots and
@@ -61,9 +74,14 @@ module Snapshot = struct
     forced_evictions : int;
     swap_retries : int;
     swap_stalls : int;
+    resident_pages : int;
+    peak_resident_pages : int;
   }
 
-  (* [diff earlier later]: counters accumulated between the two. *)
+  (* [diff earlier later]: counters accumulated between the two.
+     [resident_pages] is a gauge, so the diff carries its net change;
+     [peak_resident_pages] is a high-water mark, so the later snapshot
+     wins (matching [Gc_stats.diff] for [max_heap_pages]). *)
   let diff a b =
     {
       minor_faults = b.minor_faults - a.minor_faults;
@@ -78,6 +96,8 @@ module Snapshot = struct
       forced_evictions = b.forced_evictions - a.forced_evictions;
       swap_retries = b.swap_retries - a.swap_retries;
       swap_stalls = b.swap_stalls - a.swap_stalls;
+      resident_pages = b.resident_pages - a.resident_pages;
+      peak_resident_pages = b.peak_resident_pages;
     }
 end
 
@@ -97,6 +117,8 @@ let snapshot t : snapshot =
     forced_evictions = t.forced_evictions;
     swap_retries = t.swap_retries;
     swap_stalls = t.swap_stalls;
+    resident_pages = t.resident_pages;
+    peak_resident_pages = t.peak_resident_pages;
   }
 
 let diff = Snapshot.diff
@@ -104,7 +126,7 @@ let diff = Snapshot.diff
 let pp ppf t =
   Format.fprintf ppf
     "minor:%d major:%d prot:%d evict:%d discard:%d relinq:%d notices:%d \
-     swapin:%d swapout:%d forced:%d retries:%d stalls:%d"
+     swapin:%d swapout:%d forced:%d retries:%d stalls:%d resident:%d peak:%d"
     t.minor_faults t.major_faults t.protection_faults t.evictions t.discards
     t.relinquished t.eviction_notices t.swap_ins t.swap_outs t.forced_evictions
-    t.swap_retries t.swap_stalls
+    t.swap_retries t.swap_stalls t.resident_pages t.peak_resident_pages

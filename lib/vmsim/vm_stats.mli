@@ -16,11 +16,23 @@ type t = {
       (** swap I/O attempts retried after a transient error *)
   mutable swap_stalls : int;
       (** evictions abandoned because the swap device stayed unavailable *)
+  mutable resident_pages : int;
+      (** gauge: pages of this owner currently backed by a frame *)
+  mutable peak_resident_pages : int;
+      (** high-water mark of [resident_pages] since creation or [reset] *)
 }
 
 val create : unit -> t
 
+val add_resident : t -> int -> unit
+(** Adjust the [resident_pages] gauge by a (possibly negative) delta,
+    updating [peak_resident_pages]. Called by the VMM on every
+    residency transition; one call per page. *)
+
 val reset : t -> unit
+(** Zero the counters. [resident_pages] is a gauge and survives — the
+    pages are still mapped — and [peak_resident_pages] restarts from
+    the current gauge value. *)
 
 (** Immutable view of the counters at one instant. *)
 module Snapshot : sig
@@ -37,10 +49,14 @@ module Snapshot : sig
     forced_evictions : int;
     swap_retries : int;
     swap_stalls : int;
+    resident_pages : int;
+    peak_resident_pages : int;
   }
 
   val diff : t -> t -> t
-  (** [diff earlier later]: counters accumulated between the two. *)
+  (** [diff earlier later]: counters accumulated between the two.
+      [resident_pages] becomes the net gauge change; the later
+      [peak_resident_pages] wins. *)
 end
 
 type snapshot = Snapshot.t

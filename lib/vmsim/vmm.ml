@@ -160,6 +160,15 @@ let is_protected t page =
 let is_dirty t page =
   match info t page with Some pi -> pi.dirty | None -> false
 
+(* Every residency transition funnels through here so the global count,
+   the global gauge and the owning process's gauge stay in lock-step;
+   [Vm_stats.resident_pages] is what surfaces per-process residency to
+   the harness without an O(pages) scan. *)
+let note_residency t pi delta =
+  t.resident <- t.resident + delta;
+  Vm_stats.add_resident t.stats delta;
+  Vm_stats.add_resident (Process.stats pi.owner) delta
+
 (* Drop a page's frame without writeback. The page must be resident and
    unpinned. *)
 let release_frame t page pi =
@@ -168,7 +177,7 @@ let release_frame t page pi =
   pi.dirty <- false;
   pi.in_swap <- false;
   pi.surrendered <- false;
-  t.resident <- t.resident - 1
+  note_residency t pi (-1)
 
 (* Attempt the swap write behind an eviction, with bounded
    retry-with-backoff on transient I/O errors. Returns false when the
@@ -216,7 +225,7 @@ let swap_out t page pi =
     pi.dirty <- false;
     pi.surrendered <- false;
     pi.referenced <- false;
-    t.resident <- t.resident - 1;
+    note_residency t pi (-1);
     ev t Telemetry.Event.Eviction page (Process.pid pi.owner);
     t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
     (Process.stats pi.owner).Vm_stats.evictions <-
@@ -467,7 +476,7 @@ let rec do_touch t ~write page =
       pi.state <- Resident;
       pi.referenced <- true;
       pi.dirty <- write;
-      t.resident <- t.resident + 1;
+      note_residency t pi 1;
       if not pi.pinned then Lru.push_active_head t.lru page
   | Swapped ->
       swap_read_retrying t page;
@@ -480,7 +489,7 @@ let rec do_touch t ~write page =
       pi.referenced <- true;
       pi.dirty <- write;
       pi.surrendered <- false;
-      t.resident <- t.resident + 1;
+      note_residency t pi 1;
       if not pi.pinned then Lru.push_active_head t.lru page;
       (* made-resident notice (the fault plan may lose it — the
          protection upcall below is the reliable backstop), then any
@@ -544,7 +553,7 @@ let unmap_range t ~first_page ~npages =
           if pi.pinned then begin
             pi.pinned <- false;
             t.pinned <- t.pinned - 1;
-            t.resident <- t.resident - 1
+            note_residency t pi (-1)
           end
           else release_frame t p pi
         end;

@@ -121,8 +121,11 @@ let pressured_setup ?(collector = "BC") ~faults ~fault_seed () =
   let pressure =
     Workload.Pressure.Steady { after_progress = 0.2; pin_pages = frames - 150 }
   in
-  Harness.Run.setup ~collector ~spec:mini_spec ~heap_bytes ~frames ~pressure
-    ~faults ~fault_seed ~verify:true ()
+  Harness.Run.Plan.make ~collector ~spec:mini_spec ~heap_bytes
+  |> Harness.Run.Plan.with_frames frames
+  |> Harness.Run.Plan.with_pressure pressure
+  |> Harness.Run.Plan.with_faults ~seed:fault_seed faults
+  |> Harness.Run.Plan.with_verify
 
 let degradation_plan =
   {
@@ -134,7 +137,7 @@ let degradation_plan =
   }
 
 let test_bc_degrades_gracefully () =
-  match Harness.Run.run (pressured_setup ~faults:degradation_plan ~fault_seed:7 ()) with
+  match Harness.Run.exec (pressured_setup ~faults:degradation_plan ~fault_seed:7 ()) with
   | Metrics.Completed m ->
       (* verify:true already ran the heap verifier and BC's own
          invariant check before this outcome was produced *)
@@ -166,7 +169,7 @@ let test_swap_full_episodes () =
   (* GenMS pages heavily under pressure, guaranteeing swap writes for the
      episode script to reject *)
   match
-    Harness.Run.run (pressured_setup ~collector:"GenMS" ~faults ~fault_seed:3 ())
+    Harness.Run.exec (pressured_setup ~collector:"GenMS" ~faults ~fault_seed:3 ())
   with
   | Metrics.Completed m ->
       let s = Option.get m.Metrics.faults in
@@ -178,7 +181,7 @@ let test_swap_full_episodes () =
 
 let test_determinism () =
   let once () =
-    match Harness.Run.run (pressured_setup ~faults:degradation_plan ~fault_seed:21 ()) with
+    match Harness.Run.exec (pressured_setup ~faults:degradation_plan ~fault_seed:21 ()) with
     | Metrics.Completed m -> m
     | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
     | Metrics.Failed f -> Alcotest.fail f.Metrics.reason
@@ -193,7 +196,7 @@ let test_determinism () =
 
 let test_different_seed_differs () =
   let stats_for seed =
-    match Harness.Run.run (pressured_setup ~faults:degradation_plan ~fault_seed:seed ()) with
+    match Harness.Run.exec (pressured_setup ~faults:degradation_plan ~fault_seed:seed ()) with
     | Metrics.Completed m -> Option.get m.Metrics.faults
     | _ -> Alcotest.fail "run did not complete"
   in

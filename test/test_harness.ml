@@ -134,9 +134,9 @@ let small_spec = Mini.spec ~volume:300_000 ()
 
 let test_pause_percentiles () =
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:"GenMS" ~spec:small_spec
-         ~heap_bytes:(768 * 1024) ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:"GenMS" ~spec:small_spec
+         ~heap_bytes:(768 * 1024))
   with
   | Metrics.Completed m ->
       check Alcotest.bool "p50 <= p95 <= max" true
@@ -149,9 +149,9 @@ let test_pause_percentiles () =
 
 let test_run_completes () =
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:"BC" ~spec:small_spec
-         ~heap_bytes:(1024 * 1024) ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:"BC" ~spec:small_spec
+         ~heap_bytes:(1024 * 1024))
   with
   | Metrics.Completed m ->
       check Alcotest.string "collector" "BC" m.Metrics.collector;
@@ -165,9 +165,9 @@ let test_run_completes () =
 
 let test_run_exhausted () =
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:"SemiSpace" ~spec:small_spec
-         ~heap_bytes:(128 * 1024) ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:"SemiSpace" ~spec:small_spec
+         ~heap_bytes:(128 * 1024))
   with
   | Metrics.Completed _ -> Alcotest.fail "should not fit"
   | Metrics.Exhausted _ -> ()
@@ -178,14 +178,14 @@ let test_run_under_pressure_counts_faults () =
   let heap_bytes = 768 * 1024 in
   let frames = (heap_bytes / 4096) + 64 in
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:"GenMS"
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:"GenMS"
          ~spec:(Mini.spec ~volume:1_200_000 ())
-         ~heap_bytes ~frames
-         ~pressure:
+         ~heap_bytes
+      |> Harness.Run.Plan.with_frames frames
+      |> Harness.Run.Plan.with_pressure
            (Workload.Pressure.Steady
-              { after_progress = 0.2; pin_pages = frames - 110 })
-         ())
+              { after_progress = 0.2; pin_pages = frames - 110 }))
   with
   | Metrics.Completed m ->
       check Alcotest.bool "faults under pressure" true
@@ -198,9 +198,10 @@ let test_two_iterations () =
      measured *)
   let once iterations =
     match
-      Harness.Run.run
-        (Harness.Run.setup ~iterations ~collector:"GenMS" ~spec:small_spec
-           ~heap_bytes:(1024 * 1024) ())
+      Harness.Run.exec
+        (Harness.Run.Plan.make ~collector:"GenMS" ~spec:small_spec
+           ~heap_bytes:(1024 * 1024)
+        |> Harness.Run.Plan.with_iterations iterations)
     with
     | Metrics.Completed m -> m
     | Metrics.Exhausted msg | Metrics.Thrashed msg -> Alcotest.fail msg
@@ -216,26 +217,47 @@ let test_two_iterations () =
 
 let test_run_pair_heterogeneous () =
   let heap_bytes = 768 * 1024 in
-  let mk collector =
-    Harness.Run.setup ~collector ~spec:small_spec ~heap_bytes ~frames:1024 ()
+  let plan =
+    Harness.Run.Plan.make ~collector:"BC" ~spec:small_spec ~heap_bytes
+    |> Harness.Run.Plan.with_frames 1024
+    |> Harness.Run.Plan.with_process ~collector:"GenMS" ~spec:small_spec
   in
-  match Harness.Run.run_pair (mk "BC") (mk "GenMS") with
-  | Metrics.Completed a, Metrics.Completed b ->
+  match Harness.Run.exec_all plan with
+  | [ Metrics.Completed a; Metrics.Completed b ] ->
       check Alcotest.string "first is BC" "BC" a.Metrics.collector;
       check Alcotest.string "second is GenMS" "GenMS" b.Metrics.collector
   | _ -> Alcotest.fail "mixed pair did not complete"
 
 let test_run_pair () =
   let heap_bytes = 768 * 1024 in
-  let s =
-    Harness.Run.setup ~collector:"BC" ~spec:small_spec ~heap_bytes
-      ~frames:1024 ()
+  let plan =
+    Harness.Run.Plan.make ~collector:"BC" ~spec:small_spec ~heap_bytes
+    |> Harness.Run.Plan.with_frames 1024
+    |> Harness.Run.Plan.with_process ~collector:"BC" ~spec:small_spec
   in
-  match Harness.Run.run_pair s s with
-  | Metrics.Completed a, Metrics.Completed b ->
+  match Harness.Run.exec_all plan with
+  | [ Metrics.Completed a; Metrics.Completed b ] ->
       check Alcotest.bool "both ran" true
         (a.Metrics.elapsed_ns > 0 && b.Metrics.elapsed_ns > 0)
   | _ -> Alcotest.fail "pair did not complete"
+
+(* The deprecated flat-record API is kept as a shim for one release: it
+   must still run and agree with the Plan it desugars to. *)
+let test_deprecated_shim () =
+  let[@alert "-deprecated"] shim_outcome =
+    Harness.Run.run
+      (Harness.Run.setup ~collector:"BC" ~spec:small_spec
+         ~heap_bytes:(1024 * 1024) ())
+  in
+  let plan_outcome =
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:"BC" ~spec:small_spec
+         ~heap_bytes:(1024 * 1024))
+  in
+  match (shim_outcome, plan_outcome) with
+  | Metrics.Completed a, Metrics.Completed b ->
+      check Alcotest.bool "shim and plan agree bit for bit" true (a = b)
+  | _ -> Alcotest.fail "shim run did not complete"
 
 (* ----------------------------------------------------------------- *)
 (* Minheap                                                            *)
@@ -327,6 +349,7 @@ let () =
           Alcotest.test_case "heterogeneous pair" `Quick
             test_run_pair_heterogeneous;
           Alcotest.test_case "two iterations" `Quick test_two_iterations;
+          Alcotest.test_case "deprecated shim" `Quick test_deprecated_shim;
         ] );
       ( "minheap",
         [

@@ -8,9 +8,9 @@ let mini_spec =
 
 let smoke name () =
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:name ~spec:mini_spec
-         ~heap_bytes:1_500_000 ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:name ~spec:mini_spec
+         ~heap_bytes:1_500_000)
   with
   | Harness.Metrics.Completed m ->
       Format.printf "%s: %a@." name Harness.Metrics.pp m
@@ -28,9 +28,10 @@ let pressure_smoke name () =
     Workload.Pressure.Steady { after_progress = 0.2; pin_pages = frames - 150 }
   in
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:name ~spec:mini_spec ~heap_bytes ~frames
-         ~pressure ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:name ~spec:mini_spec ~heap_bytes
+      |> Harness.Run.Plan.with_frames frames
+      |> Harness.Run.Plan.with_pressure pressure)
   with
   | Harness.Metrics.Completed m ->
       Format.printf "pressure %s: %a@." name Harness.Metrics.pp m;
@@ -56,8 +57,10 @@ let extreme_smoke name () =
   in
   let spec = Workload.Spec.scale_volume mini_spec 0.5 in
   match
-    Harness.Run.run
-      (Harness.Run.setup ~collector:name ~spec ~heap_bytes ~frames ~pressure ())
+    Harness.Run.exec
+      (Harness.Run.Plan.make ~collector:name ~spec ~heap_bytes
+      |> Harness.Run.Plan.with_frames frames
+      |> Harness.Run.Plan.with_pressure pressure)
   with
   | Harness.Metrics.Completed m ->
       Format.printf "extreme %s: %a@." name Harness.Metrics.pp m

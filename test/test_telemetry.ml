@@ -265,6 +265,7 @@ let mk_metrics ?(failsafes = 0) ?faults () =
     discards = 5;
     relinquished = 6;
     footprint_pages = 300;
+    resident_peak_pages = 280;
     allocated_bytes = 4_000_000;
     pauses = [ (0, 100); (200, 300) ];
     faults;
@@ -330,9 +331,12 @@ let run_once ?trace ~collector ~spec ~heap_kb ?frames ?pin () =
     | Some pin_pages ->
         Workload.Pressure.Steady { after_progress = 0.1; pin_pages }
   in
-  Harness.Run.run
-    (Harness.Run.setup ?trace ~collector ~spec ~heap_bytes:(heap_kb * 1024)
-       ?frames ~pressure ())
+  let opt v f = match v with None -> Fun.id | Some x -> f x in
+  Harness.Run.exec
+    (Harness.Run.Plan.make ~collector ~spec ~heap_bytes:(heap_kb * 1024)
+    |> opt frames Harness.Run.Plan.with_frames
+    |> Harness.Run.Plan.with_pressure pressure
+    |> opt trace Harness.Run.Plan.with_trace)
 
 let test_traced_bit_identical () =
   let spec = scaled "_201_compress" 0.05 in
