@@ -1,4 +1,4 @@
-.PHONY: all build test ci trace-smoke multiproc-smoke bench bench-full examples doc clean
+.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke perf examples doc clean bench bench-full
 
 # Worker processes for the experiment matrices; results are byte-identical
 # whatever the fan-out (the simulation runs in virtual time).
@@ -18,7 +18,7 @@ test:
 # traced runs (one solo, one two-process) produce valid Chrome JSON
 # covering every expected GC phase kind.
 ci:
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke
 
 # Trace smoke: a small pressured run known (deterministically) to exercise
 # minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
@@ -39,6 +39,17 @@ multiproc-smoke:
 	  --trace /tmp/bcgc-ci-multiproc.json
 	./_build/default/bin/bcgc.exe trace /tmp/bcgc-ci-multiproc.json \
 	  --expect-phases minor,full,compacting,mark,sweep,evacuate,bookmark-scan,reconcile
+
+# Perf smoke: one repetition of the wall-clock suite, written to /tmp and
+# schema-validated by `bcgc bench perf` itself. Guards the benchmark
+# plumbing, not the numbers — wall-clock throughput is machine-dependent.
+perf-smoke:
+	./_build/default/bin/bcgc.exe bench perf --perf-reps 1 \
+	  --perf-out /tmp/bcgc-ci-perf.json
+
+# Full wall-clock suite; refreshes the committed baseline at the repo root.
+perf:
+	./_build/default/bin/bcgc.exe bench perf
 
 bench:
 	JOBS=$(JOBS) dune exec bench/main.exe

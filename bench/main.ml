@@ -120,9 +120,27 @@ let () =
   | "trace" -> Harness.Experiments.trace_export m
   | "all" -> Harness.Experiments.all m
   | "bechamel" -> run_bechamel ()
+  | "perf" ->
+      (* wall-clock suite; PERF_REPS / PERF_OUT override the defaults *)
+      let reps =
+        Option.value
+          (Option.bind (Sys.getenv_opt "PERF_REPS") int_of_string_opt)
+          ~default:Harness.Perf.default_repetitions
+      in
+      let out =
+        Option.value (Sys.getenv_opt "PERF_OUT")
+          ~default:Harness.Perf.default_output
+      in
+      let r =
+        Harness.Perf.run ~repetitions:reps
+          ~progress:(fun label -> Printf.eprintf "perf: %s\n%!" label)
+          ()
+      in
+      Harness.Perf.write_file ~path:out r;
+      Format.printf "%a" Harness.Perf.pp r
   | other ->
       Printf.eprintf
         "unknown target %S (try table1 fig2 fig3 fig45 fig6 fig7 ablation \
-         ssd multiproc faults trace all bechamel)\n"
+         ssd multiproc faults trace perf all bechamel)\n"
         other;
       exit 1

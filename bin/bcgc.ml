@@ -386,11 +386,31 @@ let trace_summary_cmd file expect_phases =
           end
           else 0)
 
-let bench_cmd target full jobs =
+(* Wall-clock perf suite: run, write BENCH_perf.json, validate it back
+   (the perf-smoke CI step relies on the validation), print a summary. *)
+let bench_perf ~reps ~out =
+  let r =
+    Harness.Perf.run ~repetitions:reps
+      ~progress:(fun label -> Printf.eprintf "perf: %s\n%!" label)
+      ()
+  in
+  Harness.Perf.write_file ~path:out r;
+  Format.printf "%a" Harness.Perf.pp r;
+  match Harness.Perf.validate_file out with
+  | Ok () ->
+      Printf.printf "wrote %s (schema %s)\n" out Harness.Perf.schema_version;
+      0
+  | Error msg ->
+      Printf.eprintf "bcgc bench perf: %s failed validation: %s\n" out msg;
+      1
+
+let bench_cmd target full jobs perf_reps perf_out =
   let mode =
     if full then Harness.Experiments.Full else Harness.Experiments.Quick
   in
   Harness.Experiments.set_jobs jobs;
+  if target = "perf" then bench_perf ~reps:perf_reps ~out:perf_out
+  else begin
   (match target with
   | "table1" -> Harness.Experiments.table1 mode
   | "fig2" -> Harness.Experiments.figure2 mode
@@ -407,6 +427,7 @@ let bench_cmd target full jobs =
   | "trace" -> Harness.Experiments.trace_export mode
   | _ -> Harness.Experiments.all mode);
   0
+  end
 
 let run_t =
   Term.(
@@ -457,9 +478,29 @@ let cmd_bench =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let perf_reps =
+    let doc =
+      "Measured repetitions per microbenchmark for the `perf' target \
+       (after one warm-up run)."
+    in
+    Arg.(
+      value
+      & opt int Harness.Perf.default_repetitions
+      & info [ "perf-reps" ] ~docv:"N" ~doc)
+  in
+  let perf_out =
+    let doc = "Output file for the `perf' target." in
+    Arg.(
+      value
+      & opt string Harness.Perf.default_output
+      & info [ "perf-out" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Regenerate a paper table or figure")
-    Term.(const bench_cmd $ target $ full $ jobs)
+    (Cmd.info "bench"
+       ~doc:
+         "Regenerate a paper table or figure, or (target `perf') run the \
+          wall-clock perf suite")
+    Term.(const bench_cmd $ target $ full $ jobs $ perf_reps $ perf_out)
 
 let cmd_trace =
   let file =

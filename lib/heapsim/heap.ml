@@ -40,36 +40,76 @@ let clock t = Vmsim.Vmm.clock t.vmm
 
 let costs t = Vmsim.Vmm.costs t.vmm
 
-let first_page t id = Vmsim.Page.of_addr (Object_table.addr t.objects id)
+(* Page arithmetic is hand-inlined: dev-profile builds pass -opaque, so
+   [Vmsim.Page.of_addr] is a real call (with a division by a loaded
+   value) on every object access. Addresses are non-negative, so the
+   division is a shift. Verified at module init. *)
+let () = assert (Vmsim.Page.size = 4096)
+
+let[@inline] page_of_addr addr = addr lsr 12
+
+let first_page t id = page_of_addr (Object_table.addr t.objects id)
 
 let last_page t id =
   let addr = Object_table.addr t.objects id in
-  Vmsim.Page.of_addr (addr + Object_table.size t.objects id - 1)
+  page_of_addr (addr + Object_table.size t.objects id - 1)
 
 let iter_pages t id f =
   let addr = Object_table.addr t.objects id in
   assert (addr >= 0);
-  for page = Vmsim.Page.of_addr addr to last_page t id do
+  for page = page_of_addr addr to last_page t id do
     f page
   done
 
 let place t id ~addr =
   assert (Object_table.addr t.objects id < 0);
   Object_table.set_addr t.objects id addr;
-  iter_pages t id (fun page -> Page_map.add t.page_map ~page id)
+  let fp = page_of_addr addr in
+  (* only the first page's slot is back-indexed; the rare multi-page
+     object still scans its tail pages' buckets on removal *)
+  Object_table.set_page_slot t.objects id (Page_map.add t.page_map ~page:fp id);
+  for page = fp + 1 to last_page t id do
+    ignore (Page_map.add t.page_map ~page id : int)
+  done
+
+(* A bucket removal swap-fills the hole from the tail: if the relocated
+   entry belongs to an object whose first page this is, its stored slot
+   must follow. *)
+let fix_moved t page moved_id slot =
+  if page_of_addr (Object_table.addr t.objects moved_id) = page then
+    Object_table.set_page_slot t.objects moved_id slot
 
 let displace t id =
   if Object_table.addr t.objects id >= 0 then begin
-    iter_pages t id (fun page -> Page_map.remove t.page_map ~page id);
-    Object_table.set_addr t.objects id (-1)
+    let fp = first_page t id and lp = last_page t id in
+    Page_map.remove t.page_map ~page:fp
+      ~slot:(Object_table.page_slot t.objects id)
+      ~moved:(fix_moved t fp) id;
+    for page = fp + 1 to lp do
+      Page_map.remove t.page_map ~page ~moved:(fix_moved t page) id
+    done;
+    Object_table.set_addr t.objects id (-1);
+    Object_table.set_page_slot t.objects id (-1)
   end
 
 let free_object t id =
   displace t id;
   Object_table.free t.objects id
 
+(* Object accesses are the next-hottest path after Vmm.touch. Almost
+   every object fits on one page, so skip the [iter_pages] closure and
+   touch the page directly; multi-page objects take the loop. *)
 let touch_object t ?(write = false) id =
-  iter_pages t id (fun page -> Vmsim.Vmm.touch t.vmm ~write page)
+  let objs = t.objects in
+  let addr = Object_table.addr objs id in
+  assert (addr >= 0);
+  let fp = page_of_addr addr in
+  let lp = page_of_addr (addr + Object_table.size objs id - 1) in
+  if fp = lp then Vmsim.Vmm.touch t.vmm ~write fp
+  else
+    for page = fp to lp do
+      Vmsim.Vmm.touch t.vmm ~write page
+    done
 
 let set_write_barrier t barrier = t.barrier <- barrier
 

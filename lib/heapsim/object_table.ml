@@ -14,6 +14,7 @@ type t = {
   mutable flags : Bytes.t;
   mutable space : int array;
   mutable scratch : int array;
+  mutable page_slot : int array;
   mutable next_id : int;
   free_ids : int Repro_util.Vec.t;
   mutable live : int;
@@ -30,6 +31,7 @@ let create () =
     flags = Bytes.make 1024 '\000';
     space = Array.make 1024 0;
     scratch = Array.make 1024 (-1);
+    page_slot = Array.make 1024 (-1);
     next_id = 0;
     free_ids = Repro_util.Vec.create ();
     live = 0;
@@ -49,6 +51,7 @@ let grow t =
   t.refs <- grow_arr t.refs empty_refs;
   t.space <- grow_arr t.space 0;
   t.scratch <- grow_arr t.scratch (-1);
+  t.page_slot <- grow_arr t.page_slot (-1);
   let flags' = Bytes.make cap' '\000' in
   Bytes.blit t.flags 0 flags' 0 cap;
   t.flags <- flags'
@@ -81,6 +84,7 @@ let alloc t ~size ~nrefs ~kind =
   t.refs.(id) <- (if nrefs = 0 then empty_refs else Array.make nrefs Obj_id.null);
   t.space.(id) <- 0;
   t.scratch.(id) <- -1;
+  t.page_slot.(id) <- -1;
   set_flags t id (flag_live lor match kind with `Array -> flag_array | `Scalar -> 0);
   t.live <- t.live + 1;
   t.live_bytes <- t.live_bytes + size;
@@ -161,6 +165,14 @@ let scratch t id =
 let set_scratch t id v =
   check t id;
   t.scratch.(id) <- v
+
+let page_slot t id =
+  check t id;
+  t.page_slot.(id)
+
+let set_page_slot t id v =
+  check t id;
+  t.page_slot.(id) <- v
 
 let live_count t = t.live
 

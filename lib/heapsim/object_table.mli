@@ -60,6 +60,13 @@ val scratch : t -> Obj_id.t -> int
 
 val set_scratch : t -> Obj_id.t -> int -> unit
 
+val page_slot : t -> Obj_id.t -> int
+(** Back-index into the page map: this object's slot in its {e first}
+    page's bucket, or -1 while unplaced. Maintained by [Heap.place] /
+    [Heap.displace] so bucket removal is O(1) instead of a scan. *)
+
+val set_page_slot : t -> Obj_id.t -> int -> unit
+
 (** {1 Whole-table queries} *)
 
 val live_count : t -> int

@@ -22,19 +22,36 @@ let bucket t page =
       t.table.(page) <- Some v;
       v
 
-let add t ~page id = Vec.push (bucket t page) id
-
-let remove t ~page id =
+let add t ~page id =
   let v = bucket t page in
-  let n = Vec.length v in
-  let rec find i =
-    if i >= n then
-      invalid_arg
-        (Printf.sprintf "Page_map.remove: object #%d not on page %d" id page)
-    else if Vec.get v i = id then ignore (Vec.swap_remove v i)
-    else find (i + 1)
-  in
-  find 0
+  Vec.push v id;
+  Vec.length v - 1
+
+let missing page id =
+  invalid_arg
+    (Printf.sprintf "Page_map.remove: object #%d not on page %d" id page)
+
+(* Swap-remove bucket slot [i]; when that relocates the former last
+   element, tell the caller so any stored back-index can be fixed up. *)
+let remove_slot v ~moved i =
+  ignore (Vec.swap_remove v i : int);
+  if i < Vec.length v then moved (Vec.get v i) i
+
+let remove t ~page ?slot ?(moved = fun _ _ -> ()) id =
+  let v = bucket t page in
+  match slot with
+  | Some s when s >= 0 && s < Vec.length v && Vec.get v s = id ->
+      remove_slot v ~moved s
+  | Some _ | None ->
+      (* no (valid) slot hint: linear scan, as for the non-first pages of
+         a multi-page object *)
+      let n = Vec.length v in
+      let rec find i =
+        if i >= n then missing page id
+        else if Vec.get v i = id then remove_slot v ~moved i
+        else find (i + 1)
+      in
+      find 0
 
 let objects_on t page =
   if page < 0 || page >= Array.length t.table then [||]

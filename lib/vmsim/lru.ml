@@ -120,6 +120,16 @@ let remove t page =
   t.prev.(page) <- -1;
   set_where t page 0
 
+(* Remove a page that may or may not be listed in a single [where_]
+   probe; the membership-then-remove idiom at call sites paid for that
+   lookup twice. *)
+let remove_if_present t page =
+  if where t page = 0 then false
+  else begin
+    remove t page;
+    true
+  end
+
 let active_tail t = if t.active_tail >= 0 then Some t.active_tail else None
 
 let inactive_tail t =

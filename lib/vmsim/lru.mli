@@ -28,6 +28,11 @@ val remove : t -> int -> unit
 (** Remove a page from whichever list holds it. The page must be on a
     list. *)
 
+val remove_if_present : t -> int -> bool
+(** [remove_if_present t page] removes [page] if it is on a list and
+    says whether it was. One membership probe, unlike
+    [membership]-then-[remove]. *)
+
 val membership : t -> int -> list_kind option
 
 val active_tail : t -> int option

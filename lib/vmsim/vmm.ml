@@ -2,19 +2,23 @@ exception Thrashing of string
 
 module Fault_plan = Faults.Fault_plan
 
-type pstate = Unmapped | Untouched | Resident | Swapped
+(* Page states, one byte per page in the struct-of-arrays table. *)
+let st_unmapped = 0
 
-type pinfo = {
-  mutable state : pstate;
-  mutable owner : Process.t;
-  mutable dirty : bool;
-  mutable referenced : bool;
-  mutable protected_ : bool;
-  mutable pinned : bool;
-  mutable in_swap : bool;
-  mutable surrendered : bool;
-}
+let st_untouched = 1
 
+let st_resident = 2
+
+let st_swapped = 3
+
+(* The page table is struct-of-arrays: a state byte, a packed flag byte
+   (Page_flags) and an owner pid per page, sized together. The touch
+   fast path then reads two bytes and writes one instead of chasing a
+   boxed record through an option. [owner_pid] doubles as the "was this
+   page ever mapped" bit: 0 means the slot has never been used (the old
+   table's [None]), while an unmapped-after-use page keeps its last
+   owner with state [st_unmapped] — exactly the distinction the record
+   table made, so error paths and syscall accounting are unchanged. *)
 type t = {
   clock : Clock.t;
   costs : Costs.t;
@@ -24,7 +28,12 @@ type t = {
      at the next top-level page access *)
   pending_notices : (Fault_plan.notice * int) Queue.t;
   reclaim_batch : int;
-  mutable pages : pinfo option array;
+  mutable table_len : int;
+  mutable state : Bytes.t;
+  mutable flags : Page_flags.set;
+  mutable owner_pid : int array;
+  (* pid -> process side table; pids are dense from 1 *)
+  mutable procs : Process.t option array;
   lru : Lru.t;
   mutable capacity : int;
   mutable resident : int;
@@ -33,6 +42,9 @@ type t = {
   stats : Vm_stats.t;
   mutable in_reclaim : bool;
   mutable delivering : bool;
+  (* true iff [pending_notices] is nonempty: the touch fast path tests
+     one immediate instead of poking the queue on every access *)
+  mutable notices_pending : bool;
   mutable trace : Telemetry.Sink.t option;
 }
 
@@ -63,7 +75,11 @@ let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
     faults;
     pending_notices = Queue.create ();
     reclaim_batch;
-    pages = Array.make 256 None;
+    table_len = 256;
+    state = Bytes.make 256 '\000';
+    flags = Page_flags.create 256;
+    owner_pid = Array.make 256 0;
+    procs = Array.make 16 None;
     lru = Lru.create ();
     capacity = frames;
     resident = 0;
@@ -72,6 +88,7 @@ let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
     stats = Vm_stats.create ();
     in_reclaim = false;
     delivering = false;
+    notices_pending = false;
     trace = None;
   }
 
@@ -90,6 +107,13 @@ let swap t = t.swap
 let create_process t ~name =
   let p = Process.create ~pid:t.next_pid ~name in
   t.next_pid <- t.next_pid + 1;
+  let pid = Process.pid p in
+  if pid >= Array.length t.procs then begin
+    let procs' = Array.make (max (pid + 1) (2 * Array.length t.procs)) None in
+    Array.blit t.procs 0 procs' 0 (Array.length t.procs);
+    t.procs <- procs'
+  end;
+  t.procs.(pid) <- Some p;
   p
 
 let capacity t = t.capacity
@@ -102,82 +126,91 @@ let pinned_count t = t.pinned
 
 let stats t = t.stats
 
-let info t page =
-  if page < 0 || page >= Array.length t.pages then None else t.pages.(page)
+(* {2 Struct-of-arrays accessors}
 
-let info_exn t page =
-  match info t page with
-  | Some pi -> pi
-  | None -> invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
+   All unsafe accesses are behind an explicit bounds check: every entry
+   point either checks [page < t.table_len] itself or reaches the page
+   through the LRU lists, whose members are always in-table. *)
+
+let[@inline] pstate t page = Char.code (Bytes.unsafe_get t.state page)
+
+let[@inline] set_pstate t page s =
+  Bytes.unsafe_set t.state page (Char.unsafe_chr s)
+
+let[@inline] opid t page = Array.unsafe_get t.owner_pid page
+
+let[@inline] owner_proc t page =
+  match t.procs.(opid t page) with Some p -> p | None -> assert false
+
+(* [info t page = None] in the record table meant "slot never mapped";
+   that is [opid = 0] here (map_range always records an owner and never
+   clears it). *)
+let[@inline] in_table t page = page >= 0 && page < t.table_len
+
+let[@inline] ever_mapped t page = in_table t page && opid t page <> 0
+
+let check_mapped t page =
+  if not (ever_mapped t page) then
+    invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
 
 let ensure_table t page =
-  let cap = Array.length t.pages in
-  if page >= cap then begin
-    let cap' = max (page + 1) (cap * 2) in
-    let pages' = Array.make cap' None in
-    Array.blit t.pages 0 pages' 0 cap;
-    t.pages <- pages'
+  if page >= t.table_len then begin
+    let cap' = max (page + 1) (t.table_len * 2) in
+    let state' = Bytes.make cap' '\000' in
+    Bytes.blit t.state 0 state' 0 t.table_len;
+    t.state <- state';
+    t.flags <- Page_flags.grow t.flags cap';
+    let owner' = Array.make cap' 0 in
+    Array.blit t.owner_pid 0 owner' 0 t.table_len;
+    t.owner_pid <- owner';
+    t.table_len <- cap'
   end
 
 let map_range t proc ~first_page ~npages =
   ensure_table t (first_page + npages - 1);
+  let pid = Process.pid proc in
   for p = first_page to first_page + npages - 1 do
-    match t.pages.(p) with
-    | Some pi when pi.state <> Unmapped ->
-        invalid_arg (Printf.sprintf "Vmm.map_range: page %d already mapped" p)
-    | Some pi ->
-        pi.state <- Untouched;
-        pi.owner <- proc
-    | None ->
-        t.pages.(p) <-
-          Some
-            {
-              state = Untouched;
-              owner = proc;
-              dirty = false;
-              referenced = false;
-              protected_ = false;
-              pinned = false;
-              in_swap = false;
-              surrendered = false;
-            }
+    if pstate t p <> st_unmapped then
+      invalid_arg (Printf.sprintf "Vmm.map_range: page %d already mapped" p);
+    (* a reused slot keeps its residual flag bits, as the record table's
+       reused pinfo did; fresh slots start all-clear *)
+    set_pstate t p st_untouched;
+    Array.unsafe_set t.owner_pid p pid
   done
 
 let owner t page =
-  match info t page with
-  | Some pi when pi.state <> Unmapped -> Some pi.owner
-  | Some _ | None -> None
+  if ever_mapped t page && pstate t page <> st_unmapped then
+    Some (owner_proc t page)
+  else None
 
-let is_resident t page =
-  match info t page with Some pi -> pi.state = Resident | None -> false
+let is_resident t page = in_table t page && pstate t page = st_resident
 
-let is_swapped t page =
-  match info t page with Some pi -> pi.state = Swapped | None -> false
+let is_swapped t page = in_table t page && pstate t page = st_swapped
 
 let is_protected t page =
-  match info t page with Some pi -> pi.protected_ | None -> false
+  in_table t page && Page_flags.get t.flags page Page_flags.protected_
 
 let is_dirty t page =
-  match info t page with Some pi -> pi.dirty | None -> false
+  in_table t page && Page_flags.get t.flags page Page_flags.dirty
 
 (* Every residency transition funnels through here so the global count,
    the global gauge and the owning process's gauge stay in lock-step;
    [Vm_stats.resident_pages] is what surfaces per-process residency to
    the harness without an O(pages) scan. *)
-let note_residency t pi delta =
+let note_residency t page delta =
   t.resident <- t.resident + delta;
   Vm_stats.add_resident t.stats delta;
-  Vm_stats.add_resident (Process.stats pi.owner) delta
+  Vm_stats.add_resident (Process.stats (owner_proc t page)) delta
 
 (* Drop a page's frame without writeback. The page must be resident and
    unpinned. *)
-let release_frame t page pi =
-  if Lru.membership t.lru page <> None then Lru.remove t.lru page;
-  pi.state <- Untouched;
-  pi.dirty <- false;
-  pi.in_swap <- false;
-  pi.surrendered <- false;
-  note_residency t pi (-1)
+let release_frame t page =
+  ignore (Lru.remove_if_present t.lru page : bool);
+  set_pstate t page st_untouched;
+  Page_flags.clear t.flags page Page_flags.dirty;
+  Page_flags.clear t.flags page Page_flags.in_swap;
+  Page_flags.clear t.flags page Page_flags.surrendered;
+  note_residency t page (-1)
 
 (* Attempt the swap write behind an eviction, with bounded
    retry-with-backoff on transient I/O errors. Returns false when the
@@ -203,17 +236,22 @@ let swap_write_retrying t page =
 (* Write a resident, unlisted page out to swap. Returns false — leaving
    the page resident, back on the active list — when the swap device
    refuses the write; the reclaim loop then moves on to other victims. *)
-let swap_out t page pi =
-  assert (pi.state = Resident && not pi.pinned);
+let swap_out t page =
+  assert (
+    pstate t page = st_resident
+    && not (Page_flags.get t.flags page Page_flags.pinned));
   let wrote =
-    if pi.dirty || not pi.in_swap then begin
+    if
+      Page_flags.get t.flags page Page_flags.dirty
+      || not (Page_flags.get t.flags page Page_flags.in_swap)
+    then begin
       if swap_write_retrying t page then begin
+        let pstats = Process.stats (owner_proc t page) in
         Clock.advance t.clock t.costs.Costs.swap_write_ns;
-        ev t Telemetry.Event.Swap_write page (Process.pid pi.owner);
+        ev t Telemetry.Event.Swap_write page (Process.pid (owner_proc t page));
         t.stats.Vm_stats.swap_outs <- t.stats.Vm_stats.swap_outs + 1;
-        (Process.stats pi.owner).Vm_stats.swap_outs <-
-          (Process.stats pi.owner).Vm_stats.swap_outs + 1;
-        pi.in_swap <- true;
+        pstats.Vm_stats.swap_outs <- pstats.Vm_stats.swap_outs + 1;
+        Page_flags.set t.flags page Page_flags.in_swap;
         true
       end
       else false
@@ -221,34 +259,33 @@ let swap_out t page pi =
     else true
   in
   if wrote then begin
-    pi.state <- Swapped;
-    pi.dirty <- false;
-    pi.surrendered <- false;
-    pi.referenced <- false;
-    note_residency t pi (-1);
-    ev t Telemetry.Event.Eviction page (Process.pid pi.owner);
+    set_pstate t page st_swapped;
+    Page_flags.clear t.flags page Page_flags.dirty;
+    Page_flags.clear t.flags page Page_flags.surrendered;
+    Page_flags.clear t.flags page Page_flags.referenced;
+    note_residency t page (-1);
+    ev t Telemetry.Event.Eviction page (Process.pid (owner_proc t page));
     t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
-    (Process.stats pi.owner).Vm_stats.evictions <-
-      (Process.stats pi.owner).Vm_stats.evictions + 1;
+    let pstats = Process.stats (owner_proc t page) in
+    pstats.Vm_stats.evictions <- pstats.Vm_stats.evictions + 1;
     true
   end
   else begin
     (* eviction failed: the page stays resident and re-enters the LRU so
        a later pass can retry once the device recovers *)
-    pi.referenced <- false;
-    pi.surrendered <- false;
+    Page_flags.clear t.flags page Page_flags.referenced;
+    Page_flags.clear t.flags page Page_flags.surrendered;
     if Lru.membership t.lru page = None then Lru.push_active_head t.lru page;
     false
   end
 
-(* Move up to [n] pages from the active tail into the inactive list,
-   giving referenced pages a second chance. Returns how many moved. *)
 (* Deliver a pre-eviction notice now, counting it as delivered. *)
-let deliver_eviction_notice t pi h victim =
-  ev t Telemetry.Event.Eviction_notice victim (Process.pid pi.owner);
+let deliver_eviction_notice t h victim =
+  ev t Telemetry.Event.Eviction_notice victim
+    (Process.pid (owner_proc t victim));
   t.stats.Vm_stats.eviction_notices <- t.stats.Vm_stats.eviction_notices + 1;
-  (Process.stats pi.owner).Vm_stats.eviction_notices <-
-    (Process.stats pi.owner).Vm_stats.eviction_notices + 1;
+  let pstats = Process.stats (owner_proc t victim) in
+  pstats.Vm_stats.eviction_notices <- pstats.Vm_stats.eviction_notices + 1;
   h.Process.on_eviction_notice victim
 
 (* Route a notice through the fault plan: deliver it, drop it, queue it
@@ -270,12 +307,16 @@ let route_notice t kind page deliver =
         page
   | Fault_plan.Delay ->
       ev_inject t Telemetry.Event.Delayed_notice page;
-      Queue.add (kind, page) t.pending_notices
+      Queue.add (kind, page) t.pending_notices;
+      t.notices_pending <- true
   | Fault_plan.Duplicate ->
       ev_inject t Telemetry.Event.Duplicated_notice page;
       deliver ();
-      Queue.add (kind, page) t.pending_notices
+      Queue.add (kind, page) t.pending_notices;
+      t.notices_pending <- true
 
+(* Move up to [n] pages from the active tail into the inactive list,
+   giving referenced pages a second chance. Returns how many moved. *)
 let refill_inactive t n =
   let moved = ref 0 in
   let attempts = ref 0 in
@@ -285,10 +326,10 @@ let refill_inactive t n =
     match Lru.active_tail t.lru with
     | None -> attempts := budget
     | Some page ->
-        let pi = info_exn t page in
+        check_mapped t page;
         Lru.remove t.lru page;
-        if pi.referenced then begin
-          pi.referenced <- false;
+        if Page_flags.get t.flags page Page_flags.referenced then begin
+          Page_flags.clear t.flags page Page_flags.referenced;
           Lru.push_active_head t.lru page
         end
         else begin
@@ -327,39 +368,43 @@ let reclaim t ~required ~target =
         match Lru.inactive_tail t.lru with
         | None -> ()
         | Some victim ->
-            let pi = info_exn t victim in
+            check_mapped t victim;
             Lru.remove t.lru victim;
-            if pi.referenced then begin
+            if Page_flags.get t.flags victim Page_flags.referenced then begin
               (* second chance; a touch also cancels a pending surrender
                  (the page's owner was already told it reloaded) *)
-              pi.referenced <- false;
-              pi.surrendered <- false;
+              Page_flags.clear t.flags victim Page_flags.referenced;
+              Page_flags.clear t.flags victim Page_flags.surrendered;
               Lru.push_active_head t.lru victim
             end
-            else if pi.surrendered then ignore (swap_out t victim pi)
+            else if Page_flags.get t.flags victim Page_flags.surrendered then
+              ignore (swap_out t victim)
             else begin
               (* Pre-eviction notice: the page is still resident and its
                  owner may react before the PTE is unmapped. Only
                  registered owners receive (and are billed for) one; the
                  fault plan may lose or hold the signal, in which case the
                  eviction proceeds as if the owner stayed silent. *)
-              (match Process.handlers pi.owner with
+              (match Process.handlers (owner_proc t victim) with
               | Some h ->
                   route_notice t Fault_plan.Eviction victim (fun () ->
-                      deliver_eviction_notice t pi h victim)
+                      deliver_eviction_notice t h victim)
               | None -> ());
               if Lru.membership t.lru victim <> None then
                 (* handler repositioned the page (vm_relinquish) *)
                 ()
-              else if pi.state <> Resident then
+              else if pstate t victim <> st_resident then
                 (* handler discarded it *)
                 ()
-              else if free_frames t >= target || pi.referenced then begin
+              else if
+                free_frames t >= target
+                || Page_flags.get t.flags victim Page_flags.referenced
+              then begin
                 (* pressure relieved, or the owner vetoed by touching *)
-                pi.referenced <- false;
+                Page_flags.clear t.flags victim Page_flags.referenced;
                 Lru.push_active_head t.lru victim
               end
-              else ignore (swap_out t victim pi)
+              else ignore (swap_out t victim)
             end
       end
     done;
@@ -380,16 +425,17 @@ let reclaim t ~required ~target =
           | None -> ()
           | Some victim ->
               incr attempts;
-              let pi = info_exn t victim in
+              check_mapped t victim;
               remove victim;
-              pi.referenced <- false;
-              if swap_out t victim pi then begin
+              Page_flags.clear t.flags victim Page_flags.referenced;
+              if swap_out t victim then begin
                 ev t Telemetry.Event.Forced_eviction victim
-                  (Process.pid pi.owner);
+                  (Process.pid (owner_proc t victim));
                 t.stats.Vm_stats.forced_evictions <-
                   t.stats.Vm_stats.forced_evictions + 1;
-                (Process.stats pi.owner).Vm_stats.forced_evictions <-
-                  (Process.stats pi.owner).Vm_stats.forced_evictions + 1
+                let pstats = Process.stats (owner_proc t victim) in
+                pstats.Vm_stats.forced_evictions <-
+                  pstats.Vm_stats.forced_evictions + 1
               end
         done
       in
@@ -411,8 +457,8 @@ let ensure_frame t =
     reclaim t ~required:1
       ~target:(min t.reclaim_batch (max 1 (t.capacity - t.pinned)))
 
-let count_fault t pi ~major =
-  let pstats = Process.stats pi.owner in
+let count_fault t page ~major =
+  let pstats = Process.stats (owner_proc t page) in
   if major then begin
     t.stats.Vm_stats.major_faults <- t.stats.Vm_stats.major_faults + 1;
     pstats.Vm_stats.major_faults <- pstats.Vm_stats.major_faults + 1;
@@ -424,15 +470,15 @@ let count_fault t pi ~major =
     pstats.Vm_stats.minor_faults <- pstats.Vm_stats.minor_faults + 1
   end
 
-let deliver_protection_fault t page pi =
+let deliver_protection_fault t page =
   Clock.advance t.clock t.costs.Costs.protection_fault_ns;
-  ev t Telemetry.Event.Protection_fault page (Process.pid pi.owner);
+  ev t Telemetry.Event.Protection_fault page (Process.pid (owner_proc t page));
   t.stats.Vm_stats.protection_faults <- t.stats.Vm_stats.protection_faults + 1;
-  (Process.stats pi.owner).Vm_stats.protection_faults <-
-    (Process.stats pi.owner).Vm_stats.protection_faults + 1;
-  match Process.handlers pi.owner with
+  let pstats = Process.stats (owner_proc t page) in
+  pstats.Vm_stats.protection_faults <- pstats.Vm_stats.protection_faults + 1;
+  match Process.handlers (owner_proc t page) with
   | Some h -> h.Process.on_protection_fault page
-  | None -> pi.protected_ <- false
+  | None -> Page_flags.clear t.flags page Page_flags.protected_
 
 (* Read the page's swap copy, retrying past injected transient errors.
    The fault plan bounds consecutive read errors, so the retry budget is
@@ -455,52 +501,63 @@ let swap_read_retrying t page =
   in
   go 1
 
+(* The touch slow path: everything except an unprotected resident hit.
+   [page] is known to be in-table here. *)
 let rec do_touch t ~write page =
-  let pi = info_exn t page in
-  match pi.state with
-  | Unmapped -> invalid_arg (Printf.sprintf "Vmm.touch: page %d unmapped" page)
-  | Resident ->
-      pi.referenced <- true;
-      if write then pi.dirty <- true;
-      if pi.protected_ then begin
-        deliver_protection_fault t page pi;
-        (* retry the access if the handler unprotected the page; if it did
-           not, the access proceeds anyway (the handler owns the policy) *)
-        if not pi.protected_ then do_touch t ~write page
-      end
-  | Untouched ->
-      Clock.advance t.clock t.costs.Costs.minor_fault_ns;
-      ev t Telemetry.Event.Minor_fault page (Process.pid pi.owner);
-      count_fault t pi ~major:false;
-      ensure_frame t;
-      pi.state <- Resident;
-      pi.referenced <- true;
-      pi.dirty <- write;
-      note_residency t pi 1;
-      if not pi.pinned then Lru.push_active_head t.lru page
-  | Swapped ->
-      swap_read_retrying t page;
-      Clock.advance t.clock t.costs.Costs.major_fault_ns;
-      ev t Telemetry.Event.Swap_read page (Process.pid pi.owner);
-      ev t Telemetry.Event.Major_fault page (Process.pid pi.owner);
-      count_fault t pi ~major:true;
-      ensure_frame t;
-      pi.state <- Resident;
-      pi.referenced <- true;
-      pi.dirty <- write;
-      pi.surrendered <- false;
-      note_residency t pi 1;
-      if not pi.pinned then Lru.push_active_head t.lru page;
-      (* made-resident notice (the fault plan may lose it — the
-         protection upcall below is the reliable backstop), then any
-         protection upcall *)
-      (match Process.handlers pi.owner with
-      | Some h ->
-          route_notice t Fault_plan.Resident page (fun () ->
-              ev t Telemetry.Event.Made_resident page (Process.pid pi.owner);
-              h.Process.on_resident page)
-      | None -> ());
-      if pi.protected_ then deliver_protection_fault t page pi
+  let s = pstate t page in
+  if s = st_resident then begin
+    Page_flags.set t.flags page Page_flags.referenced;
+    if write then Page_flags.set t.flags page Page_flags.dirty;
+    if Page_flags.get t.flags page Page_flags.protected_ then begin
+      deliver_protection_fault t page;
+      (* retry the access if the handler unprotected the page; if it did
+         not, the access proceeds anyway (the handler owns the policy) *)
+      if not (Page_flags.get t.flags page Page_flags.protected_) then
+        do_touch t ~write page
+    end
+  end
+  else if s = st_untouched then begin
+    Clock.advance t.clock t.costs.Costs.minor_fault_ns;
+    ev t Telemetry.Event.Minor_fault page (Process.pid (owner_proc t page));
+    count_fault t page ~major:false;
+    ensure_frame t;
+    set_pstate t page st_resident;
+    Page_flags.set t.flags page Page_flags.referenced;
+    Page_flags.put t.flags page Page_flags.dirty write;
+    note_residency t page 1;
+    if not (Page_flags.get t.flags page Page_flags.pinned) then
+      Lru.push_active_head t.lru page
+  end
+  else if s = st_swapped then begin
+    swap_read_retrying t page;
+    Clock.advance t.clock t.costs.Costs.major_fault_ns;
+    ev t Telemetry.Event.Swap_read page (Process.pid (owner_proc t page));
+    ev t Telemetry.Event.Major_fault page (Process.pid (owner_proc t page));
+    count_fault t page ~major:true;
+    ensure_frame t;
+    set_pstate t page st_resident;
+    Page_flags.set t.flags page Page_flags.referenced;
+    Page_flags.put t.flags page Page_flags.dirty write;
+    Page_flags.clear t.flags page Page_flags.surrendered;
+    note_residency t page 1;
+    if not (Page_flags.get t.flags page Page_flags.pinned) then
+      Lru.push_active_head t.lru page;
+    (* made-resident notice (the fault plan may lose it — the
+       protection upcall below is the reliable backstop), then any
+       protection upcall *)
+    (match Process.handlers (owner_proc t page) with
+    | Some h ->
+        route_notice t Fault_plan.Resident page (fun () ->
+            ev t Telemetry.Event.Made_resident page
+              (Process.pid (owner_proc t page));
+            h.Process.on_resident page)
+    | None -> ());
+    if Page_flags.get t.flags page Page_flags.protected_ then
+      deliver_protection_fault t page
+  end
+  else if opid t page = 0 then
+    invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
+  else invalid_arg (Printf.sprintf "Vmm.touch: page %d unmapped" page)
 
 (* Late delivery of notices the fault plan held back. Notices for pages
    that have since been unmapped, or whose owner unregistered, are
@@ -516,6 +573,8 @@ let flush_pending_notices t =
     Fun.protect ~finally:(fun () -> t.delivering <- false) @@ fun () ->
     let items = List.of_seq (Queue.to_seq t.pending_notices) in
     Queue.clear t.pending_notices;
+    (* handlers below may enqueue fresh notices, which re-raise the flag *)
+    t.notices_pending <- false;
     let items =
       match t.faults with
       | Some plan when Fault_plan.reorder_pending plan ->
@@ -525,108 +584,133 @@ let flush_pending_notices t =
     in
     List.iter
       (fun (kind, page) ->
-        match info t page with
-        | Some pi when pi.state <> Unmapped -> (
-            match Process.handlers pi.owner with
-            | Some h -> (
-                match kind with
-                | Fault_plan.Eviction -> deliver_eviction_notice t pi h page
-                | Fault_plan.Resident ->
-                    ev t Telemetry.Event.Made_resident page
-                      (Process.pid pi.owner);
-                    h.Process.on_resident page)
-            | None -> ())
-        | Some _ | None -> ())
+        if ever_mapped t page && pstate t page <> st_unmapped then
+          match Process.handlers (owner_proc t page) with
+          | Some h -> (
+              match kind with
+              | Fault_plan.Eviction -> deliver_eviction_notice t h page
+              | Fault_plan.Resident ->
+                  ev t Telemetry.Event.Made_resident page
+                    (Process.pid (owner_proc t page));
+                  h.Process.on_resident page)
+          | None -> ())
       items
   end
 
+(* The fast path below hard-codes the Page_flags bit layout: dev-profile
+   builds pass -opaque, which turns Page_flags accessors into real calls
+   and its constants into module-block loads, so going through the module
+   would put two calls and a stack frame on the hottest loop in the
+   simulator. Verified against the real layout at module init. *)
+let () =
+  assert (
+    Page_flags.referenced = 2 && Page_flags.dirty = 1
+    && Page_flags.protected_ = 4)
+
+(* The hot path of the whole simulator: every simulated byte the mutator
+   or a collector touches lands here. The fast path — page in-table,
+   resident, unprotected — is one immediate test (pending notices), a
+   bounds check, one state-byte load and one flag-byte read-modify-write;
+   everything else drops to [do_touch]. *)
 let touch t ?(write = false) page =
-  flush_pending_notices t;
-  do_touch t ~write page
+  if t.notices_pending then flush_pending_notices t;
+  if page >= 0 && page < t.table_len then begin
+    if Char.code (Bytes.unsafe_get t.state page) = st_resident then begin
+      let f = Char.code (Bytes.unsafe_get t.flags page) in
+      if f land 4 (* protected_ *) = 0 then
+        Bytes.unsafe_set t.flags page
+          (Char.unsafe_chr
+             (f lor if write then 3 (* referenced+dirty *) else 2))
+      else do_touch t ~write page
+    end
+    else do_touch t ~write page
+  end
+  else invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
 
 let unmap_range t ~first_page ~npages =
   for p = first_page to first_page + npages - 1 do
-    match info t p with
-    | None -> ()
-    | Some pi ->
-        if pi.state = Resident then begin
-          if pi.pinned then begin
-            pi.pinned <- false;
-            t.pinned <- t.pinned - 1;
-            note_residency t pi (-1)
-          end
-          else release_frame t p pi
-        end;
-        Swap.drop t.swap p;
-        pi.state <- Unmapped;
-        pi.in_swap <- false;
-        pi.protected_ <- false
+    if ever_mapped t p then begin
+      if pstate t p = st_resident then begin
+        if Page_flags.get t.flags p Page_flags.pinned then begin
+          Page_flags.clear t.flags p Page_flags.pinned;
+          t.pinned <- t.pinned - 1;
+          note_residency t p (-1)
+        end
+        else release_frame t p
+      end;
+      Swap.drop t.swap p;
+      set_pstate t p st_unmapped;
+      Page_flags.clear t.flags p Page_flags.in_swap;
+      Page_flags.clear t.flags p Page_flags.protected_
+    end
   done
 
 let madvise_dontneed t page =
-  match info t page with
-  | None -> ()
-  | Some pi -> (
-      Clock.advance t.clock t.costs.Costs.syscall_ns;
-      match pi.state with
-      | Unmapped | Untouched -> ()
-      | Resident ->
-          if pi.pinned then invalid_arg "Vmm.madvise_dontneed: page is pinned";
-          release_frame t page pi;
-          ev t Telemetry.Event.Discard page (Process.pid pi.owner);
-          t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
-          (Process.stats pi.owner).Vm_stats.discards <-
-            (Process.stats pi.owner).Vm_stats.discards + 1
-      | Swapped ->
-          Swap.drop t.swap page;
-          pi.state <- Untouched;
-          pi.in_swap <- false;
-          pi.dirty <- false;
-          ev t Telemetry.Event.Discard page (Process.pid pi.owner);
-          t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
-          (Process.stats pi.owner).Vm_stats.discards <-
-            (Process.stats pi.owner).Vm_stats.discards + 1)
+  if ever_mapped t page then begin
+    Clock.advance t.clock t.costs.Costs.syscall_ns;
+    let s = pstate t page in
+    if s = st_resident then begin
+      if Page_flags.get t.flags page Page_flags.pinned then
+        invalid_arg "Vmm.madvise_dontneed: page is pinned";
+      release_frame t page;
+      ev t Telemetry.Event.Discard page (Process.pid (owner_proc t page));
+      t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
+      let pstats = Process.stats (owner_proc t page) in
+      pstats.Vm_stats.discards <- pstats.Vm_stats.discards + 1
+    end
+    else if s = st_swapped then begin
+      Swap.drop t.swap page;
+      set_pstate t page st_untouched;
+      Page_flags.clear t.flags page Page_flags.in_swap;
+      Page_flags.clear t.flags page Page_flags.dirty;
+      ev t Telemetry.Event.Discard page (Process.pid (owner_proc t page));
+      t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
+      let pstats = Process.stats (owner_proc t page) in
+      pstats.Vm_stats.discards <- pstats.Vm_stats.discards + 1
+    end
+  end
 
 let vm_relinquish t pages =
   Clock.advance t.clock t.costs.Costs.syscall_ns;
   List.iter
     (fun page ->
-      match info t page with
-      | None -> ()
-      | Some pi ->
-          if pi.state = Resident && not pi.pinned then begin
-            pi.referenced <- false;
-            pi.surrendered <- true;
-            if Lru.membership t.lru page <> None then Lru.remove t.lru page;
-            Lru.push_inactive_tail t.lru page;
-            ev t Telemetry.Event.Relinquish page (Process.pid pi.owner);
-            t.stats.Vm_stats.relinquished <- t.stats.Vm_stats.relinquished + 1;
-            (Process.stats pi.owner).Vm_stats.relinquished <-
-              (Process.stats pi.owner).Vm_stats.relinquished + 1
-          end)
+      if
+        ever_mapped t page
+        && pstate t page = st_resident
+        && not (Page_flags.get t.flags page Page_flags.pinned)
+      then begin
+        Page_flags.clear t.flags page Page_flags.referenced;
+        Page_flags.set t.flags page Page_flags.surrendered;
+        ignore (Lru.remove_if_present t.lru page : bool);
+        Lru.push_inactive_tail t.lru page;
+        ev t Telemetry.Event.Relinquish page (Process.pid (owner_proc t page));
+        t.stats.Vm_stats.relinquished <- t.stats.Vm_stats.relinquished + 1;
+        let pstats = Process.stats (owner_proc t page) in
+        pstats.Vm_stats.relinquished <- pstats.Vm_stats.relinquished + 1
+      end)
     pages
 
 let mprotect t page ~protect =
   Clock.advance t.clock t.costs.Costs.syscall_ns;
-  let pi = info_exn t page in
-  pi.protected_ <- protect
+  check_mapped t page;
+  Page_flags.put t.flags page Page_flags.protected_ protect
 
 let mlock t page =
-  let pi = info_exn t page in
+  check_mapped t page;
   (* locking must not fire protection upcalls; lock the raw frame *)
-  if pi.state <> Resident then touch t ~write:false page;
-  if not pi.pinned then begin
-    pi.pinned <- true;
+  if pstate t page <> st_resident then touch t ~write:false page;
+  if not (Page_flags.get t.flags page Page_flags.pinned) then begin
+    Page_flags.set t.flags page Page_flags.pinned;
     t.pinned <- t.pinned + 1;
-    if Lru.membership t.lru page <> None then Lru.remove t.lru page
+    ignore (Lru.remove_if_present t.lru page : bool)
   end
 
 let munlock t page =
-  let pi = info_exn t page in
-  if pi.pinned then begin
-    pi.pinned <- false;
+  check_mapped t page;
+  if Page_flags.get t.flags page Page_flags.pinned then begin
+    Page_flags.clear t.flags page Page_flags.pinned;
     t.pinned <- t.pinned - 1;
-    if pi.state = Resident then Lru.push_active_head t.lru page
+    if pstate t page = st_resident then Lru.push_active_head t.lru page
   end
 
 let set_capacity t frames =
@@ -635,15 +719,14 @@ let set_capacity t frames =
   if free_frames t < 0 then reclaim t ~required:0 ~target:0
 
 let coldest_pages t ~owner ~n =
+  let pid = Process.pid owner in
   let acc = ref [] in
   let count = ref 0 in
   let consider page =
-    if !count < n then
-      match info t page with
-      | Some pi when Process.pid pi.owner = Process.pid owner ->
-          acc := page :: !acc;
-          incr count
-      | Some _ | None -> ()
+    if !count < n && in_table t page && opid t page = pid then begin
+      acc := page :: !acc;
+      incr count
+    end
   in
   Lru.iter_inactive_from_tail t.lru consider;
   Lru.iter_active_from_tail t.lru consider;
@@ -651,13 +734,19 @@ let coldest_pages t ~owner ~n =
 
 let pending_notice_count t = Queue.length t.pending_notices
 
-let count_resident_owned t proc =
+(* O(pages) scan, kept as the debug cross-check for the gauge below. *)
+let debug_count_resident_owned t proc =
+  let pid = Process.pid proc in
   let n = ref 0 in
-  Array.iter
-    (function
-      | Some pi
-        when pi.state = Resident && Process.pid pi.owner = Process.pid proc ->
-          incr n
-      | Some _ | None -> ())
-    t.pages;
+  for page = 0 to t.table_len - 1 do
+    if pstate t page = st_resident && opid t page = pid then incr n
+  done;
   !n
+
+(* Per-process residency is maintained incrementally by [note_residency],
+   so this is a gauge read; the full-table scan survives only as an
+   assertion (compiled out with -noassert). *)
+let count_resident_owned t proc =
+  let n = (Process.stats proc).Vm_stats.resident_pages in
+  assert (n = debug_count_resident_owned t proc);
+  n

@@ -130,7 +130,9 @@ val pending_notice_count : t -> int
 (** Notices the fault plan has held back and not yet delivered. *)
 
 val count_resident_owned : t -> Process.t -> int
-(** O(pages) count of resident pages owned by a process (tests only). *)
+(** Resident pages owned by a process: an O(1) read of the process's
+    [Vm_stats.resident_pages] gauge, which every residency transition
+    maintains. Debug builds cross-check it against a full-table scan. *)
 
 val coldest_pages : t -> owner:Process.t -> n:int -> int list
 (** Up to [n] of the owner's reclaim-coldest resident pages, coldest

@@ -88,9 +88,9 @@ let test_address_space () =
 
 let test_page_map () =
   let m = PM.create () in
-  PM.add m ~page:5 1;
-  PM.add m ~page:5 2;
-  PM.add m ~page:6 1;
+  ignore (PM.add m ~page:5 1 : int);
+  ignore (PM.add m ~page:5 2 : int);
+  ignore (PM.add m ~page:6 1 : int);
   check Alcotest.int "count" 2 (PM.count_on m 5);
   PM.remove m ~page:5 1;
   check Alcotest.int "after remove" 1 (PM.count_on m 5);
@@ -101,6 +101,34 @@ let test_page_map () =
   Alcotest.check_raises "remove missing"
     (Invalid_argument "Page_map.remove: object #9 not on page 5") (fun () ->
       PM.remove m ~page:5 9)
+
+let test_page_map_slots () =
+  let m = PM.create () in
+  check Alcotest.int "first slot" 0 (PM.add m ~page:3 11);
+  check Alcotest.int "second slot" 1 (PM.add m ~page:3 22);
+  check Alcotest.int "third slot" 2 (PM.add m ~page:3 33);
+  (* O(1) removal at a slot hint swap-fills from the tail and reports
+     the relocation *)
+  let moved = ref [] in
+  PM.remove m ~page:3 ~slot:0
+    ~moved:(fun id s -> moved := (id, s) :: !moved)
+    11;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "tail swap-filled the hole"
+    [ (33, 0) ]
+    !moved;
+  (* a stale hint falls back to the scan and still removes the right id;
+     removing the bucket's last element relocates nothing *)
+  moved := [];
+  PM.remove m ~page:3 ~slot:7
+    ~moved:(fun id s -> moved := (id, s) :: !moved)
+    22;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "no relocation for tail removal" [] !moved;
+  check (Alcotest.list Alcotest.int) "survivor" [ 33 ]
+    (Array.to_list (PM.objects_on m 3))
 
 (* ----------------------------------------------------------------- *)
 (* Heap                                                               *)
@@ -145,6 +173,71 @@ let test_spanning_object () =
   check Alcotest.bool "both pages resident" true
     (Vmsim.Vmm.is_resident m.Test_support.Mini.vmm first
     && Vmsim.Vmm.is_resident m.Test_support.Mini.vmm (first + 1))
+
+(* Invariant behind O(1) Page_map removal: every placed object's stored
+   [page_slot] names its position in its first page's bucket. *)
+let page_slot_invariant heap page =
+  let objects = Heap.objects heap in
+  Array.iteri
+    (fun slot id ->
+      if Heap.first_page heap id = page then
+        check Alcotest.int
+          (Printf.sprintf "back-index of #%d" id)
+          slot (OT.page_slot objects id))
+    (PM.objects_on (Heap.page_map heap) page)
+
+let test_page_slot_fixup () =
+  let m = fixture () in
+  let heap = m.Test_support.Mini.heap in
+  let objects = Heap.objects heap in
+  let first = AS.reserve (Heap.address_space heap) ~npages:1 in
+  Vmsim.Vmm.map_range m.Test_support.Mini.vmm m.Test_support.Mini.proc
+    ~first_page:first ~npages:1;
+  let base = Vmsim.Page.addr_of first in
+  let ids =
+    List.init 8 (fun i ->
+        let id = OT.alloc objects ~size:64 ~nrefs:0 ~kind:`Scalar in
+        Heap.place heap id ~addr:(base + (i * 64));
+        id)
+  in
+  page_slot_invariant heap first;
+  (* middle, head and tail removals: each swap-fills from the bucket's
+     tail and must fix the relocated object's stored slot *)
+  List.iter
+    (fun idx ->
+      let id = List.nth ids idx in
+      Heap.displace heap id;
+      check Alcotest.int "displaced slot reset" (-1) (OT.page_slot objects id);
+      page_slot_invariant heap first)
+    [ 3; 0; 7 ];
+  check Alcotest.int "survivors" 5 (PM.count_on (Heap.page_map heap) first);
+  (* replacing objects keeps the invariant through slot reuse *)
+  let id = OT.alloc objects ~size:64 ~nrefs:0 ~kind:`Scalar in
+  Heap.place heap id ~addr:(base + (3 * 64));
+  page_slot_invariant heap first
+
+let test_page_slot_spanning () =
+  let m = fixture () in
+  let heap = m.Test_support.Mini.heap in
+  let objects = Heap.objects heap in
+  let first = AS.reserve (Heap.address_space heap) ~npages:2 in
+  Vmsim.Vmm.map_range m.Test_support.Mini.vmm m.Test_support.Mini.proc
+    ~first_page:first ~npages:2;
+  let base = Vmsim.Page.addr_of first in
+  (* a spanning object is slot-tracked only on its first page; its tail
+     page and neighbours there still resolve by scan *)
+  let small = OT.alloc objects ~size:32 ~nrefs:0 ~kind:`Scalar in
+  Heap.place heap small ~addr:(base + Vmsim.Page.size);
+  let span = OT.alloc objects ~size:200 ~nrefs:0 ~kind:`Scalar in
+  Heap.place heap span ~addr:(base + Vmsim.Page.size - 100);
+  page_slot_invariant heap first;
+  page_slot_invariant heap (first + 1);
+  Heap.displace heap span;
+  check Alcotest.int "span gone from head page" 0
+    (PM.count_on (Heap.page_map heap) first);
+  check (Alcotest.list Alcotest.int) "tail page keeps neighbour" [ small ]
+    (Array.to_list (PM.objects_on (Heap.page_map heap) (first + 1)));
+  page_slot_invariant heap (first + 1)
 
 let test_write_barrier_hook () =
   let m = fixture () in
@@ -206,8 +299,12 @@ let () =
         [
           Alcotest.test_case "address space" `Quick test_address_space;
           Alcotest.test_case "page map" `Quick test_page_map;
+          Alcotest.test_case "page map slots" `Quick test_page_map_slots;
           Alcotest.test_case "place/displace" `Quick test_place_displace;
           Alcotest.test_case "spanning object" `Quick test_spanning_object;
+          Alcotest.test_case "page slot fixup" `Quick test_page_slot_fixup;
+          Alcotest.test_case "page slot spanning" `Quick
+            test_page_slot_spanning;
         ] );
       ( "mutator",
         [

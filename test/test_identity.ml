@@ -1,0 +1,140 @@
+(* Bit-identity regression for the hot-path overhaul.
+
+   The simulation runs in virtual time, so making the touch chain faster
+   in *wall-clock* terms must not move a single simulated number. The
+   golden file (test/golden/matrix.golden) was captured from the seed
+   implementation — the boxed pinfo-record page table, the closure-based
+   Heap.iter_pages and the O(n) Page_map.remove — before any fast path
+   landed. This test re-runs the full registry matrix (every collector
+   and ablation variant, a paging and a non-paging plan, each with and
+   without a telemetry trace attached) and asserts that Metrics.to_json,
+   the failure diagnostics and a digest of the exported Chrome trace are
+   byte-identical to that capture.
+
+   Regenerate (only when a PR intentionally changes simulated results)
+   with:  BCGC_WRITE_GOLDEN=1 dune exec test/test_identity.exe
+   then copy _build/default/test/golden/matrix.golden back into test/. *)
+
+module Metrics = Harness.Metrics
+module Registry = Harness.Registry
+module Json = Telemetry.Json
+module Plan = Harness.Run.Plan
+
+let golden_path = "golden/matrix.golden"
+
+let spec =
+  {
+    (Workload.Spec.scale_volume
+       (Workload.Benchmarks.find "_201_compress")
+       0.12)
+    with
+    Workload.Spec.immortal_bytes = 300_000;
+    window_bytes = 120_000;
+  }
+
+let heap_bytes = 1536 * 1024
+
+let heap_pages = Vmsim.Page.count_for_bytes heap_bytes
+
+(* One matrix cell: collector x {ample frames, tight frames + steady
+   pressure} x {traced, untraced}. The paging plan's 40% pin forces the
+   reclaim, swap and notice paths; the ample plan keeps every touch on
+   the resident fast path. *)
+let run_cell ~collector ~paging ~traced =
+  let sink = if traced then Some (Telemetry.Sink.create ()) else None in
+  let plan =
+    Plan.make ~collector ~spec ~heap_bytes
+    |> (if paging then fun p ->
+          p
+          |> Plan.with_frames (heap_pages + 128)
+          |> Plan.with_pressure
+               (Workload.Pressure.Steady
+                  { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 })
+        else Fun.id)
+    |> match sink with None -> Fun.id | Some s -> Plan.with_trace s
+  in
+  let outcome = Harness.Run.exec plan in
+  let body =
+    match outcome with
+    | Metrics.Completed m -> Json.to_string (Metrics.to_json m)
+    | other -> Format.asprintf "%a" Metrics.pp_outcome other
+  in
+  let trace_digest =
+    match sink with
+    | None -> "-"
+    | Some s ->
+        Digest.to_hex (Digest.string (Json.to_string (Telemetry.Export.chrome_json s)))
+  in
+  Printf.sprintf "%s paging=%b traced=%b %s | %s | trace=%s" collector paging
+    traced
+    (Metrics.outcome_label outcome)
+    body trace_digest
+
+let matrix_lines () =
+  List.concat_map
+    (fun (info : Registry.info) ->
+      List.concat_map
+        (fun paging ->
+          List.map
+            (fun traced -> run_cell ~collector:info.Registry.name ~paging ~traced)
+            [ false; true ])
+        [ false; true ])
+    Registry.all
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_matrix () =
+  let text = String.concat "\n" (matrix_lines ()) ^ "\n" in
+  match Sys.getenv_opt "BCGC_WRITE_GOLDEN" with
+  | Some _ ->
+      (try Unix.mkdir "golden" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let oc = open_out_bin golden_path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %d cells to %s\n"
+        (List.length (String.split_on_char '\n' text) - 1)
+        golden_path
+  | None ->
+      if not (Sys.file_exists golden_path) then
+        Alcotest.fail
+          "golden/matrix.golden missing — regenerate with BCGC_WRITE_GOLDEN=1";
+      Alcotest.check Alcotest.string "registry matrix bit-identical to seed"
+        (read_file golden_path) text
+
+(* The traced and untraced run of the same plan must also agree with
+   *each other* (the golden proves agreement with the past; this proves
+   the sink has no virtual-time effect in the same build). *)
+let test_traced_untraced_agree () =
+  List.iter
+    (fun paging ->
+      let strip line =
+        (* drop the "traced=..." token and the trace digest *)
+        match String.index_opt line '|' with
+        | Some i -> String.sub line i (String.length line - i)
+        | None -> line
+      in
+      let a = run_cell ~collector:"BC" ~paging ~traced:false in
+      let b = run_cell ~collector:"BC" ~paging ~traced:true in
+      let strip_digest s =
+        match String.rindex_opt s '|' with Some i -> String.sub s 0 i | None -> s
+      in
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "paging=%b" paging)
+        (strip_digest (strip a))
+        (strip_digest (strip b)))
+    [ false; true ]
+
+let () =
+  Alcotest.run "identity"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "registry matrix vs seed golden" `Quick test_matrix;
+          Alcotest.test_case "traced = untraced" `Quick
+            test_traced_untraced_agree;
+        ] );
+    ]

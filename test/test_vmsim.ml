@@ -57,6 +57,76 @@ let test_lru_iterate () =
   Lru.iter_inactive_from_tail l (fun p -> order := p :: !order);
   check (Alcotest.list Alcotest.int) "tail-to-head" [ 3; 2; 1 ] !order
 
+let test_lru_remove_if_present () =
+  let l = Lru.create () in
+  check Alcotest.bool "absent page" false (Lru.remove_if_present l 3);
+  Lru.push_active_head l 3;
+  check Alcotest.bool "active member removed" true (Lru.remove_if_present l 3);
+  check Alcotest.bool "removed is gone" false (Lru.remove_if_present l 3);
+  check Alcotest.int "lists empty" 0 (Lru.active_size l + Lru.inactive_size l);
+  Lru.push_inactive_head l 4;
+  check Alcotest.bool "inactive member removed" true
+    (Lru.remove_if_present l 4);
+  check Alcotest.bool "membership cleared" true (Lru.membership l 4 = None);
+  (* beyond the grown arrays: trivially absent, must not grow or raise *)
+  check Alcotest.bool "way out of range" false (Lru.remove_if_present l 100_000)
+
+(* ----------------------------------------------------------------- *)
+(* Page_flags                                                         *)
+
+module Page_flags = Vmsim.Page_flags
+
+let test_page_flags_roundtrip () =
+  let b = Page_flags.create 4 in
+  List.iter
+    (fun bit ->
+      check Alcotest.bool "initially clear" false (Page_flags.get b 2 bit);
+      Page_flags.set b 2 bit;
+      check Alcotest.bool "set" true (Page_flags.get b 2 bit);
+      check Alcotest.int "neighbour untouched" 0 (Page_flags.byte b 1);
+      Page_flags.clear b 2 bit;
+      check Alcotest.bool "cleared" false (Page_flags.get b 2 bit);
+      Page_flags.put b 2 bit true;
+      check Alcotest.bool "put true" true (Page_flags.get b 2 bit);
+      Page_flags.put b 2 bit false;
+      check Alcotest.bool "put false" false (Page_flags.get b 2 bit))
+    Page_flags.all;
+  (* bits are independent: from all-set, dropping one keeps the rest *)
+  List.iter (fun bit -> Page_flags.set b 0 bit) Page_flags.all;
+  let full = List.fold_left ( lor ) 0 Page_flags.all in
+  check Alcotest.int "packed byte" full (Page_flags.byte b 0);
+  List.iter
+    (fun bit ->
+      Page_flags.clear b 0 bit;
+      check Alcotest.int "others survive" (full land lnot bit)
+        (Page_flags.byte b 0);
+      Page_flags.set b 0 bit)
+    Page_flags.all
+
+let test_page_flags_layout () =
+  check Alcotest.int "six flags" 6 (List.length Page_flags.all);
+  check Alcotest.int "distinct bits" 6
+    (List.length (List.sort_uniq compare Page_flags.all));
+  List.iter
+    (fun bit ->
+      check Alcotest.bool "single bit" true (bit > 0 && bit land (bit - 1) = 0))
+    Page_flags.all;
+  (* the VMM touch fast path hard-codes these three *)
+  check Alcotest.int "dirty" 1 Page_flags.dirty;
+  check Alcotest.int "referenced" 2 Page_flags.referenced;
+  check Alcotest.int "protected" 4 Page_flags.protected_
+
+let test_page_flags_grow () =
+  let b = Page_flags.create 2 in
+  Page_flags.set b 1 Page_flags.pinned;
+  Page_flags.set b 1 Page_flags.in_swap;
+  let b = Page_flags.grow b 8 in
+  check Alcotest.int "grown length" 8 (Page_flags.length b);
+  check Alcotest.int "contents preserved"
+    (Page_flags.pinned lor Page_flags.in_swap)
+    (Page_flags.byte b 1);
+  check Alcotest.int "new pages clear" 0 (Page_flags.byte b 7)
+
 (* ----------------------------------------------------------------- *)
 (* Vmm basics                                                         *)
 
@@ -345,6 +415,41 @@ let test_count_resident_owned () =
   Vmm.touch vmm 10;
   check Alcotest.int "per-process count" 1 (Vmm.count_resident_owned vmm proc)
 
+(* [count_resident_owned] is a gauge read, not a scan; drive eviction,
+   reload, discard and unmap churn and check the gauges stay exact (the
+   call itself also cross-checks against a full-table scan in debug
+   builds). *)
+let test_resident_gauge_tracks_churn () =
+  let _, vmm, proc = machine ~frames:4 () in
+  let other = Vmm.create_process vmm ~name:"other" in
+  Vmm.map_range vmm proc ~first_page:0 ~npages:6;
+  Vmm.map_range vmm other ~first_page:10 ~npages:2;
+  let agree msg =
+    check Alcotest.int msg (Vmm.resident_count vmm)
+      (Vmm.count_resident_owned vmm proc + Vmm.count_resident_owned vmm other);
+    check Alcotest.int (msg ^ " (raw gauge)")
+      (Vmm.count_resident_owned vmm proc)
+      (Process.stats proc).Vm_stats.resident_pages
+  in
+  (* 7 touches into 4 frames: evictions and reloads on proc's pages *)
+  for p = 0 to 5 do
+    Vmm.touch vmm p
+  done;
+  Vmm.touch vmm 10;
+  agree "after eviction churn";
+  Vmm.touch vmm 0;
+  agree "after reload";
+  (match
+     List.find_opt (fun p -> Vmm.is_resident vmm p) [ 0; 1; 2; 3; 4; 5 ]
+   with
+  | Some p -> Vmm.madvise_dontneed vmm p
+  | None -> ());
+  agree "after discard";
+  Vmm.unmap_range vmm ~first_page:0 ~npages:6;
+  check Alcotest.int "unmap zeroes the gauge" 0
+    (Vmm.count_resident_owned vmm proc);
+  agree "after unmap"
+
 let test_coldest_pages () =
   let _, vmm, proc = machine ~frames:32 () in
   let other = Vmm.create_process vmm ~name:"other" in
@@ -527,6 +632,14 @@ let () =
           Alcotest.test_case "membership" `Quick test_lru_membership;
           Alcotest.test_case "double insert" `Quick test_lru_double_insert_rejected;
           Alcotest.test_case "iterate" `Quick test_lru_iterate;
+          Alcotest.test_case "remove if present" `Quick
+            test_lru_remove_if_present;
+        ] );
+      ( "page_flags",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_page_flags_roundtrip;
+          Alcotest.test_case "layout" `Quick test_page_flags_layout;
+          Alcotest.test_case "grow" `Quick test_page_flags_grow;
         ] );
       ( "faults",
         [
@@ -564,6 +677,8 @@ let () =
           Alcotest.test_case "set_capacity" `Quick test_set_capacity_shrink;
           Alcotest.test_case "unmap" `Quick test_unmap_releases;
           Alcotest.test_case "resident owned" `Quick test_count_resident_owned;
+          Alcotest.test_case "resident gauge churn" `Quick
+            test_resident_gauge_tracks_churn;
           Alcotest.test_case "coldest pages" `Quick test_coldest_pages;
           Alcotest.test_case "unmap drops swap copy" `Quick
             test_unmap_swapped_drops_copy;
