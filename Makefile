@@ -1,4 +1,4 @@
-.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke perf examples doc clean bench bench-full
+.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke campaign-smoke perf examples doc clean bench bench-full
 
 # Worker processes for the experiment matrices; results are byte-identical
 # whatever the fan-out (the simulation runs in virtual time).
@@ -18,7 +18,7 @@ test:
 # traced runs (one solo, one two-process) produce valid Chrome JSON
 # covering every expected GC phase kind.
 ci:
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) campaign-smoke
 
 # Trace smoke: a small pressured run known (deterministically) to exercise
 # minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
@@ -46,6 +46,24 @@ multiproc-smoke:
 perf-smoke:
 	./_build/default/bin/bcgc.exe bench perf --perf-reps 1 \
 	  --perf-out /tmp/bcgc-ci-perf.json
+
+# Campaign smoke: interruption drill on the 8-cell example campaign.
+# Run three cells and stop (exit 3), resume to completion, re-run the whole
+# campaign uninterrupted on a second journal, and require the two
+# consolidated reports to be byte-identical; then once more under
+# chaos (workers randomly SIGKILLed), same requirement.
+campaign-smoke:
+	rm -f /tmp/bcgc-ci-campaign.journal* /tmp/bcgc-ci-campaign-fresh.journal* /tmp/bcgc-ci-campaign-chaos.journal*
+	./_build/default/bin/bcgc.exe campaign run examples/campaign_smoke.json \
+	  -j 2 --journal /tmp/bcgc-ci-campaign.journal --stop-after 3; test $$? -eq 3
+	./_build/default/bin/bcgc.exe campaign run examples/campaign_smoke.json \
+	  -j 2 --journal /tmp/bcgc-ci-campaign.journal --resume
+	./_build/default/bin/bcgc.exe campaign run examples/campaign_smoke.json \
+	  -j 4 --journal /tmp/bcgc-ci-campaign-fresh.journal
+	cmp /tmp/bcgc-ci-campaign.journal.report.json /tmp/bcgc-ci-campaign-fresh.journal.report.json
+	./_build/default/bin/bcgc.exe campaign run examples/campaign_smoke.json \
+	  -j 3 --journal /tmp/bcgc-ci-campaign-chaos.journal --chaos kill-workers --chaos-seed 11
+	cmp /tmp/bcgc-ci-campaign.journal.report.json /tmp/bcgc-ci-campaign-chaos.journal.report.json
 
 # Full wall-clock suite; refreshes the committed baseline at the repo root.
 perf:

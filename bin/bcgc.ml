@@ -425,9 +425,145 @@ let bench_cmd target full jobs perf_reps perf_out =
   | "multiproc" -> Harness.Experiments.multiprocess mode
   | "faults" -> Harness.Experiments.faults mode
   | "trace" -> Harness.Experiments.trace_export mode
+  | "campaign" -> Harness.Experiments.campaign mode
   | _ -> Harness.Experiments.all mode);
   0
   end
+
+(* --- supervised campaigns ------------------------------------------ *)
+
+let load_campaign spec_path =
+  match Harness.Campaign.of_file spec_path with
+  | Ok t -> t
+  | Error e ->
+      Printf.eprintf "bcgc campaign: %s\n" e;
+      exit 1
+
+let campaign_run_cmd spec_path resume jobs journal_override stop_after chaos
+    chaos_seed =
+  let open Harness.Campaign in
+  let t = load_campaign spec_path in
+  let chaos =
+    match chaos with
+    | None -> None
+    | Some "kill-workers" ->
+        (* bounded so a pathological draw can't stall the sweep forever:
+           at most two kills per cell across the whole campaign *)
+        let ncells = List.length (cells t) in
+        Some
+          {
+            Harness.Supervisor.chaos_seed;
+            kill_prob = 0.25;
+            max_kills = 2 * ncells;
+          }
+    | Some other ->
+        Printf.eprintf
+          "bcgc campaign: unknown chaos mode %S (known: kill-workers)\n"
+          other;
+        exit 1
+  in
+  match
+    run ~jobs ?chaos ?stop_after ~resume ?journal_override
+      ~log:(fun m -> Printf.printf "%s\n%!" m)
+      t
+  with
+  | Ok (Complete { report_path; summary = s }) ->
+      Printf.printf
+        "campaign %S complete: %d cells (%d ok, %d degraded, %d exhausted, \
+         %d thrashed, %d failed)\n"
+        t.name s.total s.ok s.degraded s.exhausted s.thrashed s.failed;
+      if s.retried > 0 || s.quarantined > 0 || s.chaos_kills > 0 then
+        Printf.printf
+          "supervision: %d attempt(s) retried, %d cell(s) quarantined, %d \
+           chaos kill(s)\n"
+          s.retried s.quarantined s.chaos_kills;
+      Printf.printf "report: %s\n" report_path;
+      if s.failed > 0 then 1 else 0
+  | Ok (Interrupted { completed; total }) ->
+      Printf.printf
+        "campaign %S interrupted: %d/%d cells journaled; finish with \
+         --resume\n"
+        t.name completed total;
+      3
+  | Error e ->
+      Printf.eprintf "bcgc campaign: %s\n" e;
+      1
+
+let campaign_cells_cmd spec_path =
+  let open Harness.Campaign in
+  let t = load_campaign spec_path in
+  let cs = cells t in
+  List.iter (fun c -> Printf.printf "%s  %s\n" c.digest c.label) cs;
+  Printf.printf "%d cells; campaign digest %s\n" (List.length cs)
+    (campaign_digest t);
+  0
+
+let campaign_spec_arg =
+  let doc = "Campaign spec file (JSON, schema bcgc-campaign/1)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+
+let cmd_campaign =
+  let resume =
+    let doc =
+      "Resume an interrupted campaign: skip cells already recorded in the \
+       journal and extend it in place."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let jobs =
+    let doc =
+      "Supervised worker processes. Each worker leases one cell at a time; \
+       a crashed, hung or killed worker costs only its in-flight cell."
+    in
+    Arg.(
+      value
+      & opt int (Harness.Parallel.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let journal =
+    let doc = "Override the spec's journal path." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let stop_after =
+    let doc =
+      "Stop (exit 3) after journaling $(docv) more cells — a deterministic \
+       interruption, for drills and CI."
+    in
+    Arg.(value & opt (some int) None & info [ "stop-after" ] ~docv:"N" ~doc)
+  in
+  let chaos =
+    let doc =
+      "Chaos mode `kill-workers': randomly SIGKILL supervised workers to \
+       exercise recovery; the report must come out identical anyway."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"MODE" ~doc)
+  in
+  let chaos_seed =
+    let doc = "Seed for the chaos schedule." in
+    Arg.(value & opt int 1 & info [ "chaos-seed" ] ~docv:"N" ~doc)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Execute a campaign under supervision, journaling each cell; \
+            resumable after any crash")
+      Term.(
+        const campaign_run_cmd $ campaign_spec_arg $ resume $ jobs $ journal
+        $ stop_after $ chaos $ chaos_seed)
+  in
+  let cells_cmd =
+    Cmd.v
+      (Cmd.info "cells"
+         ~doc:"List a campaign's cells (plan digest and label) without running")
+      Term.(const campaign_cells_cmd $ campaign_spec_arg)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Supervised, resumable experiment campaigns with crash-safe \
+          journals")
+    [ run_cmd; cells_cmd ]
 
 let run_t =
   Term.(
@@ -537,6 +673,7 @@ let () =
              cmd_list;
              cmd_minheap;
              cmd_bench;
+             cmd_campaign;
              cmd_trace;
              cmd_trace_record;
              cmd_trace_replay;

@@ -899,6 +899,54 @@ let trace_export mode =
           Printf.printf "wrote %s.json and %s.csv\n" base base)
     cells
 
+(* ---------------------------------------------------------------- *)
+(* Supervised campaign demo                                           *)
+
+let campaign mode =
+  let volume = match mode with Quick -> 0.02 | Full -> 0.2 in
+  (* temp_file creates the file; Campaign.run refuses to overwrite an
+     existing journal, so take the fresh name and drop the file *)
+  let journal = Filename.temp_file "bcgc-campaign" ".journal" in
+  Sys.remove journal;
+  let c =
+    {
+      Campaign.name =
+        (match mode with Quick -> "demo-quick" | Full -> "demo-full");
+      collectors = [ "BC"; "GenMS" ];
+      workloads = [ "_202_jess" ];
+      volume;
+      heap_multipliers = [ 2.0; 3.0 ];
+      fault_plans = [ "none"; "drop-evict=0.3,spikes=1" ];
+      pressures = [ "none"; "steady:300" ];
+      fault_seed = Run.default_fault_seed;
+      iterations = 1;
+      frames_fraction = None;
+      deadline_s = Some 120.;
+      event_cap = None;
+      retry = { Campaign.attempts = 2; backoff_s = 0.25 };
+      journal;
+    }
+  in
+  Printf.printf "\n== Campaign: %d cells over %d worker(s), journal %s ==\n"
+    (List.length (Campaign.cells c))
+    (get_jobs ()) journal;
+  match
+    Campaign.run ~jobs:(get_jobs ())
+      ~log:(fun m -> Printf.printf "%s\n%!" m)
+      c
+  with
+  | Ok (Campaign.Complete { report_path; summary = s }) ->
+      Printf.printf
+        "summary: %d cells — %d ok, %d degraded, %d exhausted, %d \
+         thrashed, %d failed\nreport: %s\n"
+        s.Campaign.total s.Campaign.ok s.Campaign.degraded
+        s.Campaign.exhausted s.Campaign.thrashed s.Campaign.failed
+        report_path
+  | Ok (Campaign.Interrupted _) ->
+      (* unreachable without stop_after *)
+      Printf.printf "campaign interrupted\n"
+  | Error e -> Printf.printf "campaign error: %s\n" e
+
 let all mode =
   table1 mode;
   figure2 mode;

@@ -88,6 +88,13 @@ val trace_export : mode -> unit
     the JSON embeds the cell's {!Metrics.to_json}, the single
     serialisation path. Not part of {!all}. *)
 
+val campaign : mode -> unit
+(** Demo of the supervised {!Campaign} runner: a 16-cell sweep
+    ({BC, GenMS} × jess × two heaps × {no faults, a fault plan} × {no
+    pressure, steady pressure}) journaled to a temp file and
+    consolidated into a report, fanned over {!get_jobs} supervised
+    workers. Not part of {!all}. *)
+
 val all : mode -> unit
 (** Everything above, in paper order, plus the SSD, recovery,
     cohabitation, multiprocess and fault-injection studies. *)

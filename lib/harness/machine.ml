@@ -2,6 +2,8 @@ module Fault_plan = Faults.Fault_plan
 
 type policy = Round_robin | Proportional | Priority
 
+exception Budget_exceeded of string
+
 type process = {
   name : string;
   vproc : Vmsim.Process.t;
@@ -147,7 +149,7 @@ let step_slice t ~ops_per_slice p =
   end
 
 let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
-    t =
+    ?event_cap t =
   (match t.procs with
   | [] -> invalid_arg "Machine.run: no processes"
   | ps -> List.iter (fun p -> ignore (mutator_exn p)) ps);
@@ -216,14 +218,22 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
                   Telemetry.Event.Proc_progress (pid p) (allocated_bytes p))
               ps
   in
+  (* virtual-event budget: every slice dispatched to an unfinished
+     process spends ops_per_slice events; a runaway cell trips the cap
+     instead of spinning an unattended campaign forever *)
+  let spent = ref 0 in
+  let step p =
+    if p.finish_ns = None then spent := !spent + ops_per_slice;
+    step_slice t ~ops_per_slice p
+  in
   let round () =
     match t.policy with
-    | Round_robin -> List.iter (step_slice t ~ops_per_slice) t.procs
+    | Round_robin -> List.iter step t.procs
     | Proportional ->
         List.iter
           (fun p ->
             for _ = 1 to p.share do
-              step_slice t ~ops_per_slice p
+              step p
             done)
           t.procs
     | Priority -> (
@@ -237,10 +247,18 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
                 | _ -> Some p)
             None t.procs
         in
-        match best with Some p -> step_slice t ~ops_per_slice p | None -> ())
+        match best with Some p -> step p | None -> ())
   in
   while not (all_done ()) do
     round ();
     slice_event ();
-    apply_pressure ()
+    apply_pressure ();
+    match event_cap with
+    | Some cap when !spent > cap ->
+        raise
+          (Budget_exceeded
+             (Printf.sprintf
+                "virtual-event budget exceeded: %d mutator ops > cap %d"
+                !spent cap))
+    | Some _ | None -> ()
   done

@@ -36,6 +36,10 @@ type policy =
 
 type process
 
+exception Budget_exceeded of string
+(** Raised by {!run} when a virtual-event cap is exceeded; see
+    [event_cap] there. *)
+
 val default_slice : int
 (** Allocation operations per scheduling slice (256). *)
 
@@ -115,10 +119,21 @@ val allocated_bytes : process -> int
 (** Through the current mutator; 0 before {!load}. *)
 
 val run :
-  ?pressure:Workload.Pressure.t -> ?ops_per_slice:int -> t -> unit
+  ?pressure:Workload.Pressure.t ->
+  ?ops_per_slice:int ->
+  ?event_cap:int ->
+  t ->
+  unit
 (** Step every loaded process under the machine's policy until all have
     finished, applying [pressure] (driven by the first process's
     progress) between rounds. Raises [Invalid_argument] if some process
     has no mutator loaded; propagates [Heap_exhausted] / [Thrashing] —
     on a shared machine a resource failure takes the whole box down,
-    and the caller decides how to report the cohabitants. *)
+    and the caller decides how to report the cohabitants.
+
+    [event_cap] bounds the run's total virtual mutator events (slices
+    dispatched x ops per slice); exceeding it raises {!Budget_exceeded},
+    which the harness records as a [Failed] cell — the per-cell budget
+    that keeps one runaway configuration from stalling an unattended
+    campaign. Unset (the default), the loop is exactly the historical
+    one. *)

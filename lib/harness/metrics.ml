@@ -101,24 +101,25 @@ let outcome_label = function
   | Thrashed _ -> "thrashed"
   | Failed _ -> "failed"
 
-(* The one serialisation path for a cell: the bench CSV dump and the
-   trace exporter's metadata both go through this. *)
+(* The one serialisation path for a cell: the bench CSV dump, the
+   trace exporter's metadata and the campaign journal all go through
+   this. *)
+let fault_json (s : Faults.Fault_plan.stats) =
+  Json.Obj
+    [
+      ("dropped_eviction", Json.int s.Faults.Fault_plan.dropped_eviction);
+      ("dropped_resident", Json.int s.Faults.Fault_plan.dropped_resident);
+      ("delayed", Json.int s.Faults.Fault_plan.delayed);
+      ("duplicated", Json.int s.Faults.Fault_plan.duplicated);
+      ("reordered_flushes", Json.int s.Faults.Fault_plan.reordered_flushes);
+      ("swap_write_errors", Json.int s.Faults.Fault_plan.swap_write_errors);
+      ("swap_read_errors", Json.int s.Faults.Fault_plan.swap_read_errors);
+      ("swap_full_rejections", Json.int s.Faults.Fault_plan.swap_full_rejections);
+      ("spikes_applied", Json.int s.Faults.Fault_plan.spikes_applied);
+      ("injected_total", Json.int (Faults.Fault_plan.injected_total s));
+    ]
+
 let to_json t =
-  let fault_json (s : Faults.Fault_plan.stats) =
-    Json.Obj
-      [
-        ("dropped_eviction", Json.int s.Faults.Fault_plan.dropped_eviction);
-        ("dropped_resident", Json.int s.Faults.Fault_plan.dropped_resident);
-        ("delayed", Json.int s.Faults.Fault_plan.delayed);
-        ("duplicated", Json.int s.Faults.Fault_plan.duplicated);
-        ("reordered_flushes", Json.int s.Faults.Fault_plan.reordered_flushes);
-        ("swap_write_errors", Json.int s.Faults.Fault_plan.swap_write_errors);
-        ("swap_read_errors", Json.int s.Faults.Fault_plan.swap_read_errors);
-        ("swap_full_rejections", Json.int s.Faults.Fault_plan.swap_full_rejections);
-        ("spikes_applied", Json.int s.Faults.Fault_plan.spikes_applied);
-        ("injected_total", Json.int (Faults.Fault_plan.injected_total s));
-      ]
-  in
   Json.Obj
     [
       ("collector", Json.Str t.collector);
@@ -150,6 +151,32 @@ let to_json t =
       ( "faults",
         match t.faults with None -> Json.Null | Some s -> fault_json s );
     ]
+
+(* Whole-outcome serialisation, for the campaign journal and its
+   consolidated reports: every constructor round-trips, and Failed
+   carries its full provenance (exception name, reason with backtrace,
+   injected-fault counters, partial stats) so quarantine reports stay
+   actionable offline. *)
+let outcome_to_json = function
+  | Completed m ->
+      Json.Obj [ ("status", Json.Str "completed"); ("metrics", to_json m) ]
+  | Exhausted msg ->
+      Json.Obj [ ("status", Json.Str "exhausted"); ("message", Json.Str msg) ]
+  | Thrashed msg ->
+      Json.Obj [ ("status", Json.Str "thrashed"); ("message", Json.Str msg) ]
+  | Failed f ->
+      Json.Obj
+        [
+          ("status", Json.Str "failed");
+          ("exn", Json.Str f.exn_name);
+          ("reason", Json.Str f.reason);
+          ( "fault_stats",
+            match f.fault_stats with
+            | None -> Json.Null
+            | Some s -> fault_json s );
+          ( "partial",
+            match f.partial with None -> Json.Null | Some m -> to_json m );
+        ]
 
 let pp ppf t =
   Format.fprintf ppf

@@ -78,8 +78,14 @@ val of_run :
     and build the cell via {!of_snapshots}. *)
 
 val to_json : t -> Telemetry.Json.t
-(** The one serialisation path for a cell: bench CSV/JSON dumps and the
-    trace exporter's metadata both use this. *)
+(** The one serialisation path for a cell: bench CSV/JSON dumps, the
+    trace exporter's metadata and the campaign journal all use this. *)
+
+val outcome_to_json : outcome -> Telemetry.Json.t
+(** Serialise a whole outcome, failures included — [Failed] keeps its
+    full provenance (exception name, reason with any backtrace, the
+    injected-fault counters and partial stats), so a campaign journal's
+    quarantine records are actionable without rerunning the cell. *)
 
 val pp : Format.formatter -> t -> unit
 

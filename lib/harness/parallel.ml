@@ -1,73 +1,67 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
 let wrap f x =
-  match f x with v -> Ok v | exception e -> Error (Printexc.to_string e)
+  match f x with
+  | v -> Ok v
+  | exception e ->
+      let bt = Printexc.get_backtrace () in
+      Error
+        (if bt = "" then Printexc.to_string e
+         else Printexc.to_string e ^ "\n" ^ String.trim bt)
 
-(* Worker [k] computes items k, k+jobs, k+2*jobs, ... and streams
-   [(index, result)] pairs down its pipe. The parent drains every pipe
-   to EOF before reaping, so a worker can never block on a full pipe
-   while the parent sits in waitpid. *)
-let forked_map ~jobs f items =
-  let n = Array.length items in
-  flush stdout;
-  flush stderr;
-  let spawn k =
-    let rd, wr = Unix.pipe ~cloexec:false () in
-    match Unix.fork () with
-    | 0 ->
-        Unix.close rd;
-        let oc = Unix.out_channel_of_descr wr in
-        (try
-           let i = ref k in
-           while !i < n do
-             Marshal.to_channel oc (!i, wrap f items.(!i)) [];
-             i := !i + jobs
-           done;
-           flush oc
-         with _ -> ( try flush oc with _ -> ()));
-        (* _exit, not exit: no at_exit, and the parent's stdio buffers
-           inherited by the fork must not be flushed a second time *)
-        Unix._exit 0
-    | pid ->
-        Unix.close wr;
-        (pid, rd)
-  in
-  let workers = List.init jobs spawn in
-  let results =
-    Array.make n (Error "worker died before returning this result")
-  in
-  List.iter
-    (fun (pid, rd) ->
-      let ic = Unix.in_channel_of_descr rd in
-      (try
-         while true do
-           let i, r = (Marshal.from_channel ic : int * ('b, string) result) in
-           results.(i) <- r
-         done
-       with End_of_file | Failure _ -> ());
-      close_in ic;
-      ignore (Unix.waitpid [] pid))
-    workers;
-  Array.to_list results
+let error_of_cell = function
+  | Supervisor.Done _ -> assert false
+  | Supervisor.Quarantined { failures; _ } ->
+      Supervisor.describe_failures failures
 
-let map ~jobs f xs =
+let map ~jobs ?deadline_s ?(attempts = 1) f xs =
   let items = Array.of_list xs in
   let jobs = min jobs (Array.length items) in
-  if jobs <= 1 then Array.to_list (Array.map (wrap f) items)
-  else forked_map ~jobs f items
+  if jobs <= 1 && deadline_s = None && attempts = 1 then
+    (* plain in-process sweep: same results, no forks, no supervision *)
+    Array.to_list (Array.map (wrap f) items)
+  else
+    let cells, _stats = Supervisor.run ~jobs ?deadline_s ~attempts f items in
+    Array.to_list
+      (Array.map
+         (function
+           | Supervisor.Done { value; _ } -> Ok value
+           | Supervisor.Quarantined _ as c -> Error (error_of_cell c))
+         cells)
 
-let outcomes ~jobs plans =
-  let jobs =
-    if List.exists Run.Plan.traced plans then 1 else jobs
-  in
-  map ~jobs Run.exec plans
-  |> List.map (function
-       | Ok o -> o
-       | Error reason ->
-           Metrics.Failed
-             {
-               Metrics.reason;
-               exn_name = "Parallel.Worker_lost";
-               fault_stats = None;
-               partial = None;
-             })
+(* Headline constructor name for a quarantined cell: the last (budget-
+   exhausting) failure decides. *)
+let exn_name_of_failures failures =
+  match List.rev failures with
+  | Supervisor.Raised { exn_name; _ } :: _ -> exn_name
+  | Supervisor.Crashed _ :: _ -> "Parallel.Worker_crashed"
+  | Supervisor.Hung _ :: _ -> "Parallel.Worker_deadline"
+  | Supervisor.Truncated :: _ -> "Parallel.Worker_truncated"
+  | [] -> "Parallel.Worker_lost"
+
+let failed_outcome failures =
+  Metrics.Failed
+    {
+      Metrics.reason = Supervisor.describe_failures failures;
+      exn_name = exn_name_of_failures failures;
+      fault_stats = None;
+      partial = None;
+    }
+
+let outcomes ~jobs ?deadline_s ?attempts plans =
+  let jobs = if List.exists Run.Plan.traced plans then 1 else jobs in
+  let items = Array.of_list plans in
+  let jobs = min jobs (Array.length items) in
+  if jobs <= 1 && deadline_s = None && attempts = None then
+    (* Run.exec already isolates per-cell failures; nothing to supervise *)
+    List.map Run.exec plans
+  else
+    let cells, _stats =
+      Supervisor.run ~jobs ?deadline_s ?attempts Run.exec items
+    in
+    Array.to_list
+      (Array.map
+         (function
+           | Supervisor.Done { value; _ } -> value
+           | Supervisor.Quarantined { failures; _ } -> failed_outcome failures)
+         cells)

@@ -28,6 +28,7 @@ module Plan = struct
     verify : bool;
     trace : Telemetry.Sink.t option;
     policy : Machine.policy;
+    event_cap : int option;
   }
 
   let make ~collector ~spec ~heap_bytes =
@@ -43,6 +44,7 @@ module Plan = struct
       verify = false;
       trace = None;
       policy = Machine.Round_robin;
+      event_cap = None;
     }
 
   let with_frames frames t = { t with frames = Some frames }
@@ -67,6 +69,10 @@ module Plan = struct
   let with_trace sink t = { t with trace = Some sink }
 
   let with_policy policy t = { t with policy }
+
+  let with_event_cap event_cap t =
+    if event_cap < 1 then invalid_arg "Plan.with_event_cap";
+    { t with event_cap = Some event_cap }
 
   let with_share share t =
     match t.procs with
@@ -106,6 +112,8 @@ module Plan = struct
 
   let traced t = t.trace <> None
 
+  let event_cap t = t.event_cap
+
   (* Frames needed to run without any physical-memory pressure: room for
      every process's heap plus slack. *)
   let frames t =
@@ -115,6 +123,74 @@ module Plan = struct
         ample_frames
           ~heap_bytes:
             (List.fold_left (fun acc p -> acc + p.heap_bytes) 0 t.procs)
+
+  (* Canonical text of everything that can influence a run's outcome.
+     The trace sink is excluded on purpose: tracing is proven
+     zero-overhead (bit-identical metrics), so a traced and an untraced
+     run are the same cell. Field order is part of the format — changing
+     it invalidates every journal, so append, don't reorder. *)
+  let canonical t =
+    let b = Buffer.create 512 in
+    let spec_fields (s : Workload.Spec.t) =
+      Printf.bprintf b
+        "%s;%d;%d;%d;%.17g;%d;%d;%.17g;%.17g;%d;%.17g;%.17g;%.17g;%d;%d"
+        s.Workload.Spec.name s.total_alloc_bytes s.immortal_bytes
+        s.window_bytes s.long_frac s.mean_size s.max_size s.large_frac
+        s.array_frac s.nrefs_mean s.mutation_rate s.access_rate
+        s.cold_access_frac s.paper_min_heap_bytes s.seed
+    in
+    let rec pressure p =
+      match p with
+      | Workload.Pressure.None_ -> Buffer.add_string b "none"
+      | Workload.Pressure.Steady { after_progress; pin_pages } ->
+          Printf.bprintf b "steady(%.17g,%d)" after_progress pin_pages
+      | Workload.Pressure.Ramp
+          { after_progress; initial_pages; pages_per_step; step_ns; max_pages }
+        ->
+          Printf.bprintf b "ramp(%.17g,%d,%d,%d,%d)" after_progress
+            initial_pages pages_per_step step_ns max_pages
+      | Workload.Pressure.Spikes { base; spikes } ->
+          Buffer.add_string b "spikes(";
+          pressure base;
+          List.iter
+            (fun (s : Workload.Pressure.spike) ->
+              Printf.bprintf b ",[%.17g,%.17g,%d]" s.from_progress
+                s.until_progress s.pages)
+            spikes;
+          Buffer.add_char b ')'
+    in
+    Buffer.add_string b "bcgc-plan/1|procs=";
+    List.iter
+      (fun p ->
+        Printf.bprintf b "{%s|" p.collector;
+        spec_fields p.spec;
+        Printf.bprintf b "|%d|%d|%d}" p.heap_bytes p.share p.priority)
+      t.procs;
+    Printf.bprintf b "|frames=%d|slice=%d|iters=%d" (frames t)
+      t.ops_per_slice t.iterations;
+    Buffer.add_string b "|pressure=";
+    pressure t.pressure;
+    let c = t.costs in
+    Printf.bprintf b "|costs=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
+      c.Vmsim.Costs.minor_fault_ns c.major_fault_ns c.protection_fault_ns
+      c.syscall_ns c.swap_write_ns c.alloc_ns c.alloc_byte_ns
+      c.freelist_alloc_extra_ns c.access_ns c.gc_object_ns c.gc_byte_copy_ns
+      c.gc_page_sweep_ns c.gc_setup_ns;
+    (match t.faults with
+    | None -> Buffer.add_string b "|faults=none"
+    | Some spec ->
+        Printf.bprintf b "|faults=%s@%d"
+          (Fault_plan.spec_to_string spec)
+          t.fault_seed);
+    Printf.bprintf b "|verify=%b|policy=%s|event_cap=%s" t.verify
+      (match t.policy with
+      | Machine.Round_robin -> "rr"
+      | Machine.Proportional -> "prop"
+      | Machine.Priority -> "prio")
+      (match t.event_cap with None -> "none" | Some n -> string_of_int n);
+    Buffer.contents b
+
+  let digest t = Digest.to_hex (Digest.string (canonical t))
 end
 
 let exn_name e = Printexc.exn_slot_name e
@@ -191,7 +267,7 @@ let exec_all (p : Plan.t) =
       pairs;
     Machine.run
       ~pressure:(effective_pressure p plan)
-      ~ops_per_slice:p.Plan.ops_per_slice m;
+      ~ops_per_slice:p.Plan.ops_per_slice ?event_cap:p.Plan.event_cap m;
     if p.Plan.verify then
       List.iter
         (fun (_, mp) ->
@@ -298,6 +374,7 @@ let plan_of_setup s =
     verify = s.verify;
     trace = s.trace;
     policy = Machine.Round_robin;
+    event_cap = None;
   }
 
 let run s = exec (plan_of_setup s)

@@ -71,6 +71,13 @@ module Plan : sig
 
   val with_policy : Machine.policy -> t -> t
 
+  val with_event_cap : int -> t -> t
+  (** Per-cell budget on total virtual mutator events (slices dispatched
+      x ops per slice); a run that exceeds it dies on
+      {!Machine.Budget_exceeded} and is recorded as a [Failed] cell.
+      The campaign runner's guard against one runaway configuration
+      stalling an unattended sweep. Default: unbounded. *)
+
   val with_share : int -> t -> t
   (** Slice weight of the {e primary} process under [Proportional]. *)
 
@@ -110,8 +117,23 @@ module Plan : sig
 
   val traced : t -> bool
 
+  val event_cap : t -> int option
+
   val frames : t -> int
   (** The explicit frame count, or the ample default. *)
+
+  val canonical : t -> string
+  (** Canonical text of every plan field that can influence the run's
+      simulated outcome — processes (collector, full workload spec,
+      heap, share, priority), frames, slice size, iterations, pressure,
+      cost model, fault spec and seed, verify, policy and event cap.
+      The trace sink is excluded: tracing is proven zero-overhead, so a
+      traced and an untraced run are the same cell. *)
+
+  val digest : t -> string
+  (** Hex MD5 of {!canonical} — the stable cell key the campaign
+      journal uses to decide, across processes and sessions, whether a
+      recorded outcome belongs to this exact configuration. *)
 end
 
 val default_slice : int
