@@ -1,4 +1,4 @@
-.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke campaign-smoke perf examples doc clean bench bench-full
+.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke campaign-smoke slo-smoke perf examples doc clean bench bench-full
 
 # Worker processes for the experiment matrices; results are byte-identical
 # whatever the fan-out (the simulation runs in virtual time).
@@ -18,7 +18,7 @@ test:
 # traced runs (one solo, one two-process) produce valid Chrome JSON
 # covering every expected GC phase kind.
 ci:
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) campaign-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) campaign-smoke && $(MAKE) slo-smoke
 
 # Trace smoke: a small pressured run known (deterministically) to exercise
 # minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
@@ -64,6 +64,17 @@ campaign-smoke:
 	./_build/default/bin/bcgc.exe campaign run examples/campaign_smoke.json \
 	  -j 3 --journal /tmp/bcgc-ci-campaign-chaos.journal --chaos kill-workers --chaos-seed 11
 	cmp /tmp/bcgc-ci-campaign.journal.report.json /tmp/bcgc-ci-campaign-chaos.journal.report.json
+
+# SLO smoke: the quick request-serving matrix (shaped + flash load, three
+# collectors). `bench slo` self-validates the written report against the
+# bcgc-slo-report/1 schema (every cell's slo summary must round-trip)
+# before the file lands; the greps assert the percentile columns reached
+# the table and the schema tag reached the file.
+slo-smoke:
+	./_build/default/bin/bcgc.exe bench slo \
+	  --slo-out /tmp/bcgc-ci-slo.json | tee /tmp/bcgc-ci-slo.txt
+	grep -q "p999(ms)" /tmp/bcgc-ci-slo.txt
+	grep -q "bcgc-slo-report/1" /tmp/bcgc-ci-slo.json
 
 # Full wall-clock suite; refreshes the committed baseline at the repo root.
 perf:

@@ -119,6 +119,7 @@ let () =
   | "faults" -> Harness.Experiments.faults m
   | "trace" -> Harness.Experiments.trace_export m
   | "campaign" -> Harness.Experiments.campaign m
+  | "slo" -> Harness.Experiments.slo m
   | "all" -> Harness.Experiments.all m
   | "bechamel" -> run_bechamel ()
   | "perf" ->
@@ -142,6 +143,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown target %S (try table1 fig2 fig3 fig45 fig6 fig7 ablation \
-         ssd multiproc faults trace campaign perf all bechamel)\n"
+         ssd multiproc faults trace campaign slo perf all bechamel)\n"
         other;
       exit 1

@@ -95,26 +95,61 @@ let spec_file_arg =
   Arg.(
     value & opt (some string) None & info [ "spec-file" ] ~docv:"FILE" ~doc)
 
-let find_spec name =
-  match Workload.Benchmarks.find name with
-  | spec -> spec
-  | exception Not_found ->
-      Printf.eprintf "unknown workload %S; try `bcgc list'\n" name;
+let find_workload name =
+  match Workload.Catalog.find_opt name with
+  | Some i -> i.Workload.Catalog.params
+  | None ->
+      Printf.eprintf "unknown workload %S; available: %s\n" name
+        (String.concat ", " (Workload.Catalog.names ()));
       exit 1
 
-let resolve_spec workload spec_file =
+(* For the batch-only subcommands (minheap, trace-record). *)
+let find_spec name =
+  match find_workload name with
+  | Workload.Catalog.Batch_spec spec -> spec
+  | Workload.Catalog.Serving_spec _ ->
+      Printf.eprintf
+        "workload %S is a serving workload; this command takes a batch \
+         workload\n"
+        name;
+      exit 1
+
+let resolve_workload workload spec_file =
   match spec_file with
   | Some path -> (
-      try Workload.Spec.of_file path
+      try Workload.Catalog.Batch_spec (Workload.Spec.of_file path)
       with Failure msg | Sys_error msg ->
         Printf.eprintf "%s\n" msg;
         exit 1)
-  | None -> find_spec workload
+  | None -> find_workload workload
 
-let run_cmd collector workload spec_file heap_kb frames pin volume verbose
-    faults fault_seed verify trace_file timeline coworker =
-  let spec =
-    Workload.Spec.scale_volume (resolve_spec workload spec_file) volume
+let shape_arg =
+  let doc =
+    "Override a serving workload's load shape, e.g. 'fixed:1200', \
+     'rampup:200:2500:1.5', 'pausing:2000:0.25:0.25', \
+     'shaped:0=300,1=1800,2=400', 'diurnal:400:2200:1', \
+     'flash:600:3000:0.8:0.4'."
+  in
+  Arg.(value & opt (some string) None & info [ "shape" ] ~docv:"SPEC" ~doc)
+
+let run_cmd collector workload spec_file shape heap_kb frames pin volume
+    verbose faults fault_seed verify trace_file timeline coworker =
+  let wparams =
+    Workload.Catalog.scale_volume (resolve_workload workload spec_file) volume
+  in
+  let wparams =
+    match shape with
+    | None -> wparams
+    | Some s -> (
+        match Workload.Shapes.of_string s with
+        | shape -> (
+            try Workload.Catalog.with_shape shape wparams
+            with Invalid_argument msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 1)
+        | exception Failure msg ->
+            Printf.eprintf "bad --shape spec: %s\n" msg;
+            exit 1)
   in
   let heap_bytes = heap_kb * 1024 in
   let pressure =
@@ -130,18 +165,24 @@ let run_cmd collector workload spec_file heap_kb frames pin volume verbose
   in
   let module Plan = Harness.Run.Plan in
   let opt v f = match v with None -> Fun.id | Some x -> f x in
+  let shift_seed n = function
+    | Workload.Catalog.Batch_spec s ->
+        Workload.Catalog.Batch_spec
+          { s with Workload.Spec.seed = s.Workload.Spec.seed + n }
+    | Workload.Catalog.Serving_spec s ->
+        Workload.Catalog.Serving_spec
+          { s with Workload.Request.seed = s.Workload.Request.seed + n }
+  in
   let plan =
-    Plan.make ~collector ~spec ~heap_bytes
+    Plan.make_workload ~collector ~workload:wparams ~heap_bytes
     |> opt frames Plan.with_frames
     |> Plan.with_pressure pressure
     |> opt (resolve_faults faults) (Plan.with_faults ~seed:fault_seed)
     |> (if verify then Plan.with_verify else Fun.id)
     |> opt sink Plan.with_trace
     |> opt coworker (fun c plan ->
-           Plan.with_process ~collector:c
-             ~spec:
-               { spec with Workload.Spec.seed = spec.Workload.Spec.seed + 17 }
-             plan)
+           Plan.with_process_workload ~collector:c
+             ~workload:(shift_seed 17 wparams) plan)
   in
   let outcome = Harness.Run.exec plan in
   (* dump the trace for every outcome — a trace of a thrashed or failed
@@ -215,10 +256,17 @@ let list_cmd () =
   print_endline "collector ablation variants:";
   List.iter print_info
     (List.filter (fun i -> i.Harness.Registry.ablation) Harness.Registry.all);
-  print_endline "workloads:";
+  print_endline "workloads (batch):";
   List.iter
     (fun spec -> Format.printf "  %a@." Workload.Spec.pp spec)
-    Workload.Benchmarks.all;
+    Workload.Catalog.batch_specs;
+  print_endline "workloads (serving):";
+  List.iter
+    (fun (i : Workload.Catalog.info) ->
+      match i.Workload.Catalog.family with
+      | Workload.Catalog.Serving -> Format.printf "  %a@." Workload.Catalog.pp i
+      | Workload.Catalog.Batch -> ())
+    Workload.Catalog.all;
   0
 
 let minheap_cmd collector workload volume =
@@ -404,7 +452,7 @@ let bench_perf ~reps ~out =
       Printf.eprintf "bcgc bench perf: %s failed validation: %s\n" out msg;
       1
 
-let bench_cmd target full jobs perf_reps perf_out =
+let bench_cmd target full jobs perf_reps perf_out slo_out =
   let mode =
     if full then Harness.Experiments.Full else Harness.Experiments.Quick
   in
@@ -412,6 +460,7 @@ let bench_cmd target full jobs perf_reps perf_out =
   if target = "perf" then bench_perf ~reps:perf_reps ~out:perf_out
   else begin
   (match target with
+  | "slo" -> Harness.Experiments.slo ?out:slo_out mode
   | "table1" -> Harness.Experiments.table1 mode
   | "fig2" -> Harness.Experiments.figure2 mode
   | "fig3" -> Harness.Experiments.figure3 mode
@@ -567,8 +616,8 @@ let cmd_campaign =
 
 let run_t =
   Term.(
-    const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ heap_arg
-    $ frames_arg $ pin_arg $ volume_arg $ verbose_arg $ faults_arg
+    const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ shape_arg
+    $ heap_arg $ frames_arg $ pin_arg $ volume_arg $ verbose_arg $ faults_arg
     $ fault_seed_arg $ verify_arg $ trace_arg $ timeline_arg $ coworker_arg)
 
 let cmd_run =
@@ -631,12 +680,21 @@ let cmd_bench =
       & opt string Harness.Perf.default_output
       & info [ "perf-out" ] ~docv:"FILE" ~doc)
   in
+  let slo_out =
+    let doc =
+      "For the `slo' target: also write a bcgc-slo-report/1 JSON report to \
+       $(docv) (self-validated before the file stands)."
+    in
+    Arg.(value & opt (some string) None & info [ "slo-out" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Regenerate a paper table or figure, or (target `perf') run the \
-          wall-clock perf suite")
-    Term.(const bench_cmd $ target $ full $ jobs $ perf_reps $ perf_out)
+         "Regenerate a paper table or figure, run the request-serving SLO \
+          matrix (target `slo'), or run the wall-clock perf suite (target \
+          `perf')")
+    Term.(
+      const bench_cmd $ target $ full $ jobs $ perf_reps $ perf_out $ slo_out)
 
 let cmd_trace =
   let file =

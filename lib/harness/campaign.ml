@@ -32,6 +32,40 @@ let schema_version = "bcgc-campaign/1"
 let report_schema = "bcgc-campaign-report/1"
 
 (* ------------------------------------------------------------------ *)
+(* Workload grammar: NAME, or NAME@SHAPE to override a serving
+   workload's load shape (SHAPE per [Workload.Shapes.of_string]).       *)
+
+let split_workload w =
+  match String.index_opt w '@' with
+  | None -> (w, None)
+  | Some i ->
+      (String.sub w 0 i, Some (String.sub w (i + 1) (String.length w - i - 1)))
+
+let resolve_workload w =
+  let name, shape = split_workload w in
+  match Workload.Catalog.find_opt name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (known: %s)" name
+           (String.concat ", " (Workload.Catalog.names ())))
+  | Some info -> (
+      match shape with
+      | None -> Ok info.Workload.Catalog.params
+      | Some s -> (
+          match info.Workload.Catalog.family with
+          | Workload.Catalog.Batch ->
+              Error
+                (Printf.sprintf
+                   "workload %S: batch workloads take no @SHAPE override" w)
+          | Workload.Catalog.Serving -> (
+              match Workload.Shapes.of_string s with
+              | shape ->
+                  Ok (Workload.Catalog.with_shape shape
+                        info.Workload.Catalog.params)
+              | exception Failure m ->
+                  Error (Printf.sprintf "workload %S: %s" w m))))
+
+(* ------------------------------------------------------------------ *)
 (* Pressure-schedule grammar                                           *)
 
 let pressure_of_string s =
@@ -177,9 +211,9 @@ let of_json j =
     if workloads = [] then failf "workloads: must not be empty";
     List.iter
       (fun w ->
-        match Workload.Benchmarks.find w with
-        | (_ : Workload.Spec.t) -> ()
-        | exception Not_found -> failf "unknown workload %S" w)
+        match resolve_workload w with
+        | Ok (_ : Workload.Catalog.params) -> ()
+        | Error e -> failf "%s" e)
       workloads;
     check_distinct "workloads" Fun.id workloads;
     let volume = Option.value (opt_num j "volume") ~default:1.0 in
@@ -301,24 +335,29 @@ let cells t =
     (fun collector ->
       List.iter
         (fun wname ->
-          let base = Workload.Benchmarks.find wname in
-          let spec =
+          let base =
+            match resolve_workload wname with
+            | Ok p -> p
+            | Error e -> invalid_arg e
+          in
+          let workload =
             if t.volume = 1.0 then base
-            else Workload.Spec.scale_volume base t.volume
+            else Workload.Catalog.scale_volume base t.volume
           in
           List.iter
             (fun mult ->
               let heap_bytes =
                 int_of_float
                   (mult
-                  *. float_of_int base.Workload.Spec.paper_min_heap_bytes)
+                  *. float_of_int (Workload.Catalog.base_heap_bytes base))
               in
               List.iter
                 (fun fstr ->
                   List.iter
                     (fun pstr ->
                       let plan =
-                        Run.Plan.make ~collector ~spec ~heap_bytes
+                        Run.Plan.make_workload ~collector ~workload
+                          ~heap_bytes
                       in
                       let plan =
                         match t.frames_fraction with

@@ -128,7 +128,7 @@ let table1 mode =
   Printf.printf "\n== Table 1: benchmark statistics (all bytes = paper/8, %s mode) ==\n"
     p.label;
   let min_heaps =
-    min_heap_probe ~volume_scale:p.minheap_volume Workload.Benchmarks.all
+    min_heap_probe ~volume_scale:p.minheap_volume Workload.Catalog.batch_specs
   in
   let rows =
     List.map2
@@ -146,7 +146,7 @@ let table1 mode =
                 (float_of_int b /. float_of_int spec.Spec.paper_min_heap_bytes)
           | None -> "-");
         ])
-      Workload.Benchmarks.all min_heaps
+      Workload.Catalog.batch_specs min_heaps
   in
   Table.print_table
     ~header:
@@ -176,8 +176,8 @@ let figure2 mode =
     List.map2
       (fun spec measured ->
         (spec, Option.value measured ~default:spec.Spec.paper_min_heap_bytes))
-      Workload.Benchmarks.all
-      (min_heap_probe ~volume_scale:p.minheap_volume Workload.Benchmarks.all)
+      Workload.Catalog.batch_specs
+      (min_heap_probe ~volume_scale:p.minheap_volume Workload.Catalog.batch_specs)
   in
   (* one flat fan-out: multiplier × benchmark × collector *)
   let plans =
@@ -843,7 +843,7 @@ let faults mode =
               |> Plan.with_faults fault_spec
               |> Plan.with_verify ))
           collectors)
-      Workload.Benchmarks.all
+      Workload.Catalog.batch_specs
   in
   let outcomes = run_cells (List.map snd cells) in
   Printf.printf
@@ -946,6 +946,230 @@ let campaign mode =
       (* unreachable without stop_after *)
       Printf.printf "campaign interrupted\n"
   | Error e -> Printf.printf "campaign error: %s\n" e
+
+(* ---------------------------------------------------------------- *)
+(* Beyond the paper: request-serving SLO matrix                       *)
+
+let slo_collectors = [ "BC"; "GenMS"; "GenCopy" ]
+
+(* A serving cell under paging: physical memory holds [available_frac]
+   of the heap for the whole serving window (pinned at progress 0, while
+   only the freshly-built cache is resident — so the pin itself evicts
+   nothing the mutator will touch again). From then on the pages that
+   spill out are the coldest ones: request garbage the collector has
+   moved past. Bookmarking discards or skips those; a whole-heap
+   collection has to fault every one of them back. *)
+let slo_plan ~collector ~workload ~available_frac ~mult =
+  let heap_bytes =
+    int_of_float
+      (mult *. float_of_int (Workload.Catalog.base_heap_bytes workload))
+  in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 128 in
+  let available =
+    int_of_float (available_frac *. float_of_int heap_pages)
+  in
+  let pin = max 0 (frames - available) in
+  Plan.make_workload ~collector ~workload ~heap_bytes
+  |> Plan.with_frames frames
+  (* fine slices: the pressure schedule is checked between slices, and
+     the pin must land at the start of the window (cache hot, nothing
+     evictable) rather than midway through it *)
+  |> Plan.with_ops_per_slice 16
+  |> Plan.with_pressure
+       (Pressure.Steady { after_progress = 0.0; pin_pages = pin })
+
+let slo_summary = function
+  | Metrics.Completed m -> m.Metrics.serving
+  | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> None
+
+let ms ns = float_of_int ns /. 1e6
+
+let slo_report_schema = "bcgc-slo-report/1"
+
+(* The report is the bench's machine-readable artifact; it must parse
+   back (each cell's summary through [Slo.of_json]) before we let the
+   file stand — the smoke target relies on this self-validation. *)
+let validate_slo_report text =
+  let open Telemetry.Json in
+  match of_string_opt text with
+  | None -> Error "report is not valid JSON"
+  | Some j -> (
+      match Option.bind (member "schema" j) str_opt with
+      | Some s when s = slo_report_schema -> (
+          match Option.bind (member "cells" j) to_list_opt with
+          | None -> Error "report has no cells array"
+          | Some cells ->
+              let bad =
+                List.filter
+                  (fun c ->
+                    match member "slo" c with
+                    | None -> false (* non-completed cell: no summary *)
+                    | Some s -> Workload.Slo.of_json s = None)
+                  cells
+              in
+              if bad = [] then Ok (List.length cells)
+              else Error "a cell's slo summary does not round-trip")
+      | Some s -> Error (Printf.sprintf "unexpected schema %S" s)
+      | None -> Error "report has no schema field")
+
+let slo ?out mode =
+  let p = params mode in
+  let volume, shapes, mults, available_frac =
+    match mode with
+    | Quick -> (0.35, [ "srv_shaped"; "srv_flash" ], [ 2.0 ], 0.62)
+    | Full ->
+        ( 1.0,
+          [ "srv_shaped"; "srv_flash"; "srv_diurnal"; "srv_pausing" ],
+          [ 1.5; 2.0; 3.0 ],
+          0.62 )
+  in
+  let workload_of name =
+    match Workload.Catalog.find_opt name with
+    | None -> invalid_arg ("Experiments.slo: unknown workload " ^ name)
+    | Some i ->
+        if volume = 1.0 then i.Workload.Catalog.params
+        else Workload.Catalog.scale_volume i.Workload.Catalog.params volume
+  in
+  let cells =
+    List.concat_map
+      (fun wname ->
+        let workload = workload_of wname in
+        List.concat_map
+          (fun mult ->
+            List.map
+              (fun collector ->
+                ( (wname, mult, collector),
+                  slo_plan ~collector ~workload ~available_frac ~mult ))
+              slo_collectors)
+          mults)
+      shapes
+  in
+  let outcomes = run_cells (List.map snd cells) in
+  let tagged = List.combine (List.map fst cells) outcomes in
+  Printf.printf
+    "\n\
+     == Beyond the paper: request-serving SLO matrix (%.0f%% of heap \
+     available, %s mode) ==\n"
+    (available_frac *. 100.) p.label;
+  Table.print_table
+    ~header:
+      [
+        "workload"; "x"; "collector"; "p50(ms)"; "p99(ms)"; "p999(ms)";
+        "slo(ms)"; "viol"; "windows"; "faults";
+      ]
+    ~rows:
+      (List.map
+         (fun ((wname, mult, collector), outcome) ->
+           match slo_summary outcome with
+           | Some s ->
+               [
+                 wname;
+                 Printf.sprintf "%g" mult;
+                 collector;
+                 Printf.sprintf "%.2f" (ms s.Workload.Slo.p50_ns);
+                 Printf.sprintf "%.2f" (ms s.Workload.Slo.p99_ns);
+                 Printf.sprintf "%.2f" (ms s.Workload.Slo.p999_ns);
+                 Printf.sprintf "%.0f" (ms s.Workload.Slo.slo_ns);
+                 string_of_int s.Workload.Slo.violations;
+                 string_of_int (List.length s.Workload.Slo.windows);
+                 (match outcome with
+                 | Metrics.Completed m -> string_of_int m.Metrics.major_faults
+                 | _ -> "-");
+               ]
+           | None ->
+               [
+                 wname; Printf.sprintf "%g" mult; collector;
+                 "-"; "-"; "-"; "-"; "-"; "-";
+                 Metrics.outcome_label outcome;
+               ])
+         tagged);
+  (* Configurations where bookmarking holds the tail under paging and a
+     whole-heap baseline does not — the experiment's point. *)
+  let configs =
+    List.concat_map
+      (fun wname -> List.map (fun mult -> (wname, mult)) mults)
+      shapes
+  in
+  let verdicts =
+    List.filter_map
+      (fun (wname, mult) ->
+        let meets collector =
+          List.exists
+            (fun ((w, m, c), o) ->
+              w = wname && m = mult && c = collector
+              &&
+              match slo_summary o with
+              | Some s -> Workload.Slo.meets_p999 s
+              | None -> false)
+            tagged
+        in
+        let holders = List.filter meets slo_collectors in
+        let violators =
+          List.filter (fun c -> not (meets c)) slo_collectors
+        in
+        if List.mem "BC" holders && violators <> [] then
+          Some (wname, mult, holders, violators)
+        else None)
+      configs
+  in
+  List.iter
+    (fun (wname, mult, holders, violators) ->
+      Printf.printf "%s x%g: p999 SLO met by %s; violated by %s\n" wname
+        mult
+        (String.concat ", " holders)
+        (String.concat ", " violators))
+    verdicts;
+  if verdicts = [] then
+    Printf.printf "no configuration separated the collectors on p999\n";
+  match out with
+  | None -> ()
+  | Some path ->
+      let open Telemetry.Json in
+      let cell_json ((wname, mult, collector), outcome) =
+        Obj
+          ([
+             ("workload", Str wname);
+             ("heap_multiplier", Num mult);
+             ("collector", Str collector);
+             ("outcome", Str (Metrics.outcome_label outcome));
+           ]
+          @
+          match slo_summary outcome with
+          | Some s -> [ ("slo", Workload.Slo.to_json s) ]
+          | None -> [])
+      in
+      let report =
+        Obj
+          [
+            ("schema", Str slo_report_schema);
+            ("mode", Str p.label);
+            ("available_frac", Num available_frac);
+            ("cells", List (List.map cell_json tagged));
+            ( "holds_p999",
+              List
+                (List.map
+                   (fun (wname, mult, holders, violators) ->
+                     Obj
+                       [
+                         ("workload", Str wname);
+                         ("heap_multiplier", Num mult);
+                         ("meets", List (List.map (fun c -> Str c) holders));
+                         ( "violates",
+                           List (List.map (fun c -> Str c) violators) );
+                       ])
+                   verdicts) );
+          ]
+      in
+      let text = to_string report in
+      (match validate_slo_report text with
+      | Ok n -> Printf.printf "slo report: %d cells, self-validated\n" n
+      | Error e -> failwith ("slo report failed self-validation: " ^ e));
+      let oc = open_out path in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path
 
 let all mode =
   table1 mode;

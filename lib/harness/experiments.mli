@@ -88,6 +88,17 @@ val trace_export : mode -> unit
     the JSON embeds the cell's {!Metrics.to_json}, the single
     serialisation path. Not part of {!all}. *)
 
+val slo : ?out:string -> mode -> unit
+(** Beyond the paper: request-serving tail latency under paging. Runs
+    the serving workloads (shaped and flash arrival shapes in [Quick];
+    plus diurnal and pausing, over three heap multipliers, in [Full])
+    against {BC, GenMS, GenCopy} with 55% of the heap in physical
+    memory; prints p50/p99/p999 request latency, SLO-violation counts
+    and violation windows per cell, then the configurations where BC
+    meets the p999 bound that a whole-heap collector violates. [out]
+    writes a self-validated ["bcgc-slo-report/1"] JSON report. Not part
+    of {!all}. *)
+
 val campaign : mode -> unit
 (** Demo of the supervised {!Campaign} runner: a 16-cell sweep
     ({BC, GenMS} × jess × two heaps × {no faults, a fault plan} × {no

@@ -11,9 +11,10 @@ type process = {
   heap_bytes : int;
   share : int;
   priority : int;
+  trace : Telemetry.Sink.t option;  (* the machine's sink, for serving *)
   mutable collector : Gc_common.Collector.t option;
-  mutable mutator : Workload.Mutator.t option;
-  mutable spec : Workload.Spec.t option;
+  mutable driver : Workload.Driver.t option;
+  mutable workload : Workload.Catalog.params option;
   mutable finish_ns : int option;
   mutable window_start_ns : int;
 }
@@ -73,9 +74,10 @@ let spawn ?(share = 1) ?(priority = 0) t ~name ~heap_bytes =
       heap_bytes;
       share;
       priority;
+      trace = t.trace;
       collector = None;
-      mutator = None;
-      spec = None;
+      driver = None;
+      workload = None;
       finish_ns = None;
       window_start_ns = Vmsim.Clock.now t.clock;
     }
@@ -102,19 +104,22 @@ let collector p =
       invalid_arg
         (Printf.sprintf "Machine: process %S has no collector" p.name)
 
-let load p spec =
+let load p workload =
   let c = collector p in
   p.window_start_ns <- Vmsim.Clock.now (Heapsim.Heap.clock p.heap);
-  p.spec <- Some spec;
+  p.workload <- Some workload;
   p.finish_ns <- None;
-  p.mutator <- Some (Workload.Mutator.create spec c)
+  p.driver <- Some (Workload.Catalog.driver ?sink:p.trace workload c)
 
-let warm_up p ~iterations ~ops_per_slice spec =
+let load_spec p spec = load p (Workload.Catalog.Batch_spec spec)
+
+let warm_up p ~iterations ~ops_per_slice workload =
   let c = collector p in
   for i = 2 to iterations do
     ignore i;
-    let warm = Workload.Mutator.create spec c in
-    while not (Workload.Mutator.step warm ~ops:ops_per_slice) do () done;
+    (* warm iterations are unmeasured: no per-request telemetry *)
+    let warm = Workload.Catalog.driver workload c in
+    while not (warm.Workload.Driver.step ~ops:ops_per_slice) do () done;
     c.Gc_common.Collector.collect ()
   done
 
@@ -129,13 +134,18 @@ let finish_ns p = p.finish_ns
 let window_start_ns p = p.window_start_ns
 
 let allocated_bytes p =
-  match p.mutator with
-  | Some m -> Workload.Mutator.allocated_bytes m
+  match p.driver with
+  | Some d -> d.Workload.Driver.allocated_bytes ()
   | None -> 0
 
-let mutator_exn p =
-  match p.mutator with
-  | Some m -> m
+let serving_summary p =
+  match p.driver with
+  | Some d -> d.Workload.Driver.serving ()
+  | None -> None
+
+let driver_exn p =
+  match p.driver with
+  | Some d -> d
   | None ->
       invalid_arg
         (Printf.sprintf "Machine.run: process %S has no workload loaded"
@@ -144,7 +154,7 @@ let mutator_exn p =
 (* One slice of one process; records its finish time on completion. *)
 let step_slice t ~ops_per_slice p =
   if p.finish_ns = None then begin
-    let finished = Workload.Mutator.step (mutator_exn p) ~ops:ops_per_slice in
+    let finished = (driver_exn p).Workload.Driver.step ~ops:ops_per_slice in
     if finished then p.finish_ns <- Some (Vmsim.Clock.now t.clock)
   end
 
@@ -152,11 +162,9 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
     ?event_cap t =
   (match t.procs with
   | [] -> invalid_arg "Machine.run: no processes"
-  | ps -> List.iter (fun p -> ignore (mutator_exn p)) ps);
+  | ps -> List.iter (fun p -> ignore (driver_exn p)) ps);
   let first = List.hd t.procs in
-  let first_spec =
-    match first.spec with Some s -> s | None -> assert false
-  in
+  let first_driver = driver_exn first in
   let signalmem = Workload.Signalmem.create t.vmm t.address_space in
   let ramp_start = ref None in
   let unseen_spikes =
@@ -164,10 +172,7 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
   in
   let apply_pressure () =
     (* drive the schedule off the first process's progress *)
-    let prog =
-      float_of_int (allocated_bytes first)
-      /. float_of_int (max 1 first_spec.Workload.Spec.total_alloc_bytes)
-    in
+    let prog = first_driver.Workload.Driver.progress () in
     let now = Vmsim.Clock.now t.clock in
     (match !ramp_start with
     | None -> (

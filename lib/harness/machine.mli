@@ -93,12 +93,22 @@ val set_collector : process -> Gc_common.Collector.t -> unit
 val collector : process -> Gc_common.Collector.t
 (** Raises [Invalid_argument] if no collector was attached. *)
 
-val load : process -> Workload.Spec.t -> unit
+val load : process -> Workload.Catalog.params -> unit
 (** Open the process's measurement window at the current virtual time,
-    then create its mutator over the attached collector. May be called
+    then build its workload driver (batch mutator or serving request
+    loop) over the attached collector. A serving driver inherits the
+    machine's telemetry sink for per-request events. May be called
     again to run a second workload on the same (warmed) process. *)
 
-val warm_up : process -> iterations:int -> ops_per_slice:int -> Workload.Spec.t -> unit
+val load_spec : process -> Workload.Spec.t -> unit
+(** [load] on a bare batch spec. *)
+
+val warm_up :
+  process ->
+  iterations:int ->
+  ops_per_slice:int ->
+  Workload.Catalog.params ->
+  unit
 (** The paper's §5.1 compile-and-reset methodology: run the workload
     [iterations - 1] times to completion, with a full collection after
     each, so the measured run starts on a warmed, pre-fragmented
@@ -116,7 +126,11 @@ val finish_ns : process -> int option
 val window_start_ns : process -> int
 
 val allocated_bytes : process -> int
-(** Through the current mutator; 0 before {!load}. *)
+(** Through the current workload driver; 0 before {!load}. *)
+
+val serving_summary : process -> Workload.Slo.summary option
+(** Latency percentiles and SLO-violation windows accumulated by a
+    serving workload; [None] before {!load} or for batch workloads. *)
 
 val run :
   ?pressure:Workload.Pressure.t ->

@@ -25,6 +25,7 @@ type t = {
   allocated_bytes : int;
   pauses : (int * int) list;
   faults : Faults.Fault_plan.stats option;
+  serving : Workload.Slo.summary option;
 }
 
 type failure = {
@@ -45,8 +46,8 @@ let elapsed_s t = Vmsim.Clock.ns_to_s t.elapsed_ns
 (* Derive a result purely from immutable snapshots — a cell can be built
    for any interval by [diff]ing two snapshots, and the collector's
    mutable counters are read exactly once. *)
-let of_snapshots ?faults ~collector ~workload ~heap_bytes ~gc ~vm ~start_ns
-    ~end_ns () =
+let of_snapshots ?faults ?serving ~collector ~workload ~heap_bytes ~gc ~vm
+    ~start_ns ~end_ns () =
   {
     collector;
     workload;
@@ -74,16 +75,18 @@ let of_snapshots ?faults ~collector ~workload ~heap_bytes ~gc ~vm ~start_ns
         (fun p -> (p.Gc_stats.start_ns, p.Gc_stats.duration_ns))
         gc.Gc_stats.Snapshot.pauses;
     faults;
+    serving;
   }
 
-let of_run ?faults ~collector ~workload ~start_ns ~end_ns () =
+let of_run ?faults ?serving ~collector ~workload ~start_ns ~end_ns () =
   let gc = Gc_stats.snapshot collector.Gc_common.Collector.stats in
   let vm =
     Vmsim.Vm_stats.snapshot
       (Vmsim.Process.stats
          (Heapsim.Heap.process collector.Gc_common.Collector.heap))
   in
-  of_snapshots ?faults ~collector:collector.Gc_common.Collector.name ~workload
+  of_snapshots ?faults ?serving ~collector:collector.Gc_common.Collector.name
+    ~workload
     ~heap_bytes:
       collector.Gc_common.Collector.config.Gc_common.Gc_config.heap_bytes
     ~gc ~vm ~start_ns ~end_ns ()
@@ -120,8 +123,15 @@ let fault_json (s : Faults.Fault_plan.stats) =
     ]
 
 let to_json t =
+  (* the "serving" key is conditional: batch cells serialise exactly as
+     they always have, which the bit-identity golden matrix depends on *)
+  let serving =
+    match t.serving with
+    | None -> []
+    | Some s -> [ ("serving", Workload.Slo.to_json s) ]
+  in
   Json.Obj
-    [
+    ([
       ("collector", Json.Str t.collector);
       ("workload", Json.Str t.workload);
       ("heap_bytes", Json.int t.heap_bytes);
@@ -151,6 +161,7 @@ let to_json t =
       ( "faults",
         match t.faults with None -> Json.Null | Some s -> fault_json s );
     ]
+    @ serving)
 
 (* Whole-outcome serialisation, for the campaign journal and its
    consolidated reports: every constructor round-trips, and Failed
@@ -190,10 +201,13 @@ let pp ppf t =
     t.full t.compacting t.major_faults
     t.gc_major_faults t.evictions t.discards t.relinquished;
   if t.failsafes > 0 then Format.fprintf ppf " failsafe=%d" t.failsafes;
-  match t.faults with
+  (match t.faults with
   | Some stats when Faults.Fault_plan.injected_total stats > 0 ->
       Format.fprintf ppf " [%a]" Faults.Fault_plan.pp_stats stats
-  | Some _ | None -> ()
+  | Some _ | None -> ());
+  match t.serving with
+  | Some s -> Format.fprintf ppf "@   serving: %a" Workload.Slo.pp s
+  | None -> ()
 
 let pp_outcome ppf = function
   | Completed m -> pp ppf m

@@ -28,6 +28,10 @@ type t = {
   pauses : (int * int) list;  (** (start, duration), for BMU *)
   faults : Faults.Fault_plan.stats option;
       (** what the fault plan injected during the run, when one ran *)
+  serving : Workload.Slo.summary option;
+      (** request-latency percentiles and SLO-violation windows; only
+          for serving workloads — batch cells serialise exactly as
+          before *)
 }
 
 type failure = {
@@ -54,6 +58,7 @@ val outcome_label : outcome -> string
 
 val of_snapshots :
   ?faults:Faults.Fault_plan.stats ->
+  ?serving:Workload.Slo.summary ->
   collector:string ->
   workload:string ->
   heap_bytes:int ->
@@ -68,6 +73,7 @@ val of_snapshots :
 
 val of_run :
   ?faults:Faults.Fault_plan.stats ->
+  ?serving:Workload.Slo.summary ->
   collector:Gc_common.Collector.t ->
   workload:string ->
   start_ns:int ->

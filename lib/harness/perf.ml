@@ -190,9 +190,7 @@ let bench_write_ref () = ref_bench ~write:true ()
 
 let perf_spec =
   {
-    (Workload.Spec.scale_volume
-       (Workload.Benchmarks.find "_201_compress")
-       0.05)
+    (Workload.Spec.scale_volume Workload.Benchmarks.compress 0.05)
     with
     Workload.Spec.immortal_bytes = 300_000;
     window_bytes = 120_000;

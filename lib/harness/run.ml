@@ -10,7 +10,7 @@ let ample_frames ~heap_bytes =
 module Plan = struct
   type proc = {
     collector : string;
-    spec : Workload.Spec.t;
+    workload : Workload.Catalog.params;
     heap_bytes : int;
     share : int;
     priority : int;
@@ -31,9 +31,9 @@ module Plan = struct
     event_cap : int option;
   }
 
-  let make ~collector ~spec ~heap_bytes =
+  let make_workload ~collector ~workload ~heap_bytes =
     {
-      procs = [ { collector; spec; heap_bytes; share = 1; priority = 0 } ];
+      procs = [ { collector; workload; heap_bytes; share = 1; priority = 0 } ];
       frames = None;
       pressure = Workload.Pressure.None_;
       ops_per_slice = default_slice;
@@ -46,6 +46,22 @@ module Plan = struct
       policy = Machine.Round_robin;
       event_cap = None;
     }
+
+  let make ~collector ~spec ~heap_bytes =
+    make_workload ~collector ~workload:(Workload.Catalog.Batch_spec spec)
+      ~heap_bytes
+
+  let of_workload ~collector ~workload ~heap_bytes =
+    make_workload ~collector ~workload:workload.Workload.Catalog.params
+      ~heap_bytes
+
+  let with_workload_params workload t =
+    match t.procs with
+    | p :: rest -> { t with procs = { p with workload } :: rest }
+    | [] -> assert false
+
+  let with_workload info t =
+    with_workload_params info.Workload.Catalog.params t
 
   let with_frames frames t = { t with frames = Some frames }
 
@@ -84,8 +100,8 @@ module Plan = struct
     | p :: rest -> { t with procs = { p with priority } :: rest }
     | [] -> assert false
 
-  let with_process ?(share = 1) ?(priority = 0) ?heap_bytes ~collector ~spec t
-      =
+  let with_process_workload ?(share = 1) ?(priority = 0) ?heap_bytes
+      ~collector ~workload t =
     let heap_bytes =
       match heap_bytes with
       | Some b -> b
@@ -93,8 +109,13 @@ module Plan = struct
     in
     {
       t with
-      procs = t.procs @ [ { collector; spec; heap_bytes; share; priority } ];
+      procs =
+        t.procs @ [ { collector; workload; heap_bytes; share; priority } ];
     }
+
+  let with_process ?share ?priority ?heap_bytes ~collector ~spec t =
+    with_process_workload ?share ?priority ?heap_bytes ~collector
+      ~workload:(Workload.Catalog.Batch_spec spec) t
 
   let procs t = t.procs
 
@@ -104,7 +125,18 @@ module Plan = struct
 
   let collector t = (primary t).collector
 
-  let spec t = (primary t).spec
+  let workload t = (primary t).workload
+
+  let workload_name t = Workload.Catalog.params_name (workload t)
+
+  let spec t =
+    match (primary t).workload with
+    | Workload.Catalog.Batch_spec s -> s
+    | Workload.Catalog.Serving_spec s ->
+        invalid_arg
+          (Printf.sprintf
+             "Plan.spec: %S is a serving workload; use Plan.workload"
+             s.Workload.Request.name)
 
   let heap_bytes t = (primary t).heap_bytes
 
@@ -139,6 +171,24 @@ module Plan = struct
         s.array_frac s.nrefs_mean s.mutation_rate s.access_rate
         s.cold_access_frac s.paper_min_heap_bytes s.seed
     in
+    (* The serving encoding is new in bcgc-plan/1 and cannot collide
+       with the batch one (no batch spec name contains "serving:"); the
+       batch encoding is byte-identical to the historical format, so
+       every pre-existing digest — hence every campaign journal cell
+       key — is preserved. *)
+    let serving_fields (s : Workload.Request.spec) =
+      Printf.bprintf b
+        "serving:%s;%s;%d;%d;%d;%.17g;%d;%d;%d;%d;%d;%d;%d"
+        s.Workload.Request.name
+        (Workload.Shapes.to_string s.shape)
+        s.duration_ns s.req_alloc_bytes s.req_mean_size s.session_frac
+        s.cache_bytes s.cache_entry_size s.cache_reads s.slo_ns s.window_ns
+        s.base_heap_bytes s.seed
+    in
+    let workload_fields = function
+      | Workload.Catalog.Batch_spec s -> spec_fields s
+      | Workload.Catalog.Serving_spec s -> serving_fields s
+    in
     let rec pressure p =
       match p with
       | Workload.Pressure.None_ -> Buffer.add_string b "none"
@@ -163,7 +213,7 @@ module Plan = struct
     List.iter
       (fun p ->
         Printf.bprintf b "{%s|" p.collector;
-        spec_fields p.spec;
+        workload_fields p.workload;
         Printf.bprintf b "|%d|%d|%d}" p.heap_bytes p.share p.priority)
       t.procs;
     Printf.bprintf b "|frames=%d|slice=%d|iters=%d" (frames t)
@@ -238,8 +288,9 @@ let exec_all (p : Plan.t) =
         | Some c -> (
             try
               Some
-                (Metrics.of_run ?faults:(fault_stats ()) ~collector:c
-                   ~workload:pr.Plan.spec.Workload.Spec.name
+                (Metrics.of_run ?faults:(fault_stats ())
+                   ?serving:(Machine.serving_summary mp) ~collector:c
+                   ~workload:(Workload.Catalog.params_name pr.Plan.workload)
                    ~start_ns:(Machine.window_start_ns mp)
                    ~end_ns:(Vmsim.Clock.now clock) ())
             with _ -> None))
@@ -254,7 +305,7 @@ let exec_all (p : Plan.t) =
     List.iter
       (fun ((pr : Plan.proc), mp) ->
         Machine.warm_up mp ~iterations:p.Plan.iterations
-          ~ops_per_slice:p.Plan.ops_per_slice pr.Plan.spec)
+          ~ops_per_slice:p.Plan.ops_per_slice pr.Plan.workload)
       pairs;
     if p.Plan.iterations > 1 then begin
       (* measure the final iteration only *)
@@ -263,7 +314,7 @@ let exec_all (p : Plan.t) =
       Option.iter Telemetry.Sink.clear p.Plan.trace
     end;
     List.iter
-      (fun ((pr : Plan.proc), mp) -> Machine.load mp pr.Plan.spec)
+      (fun ((pr : Plan.proc), mp) -> Machine.load mp pr.Plan.workload)
       pairs;
     Machine.run
       ~pressure:(effective_pressure p plan)
@@ -282,8 +333,9 @@ let exec_all (p : Plan.t) =
         in
         Metrics.Completed
           (Metrics.of_run ?faults:(fault_stats ())
+             ?serving:(Machine.serving_summary mp)
              ~collector:(Machine.collector mp)
-             ~workload:pr.Plan.spec.Workload.Spec.name
+             ~workload:(Workload.Catalog.params_name pr.Plan.workload)
              ~start_ns:(Machine.window_start_ns mp) ~end_ns ()))
       pairs
   with
@@ -358,7 +410,7 @@ let plan_of_setup s =
       [
         {
           Plan.collector = s.collector;
-          spec = s.spec;
+          workload = Workload.Catalog.Batch_spec s.spec;
           heap_bytes = s.heap_bytes;
           share = 1;
           priority = 0;

@@ -21,8 +21,8 @@
 
 module Plan : sig
   type proc = private {
-    collector : string;  (** registry name *)
-    spec : Workload.Spec.t;
+    collector : string;  (** collector registry name *)
+    workload : Workload.Catalog.params;  (** batch spec or serving spec *)
     heap_bytes : int;
     share : int;  (** slice weight under [Proportional] *)
     priority : int;  (** ordering under [Priority]; higher wins *)
@@ -31,9 +31,27 @@ module Plan : sig
   type t
 
   val make : collector:string -> spec:Workload.Spec.t -> heap_bytes:int -> t
-  (** A single-process plan with the defaults: ample frames (no
+  (** A single-process batch plan with the defaults: ample frames (no
       pressure), no faults, one iteration, no verification, no trace,
       round-robin scheduling. *)
+
+  val make_workload :
+    collector:string ->
+    workload:Workload.Catalog.params ->
+    heap_bytes:int ->
+    t
+  (** {!make}, generalised over both workload families. *)
+
+  val of_workload :
+    collector:string -> workload:Workload.Catalog.info -> heap_bytes:int -> t
+  (** {!make_workload} on a registry entry — plans name workloads the
+      same way they name collectors. *)
+
+  val with_workload : Workload.Catalog.info -> t -> t
+  (** Replace the {e primary} process's workload with a registry
+      entry's. *)
+
+  val with_workload_params : Workload.Catalog.params -> t -> t
 
   val with_frames : int -> t -> t
   (** Physical memory, in pages. Default: room for every process's heap
@@ -92,10 +110,21 @@ module Plan : sig
     spec:Workload.Spec.t ->
     t ->
     t
-  (** Add another mutator process to the machine. [heap_bytes] defaults
-      to the primary's. Processes may use different collectors — each
-      gets its own collector instance and heap; they share the clock,
-      the frame pool and the swap device. *)
+  (** Add another batch mutator process to the machine. [heap_bytes]
+      defaults to the primary's. Processes may use different collectors
+      — each gets its own collector instance and heap; they share the
+      clock, the frame pool and the swap device. *)
+
+  val with_process_workload :
+    ?share:int ->
+    ?priority:int ->
+    ?heap_bytes:int ->
+    collector:string ->
+    workload:Workload.Catalog.params ->
+    t ->
+    t
+  (** {!with_process} over either family — e.g. a serving process
+      contended by a batch cohabitant. *)
 
   val procs : t -> proc list
   (** Primary first, in scheduling order. *)
@@ -107,8 +136,14 @@ module Plan : sig
   val collector : t -> string
   (** Of the primary process. *)
 
-  val spec : t -> Workload.Spec.t
+  val workload : t -> Workload.Catalog.params
   (** Of the primary process. *)
+
+  val workload_name : t -> string
+
+  val spec : t -> Workload.Spec.t
+  (** Of the primary process; raises [Invalid_argument] when it runs a
+      serving workload — use {!workload}. *)
 
   val heap_bytes : t -> int
   (** Of the primary process. *)

@@ -122,7 +122,9 @@ let injection_name = function
      Fault_injected             a = injection code         b = page (or 0)
      Pressure_step              a = pinned pages now       b = delta (+/-)
      Gauge_resident             a = resident frames        b = free frames
-     Proc_progress              a = owner pid              b = allocated bytes *)
+     Proc_progress              a = owner pid              b = allocated bytes
+     Request_arrival            a = request index          b = owner pid
+     Request_done               a = request index          b = latency ns *)
 type kind =
   | Phase_begin
   | Phase_end
@@ -142,6 +144,8 @@ type kind =
   | Pressure_step
   | Gauge_resident
   | Proc_progress
+  | Request_arrival
+  | Request_done
 
 let kind_code = function
   | Phase_begin -> 0
@@ -162,14 +166,16 @@ let kind_code = function
   | Pressure_step -> 15
   | Gauge_resident -> 16
   | Proc_progress -> 17
+  | Request_arrival -> 18
+  | Request_done -> 19
 
-let kind_count = 18
+let kind_count = 20
 
 let all_kinds =
   [ Phase_begin; Phase_end; Alloc_slice; Eviction_notice; Made_resident;
     Major_fault; Minor_fault; Protection_fault; Eviction; Forced_eviction;
     Discard; Relinquish; Swap_read; Swap_write; Fault_injected; Pressure_step;
-    Gauge_resident; Proc_progress ]
+    Gauge_resident; Proc_progress; Request_arrival; Request_done ]
 
 let kind_name = function
   | Phase_begin -> "phase-begin"
@@ -190,6 +196,8 @@ let kind_name = function
   | Pressure_step -> "pressure-step"
   | Gauge_resident -> "gauge-resident"
   | Proc_progress -> "proc-progress"
+  | Request_arrival -> "request-arrival"
+  | Request_done -> "request-done"
 
 (* Decoded view handed to consumers (exporters, summaries, tests). *)
 type t = { ts_ns : int; kind : kind; a : int; b : int }
@@ -206,4 +214,6 @@ let pp ppf e =
   | Pressure_step -> Format.fprintf ppf " pinned=%d delta=%+d" e.a e.b
   | Gauge_resident -> Format.fprintf ppf " resident=%d free=%d" e.a e.b
   | Proc_progress -> Format.fprintf ppf " pid=%d bytes=%d" e.a e.b
+  | Request_arrival -> Format.fprintf ppf " req=%d pid=%d" e.a e.b
+  | Request_done -> Format.fprintf ppf " req=%d latency=%dns" e.a e.b
   | _ -> Format.fprintf ppf " page=%d pid=%d" e.a e.b

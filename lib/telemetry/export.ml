@@ -73,6 +73,25 @@ let chrome_event (e : Event.t) =
           ("args", Json.Obj [ ("bytes", Json.int e.Event.b) ]);
         ]
   | Event.Fault_injected -> instant "fault" [ ("page", Json.int e.Event.b) ]
+  | Event.Request_arrival -> instant "srv" [ ("req", Json.int e.Event.a) ]
+  | Event.Request_done ->
+      (* b carries the latency, not a pid: book it on pid 0 *)
+      Json.Obj
+        [
+          ("name", Json.Str "request-done");
+          ("cat", Json.Str "srv");
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("ts", Json.Num (us_of_ns e.Event.ts_ns));
+          ("pid", Json.int 0);
+          ("tid", Json.int 0);
+          ( "args",
+            Json.Obj
+              [
+                ("req", Json.int e.Event.a);
+                ("latency_ns", Json.int e.Event.b);
+              ] );
+        ]
   | Event.Eviction_notice | Event.Made_resident | Event.Major_fault
   | Event.Minor_fault | Event.Protection_fault | Event.Eviction
   | Event.Forced_eviction | Event.Discard | Event.Relinquish
@@ -161,11 +180,12 @@ let lane_of (e : Event.t) =
   | Event.Swap_read | Event.Swap_write -> Some 7
   | Event.Fault_injected -> Some 8
   | Event.Pressure_step -> Some 9
+  | Event.Request_done -> Some 10
   | _ -> None
 
 let lane_labels =
   [| "minor gc"; "full gc"; "compacting"; "major fault"; "evict notice";
-     "eviction"; "discard"; "swap io"; "injected"; "pressure" |]
+     "eviction"; "discard"; "swap io"; "injected"; "pressure"; "requests" |]
 
 let ascii_timeline ?(width = 72) sink ppf =
   let first, last = Sink.span_ns sink in

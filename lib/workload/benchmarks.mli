@@ -26,11 +26,19 @@ val jython : Spec.t
 
 val pseudojbb : Spec.t
 
+val scale : int
+(** The denominator applied to the paper's byte quantities (8). *)
+
+(** {1 Deprecated flat lookup API}
+
+    Kept as a shim for one release; new code goes through the
+    {!Catalog} registry ([Catalog.all] / [Catalog.find_opt]), which
+    covers both workload families and never raises on a miss. *)
+
 val all : Spec.t list
+[@@deprecated "use Catalog.all / Catalog.batch_specs"]
 (** All nine, in Table 1 order. *)
 
 val find : string -> Spec.t
+[@@deprecated "use Catalog.find_opt"]
 (** Look up by name; raises [Not_found]. *)
-
-val scale : int
-(** The denominator applied to the paper's byte quantities (8). *)

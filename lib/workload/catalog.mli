@@ -1,0 +1,86 @@
+(** The workload registry: a uniform, typed catalogue over both
+    workload families, mirroring the collector registry
+    ({!Harness.Registry}).
+
+    Batch workloads are the nine Table 1 specs; serving workloads are
+    the request-serving family, one per load shape. Lookups return
+    options — no bare [Not_found] — and every entry carries a factory
+    building the machine-facing {!Driver}. *)
+
+type family = Batch | Serving
+
+type params = Batch_spec of Spec.t | Serving_spec of Request.spec
+
+type info = {
+  name : string;
+  family : family;
+  doc : string;
+  params : params;
+  factory : ?sink:Telemetry.Sink.t -> Gc_common.Collector.t -> Driver.t;
+      (** instantiate the workload over a collector; [sink] receives
+          per-request telemetry (serving only) *)
+}
+
+val family_name : family -> string
+
+val family_of_params : params -> family
+
+val params_name : params -> string
+
+val scale : int
+(** The denominator applied to the paper's byte quantities (8). *)
+
+val scale_volume : params -> float -> params
+(** Batch: scale the allocation volume. Serving: stretch the arrival
+    window. Neither touches the live set. *)
+
+val base_heap_bytes : params -> int
+(** The unit for relative-heap-size sweeps: Table 1's minimum heap for
+    batch, the calibrated baseline for serving. *)
+
+val live_estimate_bytes : params -> int
+
+val seed : params -> int
+
+val with_shape : Shapes.t -> params -> params
+(** Override a serving workload's load shape (the campaign grammar's
+    [name\@shape]); raises [Invalid_argument] on a batch workload. *)
+
+val driver :
+  ?sink:Telemetry.Sink.t -> params -> Gc_common.Collector.t -> Driver.t
+(** What {!info.factory} closes over, usable on bare params. *)
+
+val make : ?doc:string -> params -> info
+(** Wrap ad-hoc params (e.g. a spec file) as a registry entry. *)
+
+val of_batch : ?doc:string -> Spec.t -> info
+
+val of_serving : ?doc:string -> Request.spec -> info
+
+(** {1 The registered workloads} *)
+
+val srv_fixed : Request.spec
+
+val srv_rampup : Request.spec
+
+val srv_pausing : Request.spec
+
+val srv_shaped : Request.spec
+
+val srv_diurnal : Request.spec
+
+val srv_flash : Request.spec
+
+val all : info list
+(** The nine Table 1 batch specs (in Table 1 order), then the serving
+    family. *)
+
+val find_opt : string -> info option
+
+val names : unit -> string list
+
+val batch_specs : Spec.t list
+
+val serving_specs : Request.spec list
+
+val pp : Format.formatter -> info -> unit

@@ -200,3 +200,5 @@ let finished t = t.finished
 let allocated_bytes t = t.allocated_bytes
 
 let ops_done t = t.ops
+
+let spec t = t.spec

@@ -32,3 +32,5 @@ val finished : t -> bool
 val allocated_bytes : t -> int
 
 val ops_done : t -> int
+
+val spec : t -> Spec.t

@@ -1,0 +1,231 @@
+(* Per-request latency accounting: exact percentiles over the recorded
+   samples and SLO-violation windows over fixed virtual-time buckets.
+
+   Latency here is open-loop latency — finish time minus *scheduled*
+   arrival time — so a GC pause that stalls the mutator shows up as
+   queueing delay on every request that arrived during the pause. *)
+
+module Json = Telemetry.Json
+
+type window = {
+  from_ns : int;
+  until_ns : int;
+  violations : int;
+  requests : int;
+}
+
+type summary = {
+  requests : int;
+  slo_ns : int;
+  window_ns : int;
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+  violations : int;
+  windows : window list;  (* maximal violating spans, in time order *)
+  violation_ns : int;  (* total span of violating windows *)
+  throughput_rps : float;
+}
+
+(* Nearest-rank percentile over an ascending-sorted array: the smallest
+   sample s.t. at least [p] of the samples are <= it. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank =
+      int_of_float (ceil (p *. float_of_int n)) |> max 1 |> min n
+    in
+    sorted.(rank - 1)
+  end
+
+let default_window_ns = 100_000_000 (* 100 ms *)
+
+(* [samples] are (finish_ns, latency_ns) pairs, in any order. The run
+   interval [start_ns, end_ns) is cut into [window_ns] buckets; a bucket
+   with at least one violating request is a violating window, and
+   adjacent violating windows merge into maximal spans. *)
+let of_samples ~slo_ns ?(window_ns = default_window_ns) ~start_ns ~end_ns
+    samples =
+  if slo_ns <= 0 then invalid_arg "Slo.of_samples: slo_ns";
+  if window_ns <= 0 then invalid_arg "Slo.of_samples: window_ns";
+  let n = Array.length samples in
+  let latencies = Array.map snd samples in
+  Array.sort compare latencies;
+  let span = max 1 (end_ns - start_ns) in
+  let nwindows = ((span + window_ns - 1) / window_ns) + 1 in
+  let win_requests = Array.make nwindows 0 in
+  let win_violations = Array.make nwindows 0 in
+  let total_lat = ref 0.0 in
+  let violations = ref 0 in
+  Array.iter
+    (fun (finish_ns, latency_ns) ->
+      total_lat := !total_lat +. float_of_int latency_ns;
+      let w =
+        (max 0 (finish_ns - start_ns)) / window_ns |> min (nwindows - 1)
+      in
+      win_requests.(w) <- win_requests.(w) + 1;
+      if latency_ns > slo_ns then begin
+        incr violations;
+        win_violations.(w) <- win_violations.(w) + 1
+      end)
+    samples;
+  (* merge runs of violating windows into maximal spans *)
+  let windows = ref [] in
+  let cur = ref None in
+  for w = 0 to nwindows - 1 do
+    if win_violations.(w) > 0 then
+      cur :=
+        Some
+          (match !cur with
+          | None ->
+              {
+                from_ns = start_ns + (w * window_ns);
+                until_ns = start_ns + ((w + 1) * window_ns);
+                violations = win_violations.(w);
+                requests = win_requests.(w);
+              }
+          | Some c ->
+              {
+                c with
+                until_ns = start_ns + ((w + 1) * window_ns);
+                violations = c.violations + win_violations.(w);
+                requests = c.requests + win_requests.(w);
+              })
+    else
+      match !cur with
+      | Some c ->
+          windows := c :: !windows;
+          cur := None
+      | None -> ()
+  done;
+  (match !cur with Some c -> windows := c :: !windows | None -> ());
+  let windows = List.rev !windows in
+  let violation_ns =
+    List.fold_left (fun acc w -> acc + (w.until_ns - w.from_ns)) 0 windows
+  in
+  {
+    requests = n;
+    slo_ns;
+    window_ns;
+    mean_ns = (if n = 0 then 0.0 else !total_lat /. float_of_int n);
+    p50_ns = percentile latencies 0.5;
+    p99_ns = percentile latencies 0.99;
+    p999_ns = percentile latencies 0.999;
+    max_ns = (if n = 0 then 0 else latencies.(n - 1));
+    violations = !violations;
+    windows;
+    violation_ns;
+    throughput_rps =
+      float_of_int n /. (float_of_int span /. 1e9);
+  }
+
+let meets_p999 t = t.p999_ns <= t.slo_ns
+
+let to_json t =
+  Json.Obj
+    [
+      ("requests", Json.int t.requests);
+      ("slo_ns", Json.int t.slo_ns);
+      ("window_ns", Json.int t.window_ns);
+      ("mean_ns", Json.Num t.mean_ns);
+      ("p50_ns", Json.int t.p50_ns);
+      ("p99_ns", Json.int t.p99_ns);
+      ("p999_ns", Json.int t.p999_ns);
+      ("max_ns", Json.int t.max_ns);
+      ("violations", Json.int t.violations);
+      ("violation_ns", Json.int t.violation_ns);
+      ("throughput_rps", Json.Num t.throughput_rps);
+      ( "windows",
+        Json.List
+          (List.map
+             (fun w ->
+               Json.List
+                 [
+                   Json.int w.from_ns;
+                   Json.int w.until_ns;
+                   Json.int w.violations;
+                   Json.int w.requests;
+                 ])
+             t.windows) );
+    ]
+
+let of_json j =
+  let open Json in
+  let int_field k = Option.bind (member k j) num_opt |> Option.map int_of_float in
+  let num_field k = Option.bind (member k j) num_opt in
+  match
+    ( int_field "requests",
+      int_field "slo_ns",
+      int_field "window_ns",
+      num_field "mean_ns",
+      int_field "p50_ns",
+      int_field "p99_ns",
+      int_field "p999_ns",
+      int_field "max_ns",
+      int_field "violations",
+      int_field "violation_ns",
+      num_field "throughput_rps" )
+  with
+  | ( Some requests,
+      Some slo_ns,
+      Some window_ns,
+      Some mean_ns,
+      Some p50_ns,
+      Some p99_ns,
+      Some p999_ns,
+      Some max_ns,
+      Some violations,
+      Some violation_ns,
+      Some throughput_rps ) ->
+      let windows =
+        match Option.bind (member "windows" j) to_list_opt with
+        | None -> []
+        | Some items ->
+            List.filter_map
+              (fun item ->
+                match to_list_opt item with
+                | Some [ a; b; c; d ] -> (
+                    match
+                      (num_opt a, num_opt b, num_opt c, num_opt d)
+                    with
+                    | Some a, Some b, Some c, Some d ->
+                        Some
+                          {
+                            from_ns = int_of_float a;
+                            until_ns = int_of_float b;
+                            violations = int_of_float c;
+                            requests = int_of_float d;
+                          }
+                    | _ -> None)
+                | _ -> None)
+              items
+      in
+      Some
+        {
+          requests;
+          slo_ns;
+          window_ns;
+          mean_ns;
+          p50_ns;
+          p99_ns;
+          p999_ns;
+          max_ns;
+          violations;
+          windows;
+          violation_ns;
+          throughput_rps;
+        }
+  | _ -> None
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d req @ %.1f rps: p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms \
+     (slo %.1fms: %d violations in %d windows, %.1fms violating)"
+    t.requests t.throughput_rps (ms t.p50_ns) (ms t.p99_ns) (ms t.p999_ns)
+    (ms t.max_ns) (ms t.slo_ns) t.violations (List.length t.windows)
+    (ms t.violation_ns)

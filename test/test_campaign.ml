@@ -466,6 +466,66 @@ let test_pressure_grammar () =
   check Alcotest.bool "unknown kind rejected" true
     (Result.is_error (Campaign.pressure_of_string "sawtooth:1:2"))
 
+(* ----------------------------------------------------------------- *)
+(* Serving workloads in the campaign grammar                          *)
+
+let test_serving_spec_cells () =
+  match
+    Campaign.of_json
+      (spec_json
+         [
+           ( "workloads",
+             Json.List [ Json.Str "srv_fixed"; Json.Str "srv_flash@fixed:800" ]
+           );
+         ])
+  with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let cells = Campaign.cells t in
+      check Alcotest.int "1 collector x 2 workloads x 1 mult" 2
+        (List.length cells);
+      List.iter
+        (fun c ->
+          check Alcotest.bool "serving cell canonical is marked" true
+            (contains (Plan.canonical c.Campaign.plan) "serving:"))
+        cells;
+      check Alcotest.bool "@fixed:800 override lands in the canonical" true
+        (List.exists
+           (fun c -> contains (Plan.canonical c.Campaign.plan) "fixed:800")
+           cells)
+
+let test_serving_spec_rejections () =
+  rejects "bad shape argument"
+    [ ("workloads", Json.List [ Json.Str "srv_flash@fixed:banana" ]) ]
+    "bad number";
+  rejects "shape override on a batch workload"
+    [ ("workloads", Json.List [ Json.Str "_202_jess@fixed:800" ]) ]
+    "no @SHAPE";
+  rejects "unknown name keeps naming the catalog"
+    [ ("workloads", Json.List [ Json.Str "srv_nope@fixed:800" ]) ]
+    "unknown workload"
+
+let test_serving_digests () =
+  let digest_of w =
+    match
+      Campaign.of_json (spec_json [ ("workloads", Json.List [ Json.Str w ]) ])
+    with
+    | Error e -> Alcotest.fail e
+    | Ok t -> (
+        match Campaign.cells t with
+        | [ c ] -> c.Campaign.digest
+        | _ -> Alcotest.fail "expected exactly one cell")
+  in
+  check Alcotest.string "serving digests are stable across enumerations"
+    (digest_of "srv_flash") (digest_of "srv_flash");
+  check Alcotest.bool "a shape override changes the cell digest" true
+    (digest_of "srv_flash" <> digest_of "srv_flash@fixed:800");
+  check Alcotest.bool "different shapes, different digests" true
+    (digest_of "srv_flash@fixed:800" <> digest_of "srv_flash@fixed:900");
+  (* batch canonicals are untouched by the serving extension *)
+  check Alcotest.bool "batch canonical carries no serving marker" true
+    (not (contains (Plan.canonical (mk ())) "serving:"))
+
 let () =
   Alcotest.run "campaign"
     [
@@ -513,5 +573,10 @@ let () =
           Alcotest.test_case "example parses" `Quick test_example_spec_parses;
           Alcotest.test_case "validation" `Quick test_spec_validation;
           Alcotest.test_case "pressure grammar" `Quick test_pressure_grammar;
+          Alcotest.test_case "serving cells build" `Quick
+            test_serving_spec_cells;
+          Alcotest.test_case "serving rejections" `Quick
+            test_serving_spec_rejections;
+          Alcotest.test_case "serving digests" `Quick test_serving_digests;
         ] );
     ]

@@ -301,7 +301,7 @@ let () =
                   (collector ^ " on " ^ spec.Workload.Spec.name)
                   `Quick
                   (test_benchmark_matrix collector spec))
-              Workload.Benchmarks.all)
+              Workload.Catalog.batch_specs)
           [ "BC"; "GenMS" ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_gc_preserves_reachability ] );

@@ -24,9 +24,7 @@ let golden_path = "golden/matrix.golden"
 
 let spec =
   {
-    (Workload.Spec.scale_volume
-       (Workload.Benchmarks.find "_201_compress")
-       0.12)
+    (Workload.Spec.scale_volume Workload.Benchmarks.compress 0.12)
     with
     Workload.Spec.immortal_bytes = 300_000;
     window_bytes = 120_000;
@@ -105,6 +103,72 @@ let test_matrix () =
       Alcotest.check Alcotest.string "registry matrix bit-identical to seed"
         (read_file golden_path) text
 
+(* Serving cells get their own golden (golden/serving.golden): the batch
+   matrix above must stay byte-identical to the pre-serving capture, so
+   the new family's cells are appended as a separate file rather than
+   new lines in matrix.golden. Same regeneration protocol. *)
+let serving_golden_path = "golden/serving.golden"
+
+let serving_spec =
+  {
+    (Workload.Request.scale_volume Workload.Catalog.srv_flash 0.1) with
+    Workload.Request.seed = 31;
+  }
+
+let serving_heap_bytes = serving_spec.Workload.Request.base_heap_bytes
+
+let serving_heap_pages = Vmsim.Page.count_for_bytes serving_heap_bytes
+
+let run_serving_cell ~collector ~paging =
+  let plan =
+    Plan.make_workload ~collector
+      ~workload:(Workload.Catalog.Serving_spec serving_spec)
+      ~heap_bytes:serving_heap_bytes
+    |>
+    if paging then fun p ->
+      p
+      |> Plan.with_frames (serving_heap_pages + 128)
+      |> Plan.with_pressure
+           (Workload.Pressure.Steady
+              { after_progress = 0.1; pin_pages = serving_heap_pages * 6 / 10 })
+    else Fun.id
+  in
+  let outcome = Harness.Run.exec plan in
+  let body =
+    match outcome with
+    | Metrics.Completed m -> Json.to_string (Metrics.to_json m)
+    | other -> Format.asprintf "%a" Metrics.pp_outcome other
+  in
+  Printf.sprintf "%s paging=%b %s | %s" collector paging
+    (Metrics.outcome_label outcome)
+    body
+
+let serving_lines () =
+  List.concat_map
+    (fun collector ->
+      List.map (fun paging -> run_serving_cell ~collector ~paging) [ false; true ])
+    [ "BC"; "GenMS"; "GenCopy" ]
+
+let test_serving_matrix () =
+  let text = String.concat "\n" (serving_lines ()) ^ "\n" in
+  match Sys.getenv_opt "BCGC_WRITE_GOLDEN" with
+  | Some _ ->
+      (try Unix.mkdir "golden" 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let oc = open_out_bin serving_golden_path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %d cells to %s\n"
+        (List.length (String.split_on_char '\n' text) - 1)
+        serving_golden_path
+  | None ->
+      if not (Sys.file_exists serving_golden_path) then
+        Alcotest.fail
+          "golden/serving.golden missing — regenerate with BCGC_WRITE_GOLDEN=1";
+      Alcotest.check Alcotest.string "serving matrix bit-identical"
+        (read_file serving_golden_path)
+        text
+
 (* The traced and untraced run of the same plan must also agree with
    *each other* (the golden proves agreement with the past; this proves
    the sink has no virtual-time effect in the same build). *)
@@ -134,6 +198,8 @@ let () =
       ( "bit-identity",
         [
           Alcotest.test_case "registry matrix vs seed golden" `Quick test_matrix;
+          Alcotest.test_case "serving matrix vs golden" `Quick
+            test_serving_matrix;
           Alcotest.test_case "traced = untraced" `Quick
             test_traced_untraced_agree;
         ] );

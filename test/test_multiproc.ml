@@ -151,7 +151,7 @@ let test_residency_attribution () =
   let spawn name =
     let p = Machine.spawn machine ~name ~heap_bytes in
     ignore (Harness.Registry.instantiate_name ~name:"BC" p);
-    Machine.load p mini_spec;
+    Machine.load_spec p mini_spec;
     p
   in
   let pa = spawn "jvm-a" and pb = spawn "jvm-b" in

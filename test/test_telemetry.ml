@@ -269,6 +269,7 @@ let mk_metrics ?(failsafes = 0) ?faults () =
     allocated_bytes = 4_000_000;
     pauses = [ (0, 100); (200, 300) ];
     faults;
+    serving = None;
   }
 
 let test_outcome_label () =
@@ -322,7 +323,10 @@ let test_metrics_to_json () =
 (* Zero overhead: tracing must not change virtual-time results        *)
 
 let scaled name volume =
-  Workload.Spec.scale_volume (Workload.Benchmarks.find name) volume
+  match Workload.Catalog.find_opt name with
+  | Some { Workload.Catalog.params = Workload.Catalog.Batch_spec s; _ } ->
+      Workload.Spec.scale_volume s volume
+  | Some _ | None -> invalid_arg ("not a batch workload: " ^ name)
 
 let run_once ?trace ~collector ~spec ~heap_kb ?frames ?pin () =
   let pressure =

@@ -4,8 +4,9 @@ module Spec = Workload.Spec
 let check = Alcotest.check
 
 let test_spec_catalog () =
-  check Alcotest.int "nine benchmarks" 9 (List.length Workload.Benchmarks.all);
-  check Alcotest.int "scale" 8 Workload.Benchmarks.scale;
+  check Alcotest.int "nine benchmarks" 9
+    (List.length Workload.Catalog.batch_specs);
+  check Alcotest.int "scale" 8 Workload.Catalog.scale;
   List.iter
     (fun spec ->
       check Alcotest.bool (spec.Spec.name ^ " volumes positive") true
@@ -15,13 +16,67 @@ let test_spec_catalog () =
         && spec.Spec.paper_min_heap_bytes > 0);
       check Alcotest.bool (spec.Spec.name ^ " live below min heap") true
         (Spec.live_estimate_bytes spec < spec.Spec.paper_min_heap_bytes))
-    Workload.Benchmarks.all
+    Workload.Catalog.batch_specs
+
+let test_registry () =
+  let all = Workload.Catalog.all in
+  check Alcotest.int "both families registered" 15 (List.length all);
+  check Alcotest.int "six serving workloads" 6
+    (List.length Workload.Catalog.serving_specs);
+  (* names are unique and find_opt agrees with the list *)
+  let names = Workload.Catalog.names () in
+  check Alcotest.int "names cover the registry" (List.length all)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (i : Workload.Catalog.info) ->
+      match Workload.Catalog.find_opt i.Workload.Catalog.name with
+      | Some found ->
+          check Alcotest.string
+            (i.Workload.Catalog.name ^ " found")
+            i.Workload.Catalog.name found.Workload.Catalog.name;
+          check Alcotest.bool
+            (i.Workload.Catalog.name ^ " family consistent")
+            true
+            (found.Workload.Catalog.family
+            = Workload.Catalog.family_of_params found.Workload.Catalog.params)
+      | None -> Alcotest.failf "%s not found" i.Workload.Catalog.name)
+    all
 
 let test_find () =
-  check Alcotest.string "find" "pseudoJBB"
-    (Workload.Benchmarks.find "pseudoJBB").Spec.name;
-  check Alcotest.bool "missing raises" true
-    (match Workload.Benchmarks.find "nope" with
+  (match Workload.Catalog.find_opt "pseudoJBB" with
+  | Some i ->
+      check Alcotest.string "find" "pseudoJBB" i.Workload.Catalog.name;
+      check Alcotest.bool "batch family" true
+        (i.Workload.Catalog.family = Workload.Catalog.Batch)
+  | None -> Alcotest.fail "pseudoJBB not found");
+  (match Workload.Catalog.find_opt "srv_flash" with
+  | Some i ->
+      check Alcotest.bool "serving family" true
+        (i.Workload.Catalog.family = Workload.Catalog.Serving)
+  | None -> Alcotest.fail "srv_flash not found");
+  check Alcotest.bool "missing is None" true
+    (Workload.Catalog.find_opt "nope" = None)
+
+(* The one-release shim must return the same values the registry holds —
+   old callers see bit-identical specs until the shim goes. *)
+module Shim = struct
+  [@@@alert "-deprecated"]
+
+  let all = Workload.Benchmarks.all
+
+  let find = Workload.Benchmarks.find
+end
+
+let test_deprecated_shim_bit_identity () =
+  check Alcotest.bool "all = batch_specs" true
+    (Shim.all = Workload.Catalog.batch_specs);
+  List.iter
+    (fun (spec : Spec.t) ->
+      check Alcotest.bool (spec.Spec.name ^ " find agrees") true
+        (Shim.find spec.Spec.name == spec))
+    Shim.all;
+  check Alcotest.bool "find still raises Not_found" true
+    (match Shim.find "nope" with
     | (_ : Spec.t) -> false
     | exception Not_found -> true)
 
@@ -302,7 +357,10 @@ let () =
       ( "specs",
         [
           Alcotest.test_case "catalog" `Quick test_spec_catalog;
+          Alcotest.test_case "registry" `Quick test_registry;
           Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "deprecated shim" `Quick
+            test_deprecated_shim_bit_identity;
           Alcotest.test_case "scale_volume" `Quick test_scale_volume;
         ] );
       ( "mutator",
