@@ -1,4 +1,4 @@
-.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke campaign-smoke slo-smoke perf examples doc clean bench bench-full
+.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke perf-guard campaign-smoke slo-smoke perf examples doc clean bench bench-full
 
 # Worker processes for the experiment matrices; results are byte-identical
 # whatever the fan-out (the simulation runs in virtual time).
@@ -18,7 +18,7 @@ test:
 # traced runs (one solo, one two-process) produce valid Chrome JSON
 # covering every expected GC phase kind.
 ci:
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) campaign-smoke && $(MAKE) slo-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) perf-guard && $(MAKE) campaign-smoke && $(MAKE) slo-smoke
 
 # Trace smoke: a small pressured run known (deterministically) to exercise
 # minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
@@ -46,6 +46,13 @@ multiproc-smoke:
 perf-smoke:
 	./_build/default/bin/bcgc.exe bench perf --perf-reps 1 \
 	  --perf-out /tmp/bcgc-ci-perf.json
+
+# Perf guard: re-run the suite and fail if any median regresses by more
+# than 20% against the committed BENCH_perf.json baseline. Three
+# repetitions keep the medians stable enough for a 20% band on a quiet
+# machine; refresh the baseline with `make perf` after intended changes.
+perf-guard:
+	./_build/default/bin/bcgc.exe bench perf --guard --perf-reps 3
 
 # Campaign smoke: interruption drill on the 8-cell example campaign.
 # Run three cells and stop (exit 3), resume to completion, re-run the whole

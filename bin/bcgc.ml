@@ -435,29 +435,46 @@ let trace_summary_cmd file expect_phases =
           else 0)
 
 (* Wall-clock perf suite: run, write BENCH_perf.json, validate it back
-   (the perf-smoke CI step relies on the validation), print a summary. *)
-let bench_perf ~reps ~out =
+   (the perf-smoke CI step relies on the validation), print a summary.
+   With [guard], don't write anything: compare the fresh medians against
+   the committed baseline at [out] and fail on a >20% regression. *)
+let bench_perf ~reps ~out ~guard =
   let r =
     Harness.Perf.run ~repetitions:reps
       ~progress:(fun label -> Printf.eprintf "perf: %s\n%!" label)
       ()
   in
-  Harness.Perf.write_file ~path:out r;
   Format.printf "%a" Harness.Perf.pp r;
-  match Harness.Perf.validate_file out with
-  | Ok () ->
-      Printf.printf "wrote %s (schema %s)\n" out Harness.Perf.schema_version;
-      0
-  | Error msg ->
-      Printf.eprintf "bcgc bench perf: %s failed validation: %s\n" out msg;
-      1
+  if guard then
+    match Harness.Perf.guard_file ~baseline_path:out r with
+    | Ok () ->
+        Printf.printf "perf guard: no benchmark regressed more than %.0f%% vs %s\n"
+          (100.0 *. Harness.Perf.default_guard_tolerance)
+          out;
+        0
+    | Error lines ->
+        List.iter
+          (fun l -> Printf.eprintf "bcgc bench perf: regression: %s\n" l)
+          lines;
+        1
+  else begin
+    Harness.Perf.write_file ~path:out r;
+    match Harness.Perf.validate_file out with
+    | Ok () ->
+        Printf.printf "wrote %s (schema %s)\n" out Harness.Perf.schema_version;
+        0
+    | Error msg ->
+        Printf.eprintf "bcgc bench perf: %s failed validation: %s\n" out msg;
+        1
+  end
 
-let bench_cmd target full jobs perf_reps perf_out slo_out =
+let bench_cmd target full jobs perf_reps perf_out perf_guard slo_out =
   let mode =
     if full then Harness.Experiments.Full else Harness.Experiments.Quick
   in
   Harness.Experiments.set_jobs jobs;
-  if target = "perf" then bench_perf ~reps:perf_reps ~out:perf_out
+  if target = "perf" then
+    bench_perf ~reps:perf_reps ~out:perf_out ~guard:perf_guard
   else begin
   (match target with
   | "slo" -> Harness.Experiments.slo ?out:slo_out mode
@@ -680,6 +697,14 @@ let cmd_bench =
       & opt string Harness.Perf.default_output
       & info [ "perf-out" ] ~docv:"FILE" ~doc)
   in
+  let perf_guard =
+    let doc =
+      "For the `perf' target: instead of writing the output file, compare \
+       fresh medians against the committed baseline (--perf-out names it) \
+       and exit non-zero when any regresses by more than 20%."
+    in
+    Arg.(value & flag & info [ "guard" ] ~doc)
+  in
   let slo_out =
     let doc =
       "For the `slo' target: also write a bcgc-slo-report/1 JSON report to \
@@ -694,7 +719,8 @@ let cmd_bench =
           matrix (target `slo'), or run the wall-clock perf suite (target \
           `perf')")
     Term.(
-      const bench_cmd $ target $ full $ jobs $ perf_reps $ perf_out $ slo_out)
+      const bench_cmd $ target $ full $ jobs $ perf_reps $ perf_out
+      $ perf_guard $ slo_out)
 
 let cmd_trace =
   let file =

@@ -32,14 +32,14 @@ type t = {
 let default_slice = 256
 
 let create ?(costs = Vmsim.Costs.default) ?faults ?trace
-    ?(policy = Round_robin) ~frames () =
+    ?(policy = Round_robin) ?first_page ~frames () =
   let clock = Vmsim.Clock.create () in
   let vmm = Vmsim.Vmm.create ~costs ?faults:faults ~clock ~frames () in
   Vmsim.Vmm.set_trace vmm trace;
   {
     clock;
     vmm;
-    address_space = Heapsim.Address_space.create ();
+    address_space = Heapsim.Address_space.create ?first_page ();
     plan = faults;
     trace;
     policy;

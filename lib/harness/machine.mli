@@ -48,12 +48,18 @@ val create :
   ?faults:Faults.Fault_plan.t ->
   ?trace:Telemetry.Sink.t ->
   ?policy:policy ->
+  ?first_page:int ->
   frames:int ->
   unit ->
   t
 (** A fresh machine: new clock, a VMM with [frames] physical pages (and
     the fault plan routed into its notice/swap paths), one shared
-    address space. [policy] defaults to [Round_robin]. *)
+    address space. [policy] defaults to [Round_robin]. [first_page]
+    (default 16) sets the address-space base: giant bases (pages near
+    2^30) exercise the sparse page table — memory stays proportional to
+    touched pages — and simulated metrics are independent of the base
+    (only page {e numbers} shift) as long as the base keeps the same
+    alignment mod 63, the residency layer's word granule. *)
 
 val clock : t -> Vmsim.Clock.t
 

@@ -99,6 +99,48 @@ let bench_touch_resident () =
   done;
   (float_of_int iters, now () -. t0)
 
+(* Batched resident spans: the same all-resident working set as
+   [bench_touch_resident], touched through [Vmm.touch_span] so whole
+   runs collapse into per-chunk flag stores and one clock skip. The
+   headline for the event-skipping path: it must beat the per-touch
+   ceiling above. One op = one page touched. *)
+let bench_touch_span_resident () =
+  let pages = 2048 in
+  let spans = 4_000 in
+  let clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~clock ~frames:(pages + 64) () in
+  let proc = Vmsim.Vmm.create_process vmm ~name:"perf" in
+  Vmsim.Vmm.map_range vmm proc ~first_page:0 ~npages:pages;
+  for p = 0 to pages - 1 do
+    Vmsim.Vmm.touch vmm p
+  done;
+  let t0 = now () in
+  for _ = 1 to spans do
+    Vmsim.Vmm.touch_span vmm ~first_page:0 pages
+  done;
+  (float_of_int (spans * pages), now () -. t0)
+
+(* Sparse giant address spaces: map, fault in and unmap ranges with page
+   numbers beyond 2^30, a fresh chunk per round. Bounds the cost of
+   materialising page-table/LRU/bitset chunks on demand — the dense
+   tables this replaced would have tried to allocate gigabytes here.
+   One op = one page mapped + touched + unmapped. *)
+let bench_sparse_map_giant () =
+  let npages = 512 in
+  let rounds = 400 in
+  let clock = Vmsim.Clock.create () in
+  let vmm = Vmsim.Vmm.create ~clock ~frames:(npages + 64) () in
+  let proc = Vmsim.Vmm.create_process vmm ~name:"perf" in
+  let t0 = now () in
+  for r = 0 to rounds - 1 do
+    (* one 8192-page stride per round: every round lands in new chunks *)
+    let first_page = (1 lsl 30) + (r * 8192) in
+    Vmsim.Vmm.map_range vmm proc ~first_page ~npages;
+    Vmsim.Vmm.touch_span vmm ~first_page npages;
+    Vmsim.Vmm.unmap_range vmm ~first_page ~npages
+  done;
+  (float_of_int (rounds * npages), now () -. t0)
+
 (* Faulting touches: four times more pages than frames, swept
    sequentially, so the LRU streams — most touches reload from swap and
    push an eviction. Exercises reclaim, the swap device and notices. *)
@@ -260,7 +302,9 @@ type t = {
 let micro_benches =
   [
     ("touch_resident", bench_touch_resident);
+    ("touch_span_resident", bench_touch_span_resident);
     ("touch_faulting", bench_touch_faulting);
+    ("sparse_map_giant", bench_sparse_map_giant);
     ("alloc_free", bench_alloc_free);
     ("read_ref", bench_read_ref);
     ("write_ref", bench_write_ref);
@@ -414,7 +458,7 @@ let validate json =
       sub "reclaim_storm_ms")
     (Ok ()) collectors
 
-let validate_file path =
+let read_json_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -425,4 +469,82 @@ let validate_file path =
   | content -> (
       match Json.of_string_opt content with
       | None -> Error (Printf.sprintf "%s is not valid JSON" path)
-      | Some json -> validate json)
+      | Some json -> Ok json)
+
+let validate_file path =
+  Result.bind (read_json_file path) validate
+
+(* ------------------------------------------------------------------ *)
+(* Regression guard: a fresh run against the committed baseline. Rates
+   (micro, ops/s) may not drop more than [tolerance] below the baseline
+   median; collector wall times (ms) may not rise more than [tolerance]
+   above it. The fresh side uses its {e best} sample (fastest rate,
+   shortest duration): a genuine code regression slows every sample,
+   while a transient load burst on a shared CI box slows only some — so
+   best-vs-median keeps the guard meaningful without making it flaky.
+   Entries present on only one side are skipped — a freshly added micro
+   has no baseline to regress against, and a retired one no fresh
+   number — so the guard stays usable across suite changes. *)
+
+let default_guard_tolerance = 0.20
+
+let guard ?(tolerance = default_guard_tolerance) ~baseline fresh =
+  if tolerance <= 0.0 then invalid_arg "Perf.guard: tolerance";
+  let name_of e = Option.bind (Json.member "name" e) Json.str_opt in
+  let median_of e = Option.bind (Json.member "median" e) Json.num_opt in
+  let errs = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let base_micro =
+    Option.value ~default:[]
+      (Option.bind (Json.member "micro" baseline) Json.to_list_opt)
+  in
+  List.iter
+    (fun (name, d) ->
+      match
+        Option.bind
+          (List.find_opt (fun e -> name_of e = Some name) base_micro)
+          median_of
+      with
+      | Some old when old > 0.0 ->
+          let best = List.fold_left Float.max d.median d.samples in
+          if best < (1.0 -. tolerance) *. old then
+            fail "micro %s: best %.3e ops/s is %.0f%% below baseline %.3e"
+              name best
+              (100.0 *. (1.0 -. (best /. old)))
+              old
+      | Some _ | None -> ())
+    fresh.micro;
+  let base_coll =
+    Option.value ~default:[]
+      (Option.bind (Json.member "collectors" baseline) Json.to_list_opt)
+  in
+  List.iter
+    (fun (name, full, storm, _) ->
+      match List.find_opt (fun e -> name_of e = Some name) base_coll with
+      | None -> ()
+      | Some e ->
+          let check key (d : dist) =
+            match Option.bind (Json.member key e) median_of with
+            | Some old when old > 0.0 ->
+                let best = List.fold_left Float.min d.median d.samples in
+                if best > (1.0 +. tolerance) *. old then
+                  fail
+                    "collector %s: %s best %.3f ms is %.0f%% above baseline \
+                     %.3f"
+                    name key best
+                    (100.0 *. ((best /. old) -. 1.0))
+                    old
+            | Some _ | None -> ()
+          in
+          check "full_collection_ms" full;
+          check "reclaim_storm_ms" storm)
+    fresh.collectors;
+  match List.rev !errs with [] -> Ok () | l -> Error l
+
+let guard_file ?tolerance ~baseline_path fresh =
+  match read_json_file baseline_path with
+  | Error msg -> Error [ msg ]
+  | Ok baseline -> (
+      match validate baseline with
+      | Error msg -> Error [ Printf.sprintf "%s: %s" baseline_path msg ]
+      | Ok () -> guard ?tolerance ~baseline fresh)

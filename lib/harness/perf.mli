@@ -39,8 +39,9 @@ val default_output : string
 
 val required_micro : string list
 (** Microbenchmark names the suite always carries (touch_resident,
-    touch_faulting, alloc_free, read_ref, write_ref); {!validate}
-    requires a positive median for each. *)
+    touch_span_resident, touch_faulting, sparse_map_giant, alloc_free,
+    read_ref, write_ref); {!validate} requires a positive median for
+    each. *)
 
 val run : ?repetitions:int -> ?progress:(string -> unit) -> unit -> t
 (** Run the whole suite: one warm-up plus [repetitions] measured
@@ -63,3 +64,28 @@ val validate : Telemetry.Json.t -> (unit, string) Stdlib.result
     compare. *)
 
 val validate_file : string -> (unit, string) Stdlib.result
+
+val default_guard_tolerance : float
+(** Allowed median regression before {!guard} fails (0.20 = 20%). *)
+
+val guard :
+  ?tolerance:float ->
+  baseline:Telemetry.Json.t ->
+  t ->
+  (unit, string list) Stdlib.result
+(** Compare a fresh run against a parsed baseline [BENCH_perf.json].
+    Fails when a micro's {e best} fresh sample drops more than
+    [tolerance] below the baseline median, or a collector wall-time's
+    best (shortest) sample rises more than [tolerance] above it —
+    best-vs-median because a genuine regression slows every sample
+    while a transient load burst slows only some. Benchmarks present on
+    only one side are skipped, so the guard survives suite additions
+    and retirements. [Error] carries one line per regression. *)
+
+val guard_file :
+  ?tolerance:float ->
+  baseline_path:string ->
+  t ->
+  (unit, string list) Stdlib.result
+(** {!guard} against a baseline file; the file must parse and
+    {!validate}. *)

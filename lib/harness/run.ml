@@ -29,6 +29,9 @@ module Plan = struct
     trace : Telemetry.Sink.t option;
     policy : Machine.policy;
     event_cap : int option;
+    (* address-space base page; None = the Address_space default (16).
+       Giant bases exercise the sparse page table. *)
+    address_base : int option;
   }
 
   let make_workload ~collector ~workload ~heap_bytes =
@@ -45,6 +48,7 @@ module Plan = struct
       trace = None;
       policy = Machine.Round_robin;
       event_cap = None;
+      address_base = None;
     }
 
   let make ~collector ~spec ~heap_bytes =
@@ -89,6 +93,10 @@ module Plan = struct
   let with_event_cap event_cap t =
     if event_cap < 1 then invalid_arg "Plan.with_event_cap";
     { t with event_cap = Some event_cap }
+
+  let with_address_base base t =
+    if base < 0 then invalid_arg "Plan.with_address_base";
+    { t with address_base = Some base }
 
   let with_share share t =
     match t.procs with
@@ -145,6 +153,8 @@ module Plan = struct
   let traced t = t.trace <> None
 
   let event_cap t = t.event_cap
+
+  let address_base t = t.address_base
 
   (* Frames needed to run without any physical-memory pressure: room for
      every process's heap plus slack. *)
@@ -238,6 +248,12 @@ module Plan = struct
       | Machine.Proportional -> "prop"
       | Machine.Priority -> "prio")
       (match t.event_cap with None -> "none" | Some n -> string_of_int n);
+    (* Appended only when non-default, so every historical canonical
+       string — hence every campaign-journal digest — is byte-identical
+       for plans that never set a base. *)
+    (match t.address_base with
+    | None -> ()
+    | Some base -> Printf.bprintf b "|base=%d" base);
     Buffer.contents b
 
   let digest t = Digest.to_hex (Digest.string (canonical t))
@@ -265,7 +281,8 @@ let exec_all (p : Plan.t) =
   let plan = Option.map (Fault_plan.create ~seed:p.Plan.fault_seed) p.Plan.faults in
   let m =
     Machine.create ~costs:p.Plan.costs ?faults:plan ?trace:p.Plan.trace
-      ~policy:p.Plan.policy ~frames:(Plan.frames p) ()
+      ~policy:p.Plan.policy ?first_page:p.Plan.address_base
+      ~frames:(Plan.frames p) ()
   in
   let clock = Machine.clock m in
   let fault_stats () = Option.map Fault_plan.stats plan in
@@ -362,80 +379,3 @@ let exec_all (p : Plan.t) =
 
 let exec p =
   match exec_all p with o :: _ -> o | [] -> assert false
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated flat-record API, kept as a shim for one release.         *)
-
-type setup = {
-  collector : string;
-  spec : Workload.Spec.t;
-  heap_bytes : int;
-  frames : int;
-  pressure : Workload.Pressure.t;
-  ops_per_slice : int;
-  costs : Vmsim.Costs.t;
-  iterations : int;
-  faults : Fault_plan.spec option;
-  fault_seed : int;
-  verify : bool;
-  trace : Telemetry.Sink.t option;
-}
-
-let setup ?frames ?(pressure = Workload.Pressure.None_)
-    ?(ops_per_slice = default_slice) ?(costs = Vmsim.Costs.default)
-    ?(iterations = 1) ?faults ?(fault_seed = default_fault_seed)
-    ?(verify = false) ?trace ~collector ~spec ~heap_bytes () =
-  if iterations < 1 then invalid_arg "Run.setup: iterations";
-  let frames =
-    match frames with Some f -> f | None -> ample_frames ~heap_bytes
-  in
-  {
-    collector;
-    spec;
-    heap_bytes;
-    frames;
-    pressure;
-    ops_per_slice;
-    costs;
-    iterations;
-    faults;
-    fault_seed;
-    verify;
-    trace;
-  }
-
-let plan_of_setup s =
-  {
-    Plan.procs =
-      [
-        {
-          Plan.collector = s.collector;
-          workload = Workload.Catalog.Batch_spec s.spec;
-          heap_bytes = s.heap_bytes;
-          share = 1;
-          priority = 0;
-        };
-      ];
-    frames = Some s.frames;
-    pressure = s.pressure;
-    ops_per_slice = s.ops_per_slice;
-    costs = s.costs;
-    iterations = s.iterations;
-    faults = s.faults;
-    fault_seed = s.fault_seed;
-    verify = s.verify;
-    trace = s.trace;
-    policy = Machine.Round_robin;
-    event_cap = None;
-  }
-
-let run s = exec (plan_of_setup s)
-
-let run_pair a b =
-  assert (a.frames = b.frames);
-  let p =
-    plan_of_setup a
-    |> Plan.with_process ~collector:b.collector ~spec:b.spec
-         ~heap_bytes:b.heap_bytes
-  in
-  match exec_all p with [ oa; ob ] -> (oa, ob) | _ -> assert false

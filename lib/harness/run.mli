@@ -96,6 +96,17 @@ module Plan : sig
       The campaign runner's guard against one runaway configuration
       stalling an unattended sweep. Default: unbounded. *)
 
+  val with_address_base : int -> t -> t
+  (** First page of the machine's shared address space (default 16).
+      Bases near 2^30 exercise the sparse page table: the harness's
+      memory stays proportional to touched pages, and simulated metrics
+      are independent of the base — only the page numbers in traces
+      shift — provided the base preserves word alignment (is congruent
+      to the old base mod 63): residency clustering groups pages into
+      63-bit words, so an unaligned base legitimately changes which
+      pages share a discard granule. Appended to {!canonical} only when
+      set, so existing plan digests are unchanged. *)
+
   val with_share : int -> t -> t
   (** Slice weight of the {e primary} process under [Proportional]. *)
 
@@ -154,6 +165,8 @@ module Plan : sig
 
   val event_cap : t -> int option
 
+  val address_base : t -> int option
+
   val frames : t -> int
   (** The explicit frame count, or the ample default. *)
 
@@ -161,9 +174,10 @@ module Plan : sig
   (** Canonical text of every plan field that can influence the run's
       simulated outcome — processes (collector, full workload spec,
       heap, share, priority), frames, slice size, iterations, pressure,
-      cost model, fault spec and seed, verify, policy and event cap.
-      The trace sink is excluded: tracing is proven zero-overhead, so a
-      traced and an untraced run are the same cell. *)
+      cost model, fault spec and seed, verify, policy, event cap and
+      (when set) address base. The trace sink is excluded: tracing is
+      proven zero-overhead, so a traced and an untraced run are the same
+      cell. *)
 
   val digest : t -> string
   (** Hex MD5 of {!canonical} — the stable cell key the campaign
@@ -190,49 +204,3 @@ val exec_all : Plan.t -> Metrics.outcome list
     mutator finishes. On a resource failure ([Exhausted] / [Thrashed] /
     [Failed]) the whole machine goes down and every process reports the
     same outcome (the primary carries any partial stats). *)
-
-(** {1 Deprecated flat-record API}
-
-    The previous entry points, kept as a shim for one release. New code
-    builds a {!Plan}. *)
-
-type setup = {
-  collector : string;
-  spec : Workload.Spec.t;
-  heap_bytes : int;
-  frames : int;
-  pressure : Workload.Pressure.t;
-  ops_per_slice : int;
-  costs : Vmsim.Costs.t;
-  iterations : int;
-  faults : Faults.Fault_plan.spec option;
-  fault_seed : int;
-  verify : bool;
-  trace : Telemetry.Sink.t option;
-}
-[@@deprecated "build a Run.Plan instead"]
-
-[@@@alert "-deprecated"]
-
-val setup :
-  ?frames:int ->
-  ?pressure:Workload.Pressure.t ->
-  ?ops_per_slice:int ->
-  ?costs:Vmsim.Costs.t ->
-  ?iterations:int ->
-  ?faults:Faults.Fault_plan.spec ->
-  ?fault_seed:int ->
-  ?verify:bool ->
-  ?trace:Telemetry.Sink.t ->
-  collector:string ->
-  spec:Workload.Spec.t ->
-  heap_bytes:int ->
-  unit ->
-  setup
-[@@deprecated "use Run.Plan.make and the with_* combinators"]
-
-val run : setup -> Metrics.outcome
-[@@deprecated "use Run.exec"]
-
-val run_pair : setup -> setup -> Metrics.outcome * Metrics.outcome
-[@@deprecated "use Run.Plan.with_process and Run.exec_all"]

@@ -1,25 +1,46 @@
 module Vec = Repro_util.Vec
 
-type t = { mutable table : int Vec.t option array }
+(* page -> objects-with-first-page-here index, stored as a two-level
+   chunked table so sparse address spaces (first pages near 2^30) cost
+   memory proportional to populated 4096-page chunks. Never-touched chunks
+   alias one shared all-None sentinel, which is never written: [bucket]
+   materialises a private chunk before inserting. *)
 
-let create () = { table = Array.make 1024 None }
+let chunk_shift = 12
+
+let chunk_pages = 1 lsl chunk_shift
+
+let chunk_mask = chunk_pages - 1
+
+let sentinel : int Vec.t option array = Array.make chunk_pages None
+
+type t = { mutable chunks : int Vec.t option array array }
+
+let create () = { chunks = Array.make 1 sentinel }
 
 let ensure t page =
-  let cap = Array.length t.table in
-  if page >= cap then begin
-    let cap' = max (page + 1) (cap * 2) in
-    let table' = Array.make cap' None in
-    Array.blit t.table 0 table' 0 cap;
-    t.table <- table'
-  end
+  let c = page lsr chunk_shift in
+  if c >= Array.length t.chunks then begin
+    let len' = max (c + 1) (2 * Array.length t.chunks) in
+    let chunks' = Array.make len' sentinel in
+    Array.blit t.chunks 0 chunks' 0 (Array.length t.chunks);
+    t.chunks <- chunks'
+  end;
+  if t.chunks.(c) == sentinel then t.chunks.(c) <- Array.make chunk_pages None
+
+let slot_of t page =
+  let c = page lsr chunk_shift in
+  if c < Array.length t.chunks then t.chunks.(c).(page land chunk_mask)
+  else None
 
 let bucket t page =
   ensure t page;
-  match t.table.(page) with
+  let chunk = t.chunks.(page lsr chunk_shift) in
+  match chunk.(page land chunk_mask) with
   | Some v -> v
   | None ->
       let v = Vec.create () in
-      t.table.(page) <- Some v;
+      chunk.(page land chunk_mask) <- Some v;
       v
 
 let add t ~page id =
@@ -54,13 +75,13 @@ let remove t ~page ?slot ?(moved = fun _ _ -> ()) id =
       find 0
 
 let objects_on t page =
-  if page < 0 || page >= Array.length t.table then [||]
-  else match t.table.(page) with None -> [||] | Some v -> Vec.to_array v
+  if page < 0 then [||]
+  else match slot_of t page with None -> [||] | Some v -> Vec.to_array v
 
 let count_on t page =
-  if page < 0 || page >= Array.length t.table then 0
-  else match t.table.(page) with None -> 0 | Some v -> Vec.length v
+  if page < 0 then 0
+  else match slot_of t page with None -> 0 | Some v -> Vec.length v
 
 let iter_on t page f =
-  if page >= 0 && page < Array.length t.table then
-    match t.table.(page) with None -> () | Some v -> Vec.iter f v
+  if page >= 0 then
+    match slot_of t page with None -> () | Some v -> Vec.iter f v

@@ -1,8 +1,11 @@
-(** Growable bit sets indexed by non-negative integers.
+(** Growable sparse bit sets indexed by non-negative integers.
 
     Used for page residency maps (BC's bit array of §3.3.1), card tables and
-    mark bitmaps. The set grows automatically on [set]; [mem] on an index
-    beyond the current capacity is [false]. *)
+    mark bitmaps. Storage is a two-level chunked array: memory is
+    proportional to the number of ~32 Kbit chunks actually containing set
+    bits, so giant sparse index spaces (page numbers near 2^30) are cheap.
+    The set grows automatically on [set]; [mem] on an index beyond the
+    current capacity is [false]. *)
 
 type t
 

@@ -14,6 +14,13 @@ val now : t -> int
 val advance : t -> int -> unit
 (** Advance the clock by the given (non-negative) number of nanoseconds. *)
 
+val skip : t -> events:int -> cost_ns:int -> unit
+(** [skip t ~events:n ~cost_ns] fast-forwards the clock by [n * cost_ns]
+    in one step — bit-identical to [n] successive [advance t cost_ns]
+    calls, since integer addition is associative. The event-skipping half
+    of {!Vmm.touch_span}: runs of uniform, event-free work are charged in
+    O(1) instead of O(n). *)
+
 val seconds : t -> float
 (** [now] in seconds. *)
 

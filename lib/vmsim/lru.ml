@@ -1,12 +1,35 @@
 type list_kind = Active | Inactive
 
-(* Intrusive doubly-linked lists over page numbers, stored in growable
-   parallel arrays. -1 is the null link. [where_] holds 0 = on no list,
-   1 = active, 2 = inactive. *)
+(* Intrusive doubly-linked lists over page numbers. -1 is the null link.
+   [where_] holds 0 = on no list, 1 = active, 2 = inactive.
+
+   Storage is a two-level chunked table so that page numbers near 2^30
+   cost memory proportional to the pages actually queued, not the address
+   space: a root array of chunks, each chunk holding parallel [next]/
+   [prev]/[where_] arrays for a 4096-page span. Never-touched chunks alias
+   one shared all-empty sentinel ([where_] all zero, links all -1), so
+   reads anywhere report "on no list" without allocating. The sentinel is
+   never written: [ensure] materialises a private chunk before any push,
+   and links are only ever written for pages already on a list (hence
+   already materialised). *)
+
+let chunk_shift = 12
+
+let chunk_pages = 1 lsl chunk_shift
+
+let chunk_mask = chunk_pages - 1
+
+type chunk = { next : int array; prev : int array; where_ : Bytes.t }
+
+let sentinel =
+  {
+    next = Array.make chunk_pages (-1);
+    prev = Array.make chunk_pages (-1);
+    where_ = Bytes.make chunk_pages '\000';
+  }
+
 type t = {
-  mutable next : int array;
-  mutable prev : int array;
-  mutable where_ : Bytes.t;
+  mutable chunks : chunk array;
   mutable active_head : int;
   mutable active_tail : int;
   mutable inactive_head : int;
@@ -17,9 +40,7 @@ type t = {
 
 let create () =
   {
-    next = Array.make 64 (-1);
-    prev = Array.make 64 (-1);
-    where_ = Bytes.make 64 '\000';
+    chunks = Array.make 1 sentinel;
     active_head = -1;
     active_tail = -1;
     inactive_head = -1;
@@ -29,26 +50,36 @@ let create () =
   }
 
 let ensure t page =
-  let cap = Array.length t.next in
-  if page >= cap then begin
-    let cap' = max (page + 1) (cap * 2) in
-    let grow_int a =
-      let a' = Array.make cap' (-1) in
-      Array.blit a 0 a' 0 cap;
-      a'
-    in
-    t.next <- grow_int t.next;
-    t.prev <- grow_int t.prev;
-    let w' = Bytes.make cap' '\000' in
-    Bytes.blit t.where_ 0 w' 0 cap;
-    t.where_ <- w'
-  end
+  let c = page lsr chunk_shift in
+  if c >= Array.length t.chunks then begin
+    let len' = max (c + 1) (2 * Array.length t.chunks) in
+    let chunks' = Array.make len' sentinel in
+    Array.blit t.chunks 0 chunks' 0 (Array.length t.chunks);
+    t.chunks <- chunks'
+  end;
+  if t.chunks.(c) == sentinel then
+    t.chunks.(c) <-
+      {
+        next = Array.make chunk_pages (-1);
+        prev = Array.make chunk_pages (-1);
+        where_ = Bytes.make chunk_pages '\000';
+      }
 
-let where t page =
-  if page >= Bytes.length t.where_ then 0
-  else Char.code (Bytes.get t.where_ page)
+let chunk_of t page =
+  let c = page lsr chunk_shift in
+  if c < Array.length t.chunks then Array.unsafe_get t.chunks c else sentinel
 
-let set_where t page w = Bytes.set t.where_ page (Char.chr w)
+let where t page = Char.code (Bytes.get (chunk_of t page).where_ (page land chunk_mask))
+
+let set_where t page w = Bytes.set (chunk_of t page).where_ (page land chunk_mask) (Char.chr w)
+
+let nxt t page = (chunk_of t page).next.(page land chunk_mask)
+
+let prv t page = (chunk_of t page).prev.(page land chunk_mask)
+
+let set_nxt t page v = (chunk_of t page).next.(page land chunk_mask) <- v
+
+let set_prv t page v = (chunk_of t page).prev.(page land chunk_mask) <- v
 
 let membership t page =
   match where t page with
@@ -57,8 +88,7 @@ let membership t page =
   | 2 -> Some Inactive
   | _ -> assert false
 
-(* Link [page] before [succ] (or at tail when [succ] = -1) of the list
-   described by the given head/tail accessors. *)
+(* Link [page] at the head of the list described by [kind]. *)
 
 let push_head t page ~kind =
   ensure t page;
@@ -66,17 +96,17 @@ let push_head t page ~kind =
   begin
     match kind with
     | Active ->
-        t.prev.(page) <- -1;
-        t.next.(page) <- t.active_head;
-        if t.active_head >= 0 then t.prev.(t.active_head) <- page
+        set_prv t page (-1);
+        set_nxt t page t.active_head;
+        if t.active_head >= 0 then set_prv t t.active_head page
         else t.active_tail <- page;
         t.active_head <- page;
         t.active_size <- t.active_size + 1;
         set_where t page 1
     | Inactive ->
-        t.prev.(page) <- -1;
-        t.next.(page) <- t.inactive_head;
-        if t.inactive_head >= 0 then t.prev.(t.inactive_head) <- page
+        set_prv t page (-1);
+        set_nxt t page t.inactive_head;
+        if t.inactive_head >= 0 then set_prv t t.inactive_head page
         else t.inactive_tail <- page;
         t.inactive_head <- page;
         t.inactive_size <- t.inactive_size + 1;
@@ -90,9 +120,9 @@ let push_inactive_head t page = push_head t page ~kind:Inactive
 let push_inactive_tail t page =
   ensure t page;
   if where t page <> 0 then invalid_arg "Lru: page already on a list";
-  t.next.(page) <- -1;
-  t.prev.(page) <- t.inactive_tail;
-  if t.inactive_tail >= 0 then t.next.(t.inactive_tail) <- page
+  set_nxt t page (-1);
+  set_prv t page t.inactive_tail;
+  if t.inactive_tail >= 0 then set_nxt t t.inactive_tail page
   else t.inactive_head <- page;
   t.inactive_tail <- page;
   t.inactive_size <- t.inactive_size + 1;
@@ -101,9 +131,9 @@ let push_inactive_tail t page =
 let remove t page =
   let w = where t page in
   if w = 0 then invalid_arg "Lru.remove: page not on a list";
-  let np = t.next.(page) and pp = t.prev.(page) in
-  if pp >= 0 then t.next.(pp) <- np;
-  if np >= 0 then t.prev.(np) <- pp;
+  let np = nxt t page and pp = prv t page in
+  if pp >= 0 then set_nxt t pp np;
+  if np >= 0 then set_prv t np pp;
   begin
     match w with
     | 1 ->
@@ -116,8 +146,8 @@ let remove t page =
         t.inactive_size <- t.inactive_size - 1
     | _ -> assert false
   end;
-  t.next.(page) <- -1;
-  t.prev.(page) <- -1;
+  set_nxt t page (-1);
+  set_prv t page (-1);
   set_where t page 0
 
 (* Remove a page that may or may not be listed in a single [where_]
@@ -142,7 +172,7 @@ let inactive_size t = t.inactive_size
 let iter_from_tail tail t f =
   let rec loop p =
     if p >= 0 then begin
-      let prev = t.prev.(p) in
+      let prev = prv t p in
       f p;
       loop prev
     end

@@ -11,14 +11,120 @@ let st_resident = 2
 
 let st_swapped = 3
 
-(* The page table is struct-of-arrays: a state byte, a packed flag byte
-   (Page_flags) and an owner pid per page, sized together. The touch
-   fast path then reads two bytes and writes one instead of chasing a
-   boxed record through an option. [owner_pid] doubles as the "was this
-   page ever mapped" bit: 0 means the slot has never been used (the old
-   table's [None]), while an unmapped-after-use page keeps its last
-   owner with state [st_unmapped] — exactly the distinction the record
-   table made, so error paths and syscall accounting are unchanged. *)
+(* The sparse two-level page table.
+
+   PR 4's flat struct-of-arrays table made the touch fast path cheap but
+   still cost O(address-space) memory: one state byte, one flag byte and
+   one owner word per *addressable* page. That caps machines well below
+   the paper's "run the big benchmark in a big heap" regime — a 2^30-page
+   space would eat gigabytes before the first touch. Pages are therefore
+   grouped into fixed 4096-page chunks hanging off a root array; a chunk
+   keeps the struct-of-arrays layout (state bytes + packed Page_flags +
+   owner pids) and is materialised on the first [map] inside its span, so
+   memory is proportional to *touched* chunks. Never-touched chunks all
+   alias one shared all-zero sentinel: reads anywhere report
+   state = unmapped / owner = 0 with plain array indexing, and the
+   sentinel is NEVER written (every writer materialises first).
+
+   The chunk span is 4 KB of state per chunk and is deliberately aligned
+   with the block granularity that a future Immix/zone collector family
+   wants to reason about (Nofl's block/line layout), which is why the
+   module is exported with a first-class signature rather than kept as
+   private plumbing. *)
+module Page_table = struct
+  let chunk_shift = 12
+
+  let chunk_pages = 1 lsl chunk_shift
+
+  let chunk_mask = chunk_pages - 1
+
+  type chunk = {
+    states : Bytes.t;
+    flags : Page_flags.set;
+    owners : int array;
+  }
+
+  let sentinel =
+    {
+      states = Bytes.make chunk_pages '\000';
+      flags = Page_flags.create chunk_pages;
+      owners = Array.make chunk_pages 0;
+    }
+
+  type t = { mutable chunks : chunk array; mutable materialized : int }
+
+  let create () = { chunks = Array.make 1 sentinel; materialized = 0 }
+
+  (* Total pages covered by materialised chunks — the table's actual
+     memory footprint, independent of how high the page numbers go. *)
+  let materialized_chunks t = t.materialized
+
+  let[@inline] chunk_of t page =
+    let c = page lsr chunk_shift in
+    if c < Array.length t.chunks then Array.unsafe_get t.chunks c
+    else sentinel
+
+  let[@inline] is_materialized t page = chunk_of t page != sentinel
+
+  let[@inline] state t page =
+    Char.code (Bytes.unsafe_get (chunk_of t page).states (page land chunk_mask))
+
+  let[@inline] owner_pid t page =
+    Array.unsafe_get (chunk_of t page).owners (page land chunk_mask)
+
+  let[@inline] flag t page bit =
+    Page_flags.get (chunk_of t page).flags (page land chunk_mask) bit
+
+  let materialize t page =
+    let c = page lsr chunk_shift in
+    if c >= Array.length t.chunks then begin
+      let len' = max (c + 1) (2 * Array.length t.chunks) in
+      let chunks' = Array.make len' sentinel in
+      Array.blit t.chunks 0 chunks' 0 (Array.length t.chunks);
+      t.chunks <- chunks'
+    end;
+    let chunk = t.chunks.(c) in
+    if chunk == sentinel then begin
+      let fresh =
+        {
+          states = Bytes.make chunk_pages '\000';
+          flags = Page_flags.create chunk_pages;
+          owners = Array.make chunk_pages 0;
+        }
+      in
+      t.chunks.(c) <- fresh;
+      t.materialized <- t.materialized + 1;
+      fresh
+    end
+    else chunk
+
+  (* Low-level mapping: stamp [page] untouched with owner [pid],
+     materialising its chunk. No already-mapped check — [Vmm.map_range]
+     owns validation and error wording. *)
+  let map t ~page ~pid =
+    let chunk = materialize t page in
+    let s = page land chunk_mask in
+    Bytes.unsafe_set chunk.states s (Char.unsafe_chr st_untouched);
+    Array.unsafe_set chunk.owners s pid
+
+  let iter_chunks t f =
+    Array.iteri
+      (fun chunk_index chunk ->
+        if chunk != sentinel then f ~chunk_index chunk)
+      t.chunks
+end
+
+(* pid -> process side table, chunked with the same lazy strategy (256
+   pids per chunk) so thousand-process machines don't pre-size arrays. *)
+let proc_shift = 8
+
+let proc_chunk = 1 lsl proc_shift
+
+let proc_mask = proc_chunk - 1
+
+let no_procs : Process.t option array = Array.make proc_chunk None
+(* Shared sentinel chunk of the procs table. MUST never be written. *)
+
 type t = {
   clock : Clock.t;
   costs : Costs.t;
@@ -28,12 +134,15 @@ type t = {
      at the next top-level page access *)
   pending_notices : (Fault_plan.notice * int) Queue.t;
   reclaim_batch : int;
-  mutable table_len : int;
-  mutable state : Bytes.t;
-  mutable flags : Page_flags.set;
-  mutable owner_pid : int array;
-  (* pid -> process side table; pids are dense from 1 *)
-  mutable procs : Process.t option array;
+  pt : Page_table.t;
+  (* last-chunk cache for the touch fast path: [fast_ci] is the chunk
+     index whose (materialised) state/flag bytes are cached below, or -1.
+     Chunks are never replaced once materialised, so a cached chunk can
+     never go stale; the cache only ever holds materialised chunks. *)
+  mutable fast_ci : int;
+  mutable fast_states : Bytes.t;
+  mutable fast_flags : Page_flags.set;
+  mutable procs : Process.t option array array;
   lru : Lru.t;
   mutable capacity : int;
   mutable resident : int;
@@ -75,11 +184,11 @@ let create ?(costs = Costs.default) ?(reclaim_batch = 16) ?swap_capacity_pages
     faults;
     pending_notices = Queue.create ();
     reclaim_batch;
-    table_len = 256;
-    state = Bytes.make 256 '\000';
-    flags = Page_flags.create 256;
-    owner_pid = Array.make 256 0;
-    procs = Array.make 16 None;
+    pt = Page_table.create ();
+    fast_ci = -1;
+    fast_states = Page_table.sentinel.Page_table.states;
+    fast_flags = Page_table.sentinel.Page_table.flags;
+    procs = Array.make 1 no_procs;
     lru = Lru.create ();
     capacity = frames;
     resident = 0;
@@ -104,16 +213,28 @@ let costs t = t.costs
 
 let swap t = t.swap
 
+let page_table t = t.pt
+
+let[@inline] find_proc t pid =
+  let c = pid lsr proc_shift in
+  let chunk =
+    if c < Array.length t.procs then Array.unsafe_get t.procs c else no_procs
+  in
+  Array.unsafe_get chunk (pid land proc_mask)
+
 let create_process t ~name =
   let p = Process.create ~pid:t.next_pid ~name in
   t.next_pid <- t.next_pid + 1;
   let pid = Process.pid p in
-  if pid >= Array.length t.procs then begin
-    let procs' = Array.make (max (pid + 1) (2 * Array.length t.procs)) None in
+  let c = pid lsr proc_shift in
+  if c >= Array.length t.procs then begin
+    let len' = max (c + 1) (2 * Array.length t.procs) in
+    let procs' = Array.make len' no_procs in
     Array.blit t.procs 0 procs' 0 (Array.length t.procs);
     t.procs <- procs'
   end;
-  t.procs.(pid) <- Some p;
+  if t.procs.(c) == no_procs then t.procs.(c) <- Array.make proc_chunk None;
+  t.procs.(c).(pid land proc_mask) <- Some p;
   p
 
 let capacity t = t.capacity
@@ -126,56 +247,65 @@ let pinned_count t = t.pinned
 
 let stats t = t.stats
 
-(* {2 Struct-of-arrays accessors}
+(* {2 Page-table accessors}
 
-   All unsafe accesses are behind an explicit bounds check: every entry
-   point either checks [page < t.table_len] itself or reaches the page
-   through the LRU lists, whose members are always in-table. *)
+   Reads go through the chunk table and are safe for any page number:
+   out-of-root or never-materialised pages read the shared sentinel
+   (state unmapped, owner 0, flags clear). Writers must only run on pages
+   whose chunk is materialised — which every call site guarantees by
+   checking mapped-ness first (mapping materialises) — asserted below. *)
 
-let[@inline] pstate t page = Char.code (Bytes.unsafe_get t.state page)
+let[@inline] pstate t page = Page_table.state t.pt page
 
 let[@inline] set_pstate t page s =
-  Bytes.unsafe_set t.state page (Char.unsafe_chr s)
+  assert (Page_table.is_materialized t.pt page);
+  Bytes.unsafe_set
+    (Page_table.chunk_of t.pt page).Page_table.states
+    (page land Page_table.chunk_mask)
+    (Char.unsafe_chr s)
 
-let[@inline] opid t page = Array.unsafe_get t.owner_pid page
+let[@inline] opid t page = Page_table.owner_pid t.pt page
 
 let[@inline] owner_proc t page =
-  match t.procs.(opid t page) with Some p -> p | None -> assert false
+  match find_proc t (opid t page) with Some p -> p | None -> assert false
 
-(* [info t page = None] in the record table meant "slot never mapped";
-   that is [opid = 0] here (map_range always records an owner and never
-   clears it). *)
-let[@inline] in_table t page = page >= 0 && page < t.table_len
-
-let[@inline] ever_mapped t page = in_table t page && opid t page <> 0
+(* [info t page = None] in the old record table meant "slot never
+   mapped"; that is [owner_pid = 0] here (map_range always records an
+   owner and never clears it). *)
+let[@inline] ever_mapped t page = opid t page <> 0
 
 let check_mapped t page =
   if not (ever_mapped t page) then
     invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
 
-let ensure_table t page =
-  if page >= t.table_len then begin
-    let cap' = max (page + 1) (t.table_len * 2) in
-    let state' = Bytes.make cap' '\000' in
-    Bytes.blit t.state 0 state' 0 t.table_len;
-    t.state <- state';
-    t.flags <- Page_flags.grow t.flags cap';
-    let owner' = Array.make cap' 0 in
-    Array.blit t.owner_pid 0 owner' 0 t.table_len;
-    t.owner_pid <- owner';
-    t.table_len <- cap'
-  end
+(* Per-page flag helpers over the chunked flag bytes. *)
+
+let[@inline] fget t page bit = Page_table.flag t.pt page bit
+
+let[@inline] fset t page bit =
+  assert (Page_table.is_materialized t.pt page);
+  Page_flags.set
+    (Page_table.chunk_of t.pt page).Page_table.flags
+    (page land Page_table.chunk_mask)
+    bit
+
+let[@inline] fclear t page bit =
+  assert (Page_table.is_materialized t.pt page);
+  Page_flags.clear
+    (Page_table.chunk_of t.pt page).Page_table.flags
+    (page land Page_table.chunk_mask)
+    bit
+
+let[@inline] fput t page bit v = if v then fset t page bit else fclear t page bit
 
 let map_range t proc ~first_page ~npages =
-  ensure_table t (first_page + npages - 1);
   let pid = Process.pid proc in
   for p = first_page to first_page + npages - 1 do
     if pstate t p <> st_unmapped then
       invalid_arg (Printf.sprintf "Vmm.map_range: page %d already mapped" p);
     (* a reused slot keeps its residual flag bits, as the record table's
        reused pinfo did; fresh slots start all-clear *)
-    set_pstate t p st_untouched;
-    Array.unsafe_set t.owner_pid p pid
+    Page_table.map t.pt ~page:p ~pid
   done
 
 let owner t page =
@@ -183,15 +313,13 @@ let owner t page =
     Some (owner_proc t page)
   else None
 
-let is_resident t page = in_table t page && pstate t page = st_resident
+let is_resident t page = pstate t page = st_resident
 
-let is_swapped t page = in_table t page && pstate t page = st_swapped
+let is_swapped t page = pstate t page = st_swapped
 
-let is_protected t page =
-  in_table t page && Page_flags.get t.flags page Page_flags.protected_
+let is_protected t page = fget t page Page_flags.protected_
 
-let is_dirty t page =
-  in_table t page && Page_flags.get t.flags page Page_flags.dirty
+let is_dirty t page = fget t page Page_flags.dirty
 
 (* Every residency transition funnels through here so the global count,
    the global gauge and the owning process's gauge stay in lock-step;
@@ -207,9 +335,9 @@ let note_residency t page delta =
 let release_frame t page =
   ignore (Lru.remove_if_present t.lru page : bool);
   set_pstate t page st_untouched;
-  Page_flags.clear t.flags page Page_flags.dirty;
-  Page_flags.clear t.flags page Page_flags.in_swap;
-  Page_flags.clear t.flags page Page_flags.surrendered;
+  fclear t page Page_flags.dirty;
+  fclear t page Page_flags.in_swap;
+  fclear t page Page_flags.surrendered;
   note_residency t page (-1)
 
 (* Attempt the swap write behind an eviction, with bounded
@@ -237,13 +365,9 @@ let swap_write_retrying t page =
    the page resident, back on the active list — when the swap device
    refuses the write; the reclaim loop then moves on to other victims. *)
 let swap_out t page =
-  assert (
-    pstate t page = st_resident
-    && not (Page_flags.get t.flags page Page_flags.pinned));
+  assert (pstate t page = st_resident && not (fget t page Page_flags.pinned));
   let wrote =
-    if
-      Page_flags.get t.flags page Page_flags.dirty
-      || not (Page_flags.get t.flags page Page_flags.in_swap)
+    if fget t page Page_flags.dirty || not (fget t page Page_flags.in_swap)
     then begin
       if swap_write_retrying t page then begin
         let pstats = Process.stats (owner_proc t page) in
@@ -251,7 +375,7 @@ let swap_out t page =
         ev t Telemetry.Event.Swap_write page (Process.pid (owner_proc t page));
         t.stats.Vm_stats.swap_outs <- t.stats.Vm_stats.swap_outs + 1;
         pstats.Vm_stats.swap_outs <- pstats.Vm_stats.swap_outs + 1;
-        Page_flags.set t.flags page Page_flags.in_swap;
+        fset t page Page_flags.in_swap;
         true
       end
       else false
@@ -260,9 +384,9 @@ let swap_out t page =
   in
   if wrote then begin
     set_pstate t page st_swapped;
-    Page_flags.clear t.flags page Page_flags.dirty;
-    Page_flags.clear t.flags page Page_flags.surrendered;
-    Page_flags.clear t.flags page Page_flags.referenced;
+    fclear t page Page_flags.dirty;
+    fclear t page Page_flags.surrendered;
+    fclear t page Page_flags.referenced;
     note_residency t page (-1);
     ev t Telemetry.Event.Eviction page (Process.pid (owner_proc t page));
     t.stats.Vm_stats.evictions <- t.stats.Vm_stats.evictions + 1;
@@ -273,8 +397,8 @@ let swap_out t page =
   else begin
     (* eviction failed: the page stays resident and re-enters the LRU so
        a later pass can retry once the device recovers *)
-    Page_flags.clear t.flags page Page_flags.referenced;
-    Page_flags.clear t.flags page Page_flags.surrendered;
+    fclear t page Page_flags.referenced;
+    fclear t page Page_flags.surrendered;
     if Lru.membership t.lru page = None then Lru.push_active_head t.lru page;
     false
   end
@@ -308,12 +432,16 @@ let route_notice t kind page deliver =
   | Fault_plan.Delay ->
       ev_inject t Telemetry.Event.Delayed_notice page;
       Queue.add (kind, page) t.pending_notices;
-      t.notices_pending <- true
+      t.notices_pending <- true;
+      (* the touch fast path has no pending-notices test: it relies on a
+         raised flag invalidating the chunk cache (see [touch]) *)
+      t.fast_ci <- -1
   | Fault_plan.Duplicate ->
       ev_inject t Telemetry.Event.Duplicated_notice page;
       deliver ();
       Queue.add (kind, page) t.pending_notices;
-      t.notices_pending <- true
+      t.notices_pending <- true;
+      t.fast_ci <- -1
 
 (* Move up to [n] pages from the active tail into the inactive list,
    giving referenced pages a second chance. Returns how many moved. *)
@@ -328,8 +456,8 @@ let refill_inactive t n =
     | Some page ->
         check_mapped t page;
         Lru.remove t.lru page;
-        if Page_flags.get t.flags page Page_flags.referenced then begin
-          Page_flags.clear t.flags page Page_flags.referenced;
+        if fget t page Page_flags.referenced then begin
+          fclear t page Page_flags.referenced;
           Lru.push_active_head t.lru page
         end
         else begin
@@ -370,14 +498,14 @@ let reclaim t ~required ~target =
         | Some victim ->
             check_mapped t victim;
             Lru.remove t.lru victim;
-            if Page_flags.get t.flags victim Page_flags.referenced then begin
+            if fget t victim Page_flags.referenced then begin
               (* second chance; a touch also cancels a pending surrender
                  (the page's owner was already told it reloaded) *)
-              Page_flags.clear t.flags victim Page_flags.referenced;
-              Page_flags.clear t.flags victim Page_flags.surrendered;
+              fclear t victim Page_flags.referenced;
+              fclear t victim Page_flags.surrendered;
               Lru.push_active_head t.lru victim
             end
-            else if Page_flags.get t.flags victim Page_flags.surrendered then
+            else if fget t victim Page_flags.surrendered then
               ignore (swap_out t victim)
             else begin
               (* Pre-eviction notice: the page is still resident and its
@@ -397,11 +525,10 @@ let reclaim t ~required ~target =
                 (* handler discarded it *)
                 ()
               else if
-                free_frames t >= target
-                || Page_flags.get t.flags victim Page_flags.referenced
+                free_frames t >= target || fget t victim Page_flags.referenced
               then begin
                 (* pressure relieved, or the owner vetoed by touching *)
-                Page_flags.clear t.flags victim Page_flags.referenced;
+                fclear t victim Page_flags.referenced;
                 Lru.push_active_head t.lru victim
               end
               else ignore (swap_out t victim)
@@ -427,7 +554,7 @@ let reclaim t ~required ~target =
               incr attempts;
               check_mapped t victim;
               remove victim;
-              Page_flags.clear t.flags victim Page_flags.referenced;
+              fclear t victim Page_flags.referenced;
               if swap_out t victim then begin
                 ev t Telemetry.Event.Forced_eviction victim
                   (Process.pid (owner_proc t victim));
@@ -478,7 +605,7 @@ let deliver_protection_fault t page =
   pstats.Vm_stats.protection_faults <- pstats.Vm_stats.protection_faults + 1;
   match Process.handlers (owner_proc t page) with
   | Some h -> h.Process.on_protection_fault page
-  | None -> Page_flags.clear t.flags page Page_flags.protected_
+  | None -> fclear t page Page_flags.protected_
 
 (* Read the page's swap copy, retrying past injected transient errors.
    The fault plan bounds consecutive read errors, so the retry budget is
@@ -501,19 +628,17 @@ let swap_read_retrying t page =
   in
   go 1
 
-(* The touch slow path: everything except an unprotected resident hit.
-   [page] is known to be in-table here. *)
+(* The touch slow path: everything except an unprotected resident hit. *)
 let rec do_touch t ~write page =
   let s = pstate t page in
   if s = st_resident then begin
-    Page_flags.set t.flags page Page_flags.referenced;
-    if write then Page_flags.set t.flags page Page_flags.dirty;
-    if Page_flags.get t.flags page Page_flags.protected_ then begin
+    fset t page Page_flags.referenced;
+    if write then fset t page Page_flags.dirty;
+    if fget t page Page_flags.protected_ then begin
       deliver_protection_fault t page;
       (* retry the access if the handler unprotected the page; if it did
          not, the access proceeds anyway (the handler owns the policy) *)
-      if not (Page_flags.get t.flags page Page_flags.protected_) then
-        do_touch t ~write page
+      if not (fget t page Page_flags.protected_) then do_touch t ~write page
     end
   end
   else if s = st_untouched then begin
@@ -522,11 +647,10 @@ let rec do_touch t ~write page =
     count_fault t page ~major:false;
     ensure_frame t;
     set_pstate t page st_resident;
-    Page_flags.set t.flags page Page_flags.referenced;
-    Page_flags.put t.flags page Page_flags.dirty write;
+    fset t page Page_flags.referenced;
+    fput t page Page_flags.dirty write;
     note_residency t page 1;
-    if not (Page_flags.get t.flags page Page_flags.pinned) then
-      Lru.push_active_head t.lru page
+    if not (fget t page Page_flags.pinned) then Lru.push_active_head t.lru page
   end
   else if s = st_swapped then begin
     swap_read_retrying t page;
@@ -536,12 +660,11 @@ let rec do_touch t ~write page =
     count_fault t page ~major:true;
     ensure_frame t;
     set_pstate t page st_resident;
-    Page_flags.set t.flags page Page_flags.referenced;
-    Page_flags.put t.flags page Page_flags.dirty write;
-    Page_flags.clear t.flags page Page_flags.surrendered;
+    fset t page Page_flags.referenced;
+    fput t page Page_flags.dirty write;
+    fclear t page Page_flags.surrendered;
     note_residency t page 1;
-    if not (Page_flags.get t.flags page Page_flags.pinned) then
-      Lru.push_active_head t.lru page;
+    if not (fget t page Page_flags.pinned) then Lru.push_active_head t.lru page;
     (* made-resident notice (the fault plan may lose it — the
        protection upcall below is the reliable backstop), then any
        protection upcall *)
@@ -552,8 +675,7 @@ let rec do_touch t ~write page =
               (Process.pid (owner_proc t page));
             h.Process.on_resident page)
     | None -> ());
-    if Page_flags.get t.flags page Page_flags.protected_ then
-      deliver_protection_fault t page
+    if fget t page Page_flags.protected_ then deliver_protection_fault t page
   end
   else if opid t page = 0 then
     invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
@@ -607,18 +729,35 @@ let () =
     Page_flags.referenced = 2 && Page_flags.dirty = 1
     && Page_flags.protected_ = 4)
 
-(* The hot path of the whole simulator: every simulated byte the mutator
-   or a collector touches lands here. The fast path — page in-table,
-   resident, unprotected — is one immediate test (pending notices), a
-   bounds check, one state-byte load and one flag-byte read-modify-write;
-   everything else drops to [do_touch]. *)
-let touch t ?(write = false) page =
+(* Chunk-cache miss: flush any pending notices (a raised flag always
+   invalidates the cache — see [route_notice] — so a cache hit implies no
+   pending notices and the fast path below carries no notices test at
+   all), install the page's chunk and take one touch step on it. Only
+   materialised chunks are ever cached — a materialised chunk is never
+   replaced, so the cached bytes cannot go stale. A sentinel
+   (never-mapped) chunk means the page was never mapped.
+
+   The single touch step is taken directly on the chunk rather than by
+   retrying through the cache: a flush may itself enqueue fresh notices
+   (re-invalidating the cache), and the historical semantics flush at
+   most once per touch. For the same reason the cache is only installed
+   when the flush left nothing pending. *)
+let touch_miss t ~write page =
   if t.notices_pending then flush_pending_notices t;
-  if page >= 0 && page < t.table_len then begin
-    if Char.code (Bytes.unsafe_get t.state page) = st_resident then begin
-      let f = Char.code (Bytes.unsafe_get t.flags page) in
+  let chunk = Page_table.chunk_of t.pt page in
+  if chunk != Page_table.sentinel then begin
+    let states = chunk.Page_table.states
+    and flags = chunk.Page_table.flags in
+    if not t.notices_pending then begin
+      t.fast_ci <- page lsr Page_table.chunk_shift;
+      t.fast_states <- states;
+      t.fast_flags <- flags
+    end;
+    let s = page land Page_table.chunk_mask in
+    if Char.code (Bytes.get states s) = st_resident then begin
+      let f = Char.code (Bytes.get flags s) in
       if f land 4 (* protected_ *) = 0 then
-        Bytes.unsafe_set t.flags page
+        Bytes.set flags s
           (Char.unsafe_chr
              (f lor if write then 3 (* referenced+dirty *) else 2))
       else do_touch t ~write page
@@ -627,12 +766,134 @@ let touch t ?(write = false) page =
   end
   else invalid_arg (Printf.sprintf "Vmm: page %d is unmapped" page)
 
+(* The hot path of the whole simulator: every simulated byte the mutator
+   or a collector touches lands here. The fast path — page in the cached
+   chunk, resident, unprotected — is a shift + compare against the
+   cached chunk index, one state-byte load and one flag-byte
+   read-modify-write. There is no pending-notices test: enqueuing a
+   notice invalidates the chunk cache, so a hit proves the queue is
+   empty and [touch_miss] flushes on the way back in. A chunk-cache miss
+   refreshes the cache through [touch_miss] and everything else drops to
+   [do_touch].
+
+   Negative pages cannot false-hit the cache: [page lsr chunk_shift] on a
+   negative argument yields a huge positive index far above any chunk the
+   root array could hold, so the compare fails and [touch_miss] reports
+   the page unmapped, preserving the error wording. *)
+let touch t ?(write = false) page =
+  if page lsr Page_table.chunk_shift = t.fast_ci then begin
+    let s = page land Page_table.chunk_mask in
+    if Char.code (Bytes.unsafe_get t.fast_states s) = st_resident then begin
+      let f = Char.code (Bytes.unsafe_get t.fast_flags s) in
+      if f land 4 (* protected_ *) = 0 then
+        Bytes.unsafe_set t.fast_flags s
+          (Char.unsafe_chr
+             (f lor if write then 3 (* referenced+dirty *) else 2))
+      else do_touch t ~write page
+    end
+    else do_touch t ~write page
+  end
+  else touch_miss t ~write page
+
+(* {2 Batched spans and the event-skipping clock}
+
+   [touch_span] is defined as exactly equivalent to
+
+     for page = first_page to first_page + npages - 1 do
+       Clock.advance clock cost_ns; touch t ~write page
+     done
+
+   and the equivalence is what makes the skipping invisible: a resident,
+   unprotected touch takes the fast path above, which emits no events,
+   delivers no notices and never advances the clock — so a run of such
+   touches commutes with its own clock advances. The batched form ORs the
+   flag bits per page (the only observable effect) and fast-forwards the
+   clock once by run_length * cost_ns ([Clock.skip]); the first page that
+   is faulting, protected, swapped or outside a materialised chunk falls
+   back to one per-page step, where faults interleave with clock advances
+   exactly as in the sequential definition. Pending notices are flushed at
+   the same points a per-page loop would flush them: resident fast-path
+   touches never enqueue notices, so the flag can only be raised by a
+   slow page — after which the loop re-checks per page.
+
+   [set_span_skipping false] forces the literal per-page loop; the
+   determinism test compares traces produced both ways byte-for-byte. *)
+
+let span_skipping = ref true
+
+let set_span_skipping b = span_skipping := b
+
+let span_skipping_enabled () = !span_skipping
+
+let touch_span t ?(write = false) ?(cost_ns = 0) ~first_page npages =
+  if not !span_skipping then
+    for page = first_page to first_page + npages - 1 do
+      if cost_ns > 0 then Clock.advance t.clock cost_ns;
+      touch t ~write page
+    done
+  else begin
+    let last = first_page + npages - 1 in
+    let p = ref first_page in
+    while !p <= last do
+      if t.notices_pending then begin
+        (* a slow page enqueued notices: take the literal per-page step so
+           the flush happens exactly where the sequential loop flushes *)
+        if cost_ns > 0 then Clock.advance t.clock cost_ns;
+        touch t ~write !p;
+        incr p
+      end
+      else begin
+        let page = !p in
+        let chunk = Page_table.chunk_of t.pt page in
+        if chunk == Page_table.sentinel then begin
+          (* never-mapped chunk: the per-page step raises, as touch would *)
+          if cost_ns > 0 then Clock.advance t.clock cost_ns;
+          touch t ~write page;
+          incr p
+        end
+        else begin
+          let states = chunk.Page_table.states
+          and flags = chunk.Page_table.flags in
+          let s0 = page land Page_table.chunk_mask in
+          let smax =
+            min (Page_table.chunk_mask) (s0 + (last - page))
+          in
+          let orbits = if write then 3 (* referenced+dirty *) else 2 in
+          (* extend the resident, unprotected run as far as it reaches *)
+          let s = ref s0 in
+          let running = ref true in
+          while !running && !s <= smax do
+            if Char.code (Bytes.unsafe_get states !s) = st_resident then begin
+              let f = Char.code (Bytes.unsafe_get flags !s) in
+              if f land 4 (* protected_ *) = 0 then begin
+                Bytes.unsafe_set flags !s (Char.unsafe_chr (f lor orbits));
+                incr s
+              end
+              else running := false
+            end
+            else running := false
+          done;
+          let run = !s - s0 in
+          if run > 0 && cost_ns > 0 then
+            Clock.skip t.clock ~events:run ~cost_ns;
+          p := page + run;
+          if !s <= smax then begin
+            (* the run stopped on a slow page still inside the span *)
+            if cost_ns > 0 then Clock.advance t.clock cost_ns;
+            touch t ~write !p;
+            incr p
+          end
+        end
+      end
+    done
+  end
+
 let unmap_range t ~first_page ~npages =
   for p = first_page to first_page + npages - 1 do
     if ever_mapped t p then begin
       if pstate t p = st_resident then begin
-        if Page_flags.get t.flags p Page_flags.pinned then begin
-          Page_flags.clear t.flags p Page_flags.pinned;
+        if fget t p Page_flags.pinned then begin
+          fclear t p Page_flags.pinned;
           t.pinned <- t.pinned - 1;
           note_residency t p (-1)
         end
@@ -640,8 +901,8 @@ let unmap_range t ~first_page ~npages =
       end;
       Swap.drop t.swap p;
       set_pstate t p st_unmapped;
-      Page_flags.clear t.flags p Page_flags.in_swap;
-      Page_flags.clear t.flags p Page_flags.protected_
+      fclear t p Page_flags.in_swap;
+      fclear t p Page_flags.protected_
     end
   done
 
@@ -650,7 +911,7 @@ let madvise_dontneed t page =
     Clock.advance t.clock t.costs.Costs.syscall_ns;
     let s = pstate t page in
     if s = st_resident then begin
-      if Page_flags.get t.flags page Page_flags.pinned then
+      if fget t page Page_flags.pinned then
         invalid_arg "Vmm.madvise_dontneed: page is pinned";
       release_frame t page;
       ev t Telemetry.Event.Discard page (Process.pid (owner_proc t page));
@@ -661,8 +922,8 @@ let madvise_dontneed t page =
     else if s = st_swapped then begin
       Swap.drop t.swap page;
       set_pstate t page st_untouched;
-      Page_flags.clear t.flags page Page_flags.in_swap;
-      Page_flags.clear t.flags page Page_flags.dirty;
+      fclear t page Page_flags.in_swap;
+      fclear t page Page_flags.dirty;
       ev t Telemetry.Event.Discard page (Process.pid (owner_proc t page));
       t.stats.Vm_stats.discards <- t.stats.Vm_stats.discards + 1;
       let pstats = Process.stats (owner_proc t page) in
@@ -677,10 +938,10 @@ let vm_relinquish t pages =
       if
         ever_mapped t page
         && pstate t page = st_resident
-        && not (Page_flags.get t.flags page Page_flags.pinned)
+        && not (fget t page Page_flags.pinned)
       then begin
-        Page_flags.clear t.flags page Page_flags.referenced;
-        Page_flags.set t.flags page Page_flags.surrendered;
+        fclear t page Page_flags.referenced;
+        fset t page Page_flags.surrendered;
         ignore (Lru.remove_if_present t.lru page : bool);
         Lru.push_inactive_tail t.lru page;
         ev t Telemetry.Event.Relinquish page (Process.pid (owner_proc t page));
@@ -693,22 +954,22 @@ let vm_relinquish t pages =
 let mprotect t page ~protect =
   Clock.advance t.clock t.costs.Costs.syscall_ns;
   check_mapped t page;
-  Page_flags.put t.flags page Page_flags.protected_ protect
+  fput t page Page_flags.protected_ protect
 
 let mlock t page =
   check_mapped t page;
   (* locking must not fire protection upcalls; lock the raw frame *)
   if pstate t page <> st_resident then touch t ~write:false page;
-  if not (Page_flags.get t.flags page Page_flags.pinned) then begin
-    Page_flags.set t.flags page Page_flags.pinned;
+  if not (fget t page Page_flags.pinned) then begin
+    fset t page Page_flags.pinned;
     t.pinned <- t.pinned + 1;
     ignore (Lru.remove_if_present t.lru page : bool)
   end
 
 let munlock t page =
   check_mapped t page;
-  if Page_flags.get t.flags page Page_flags.pinned then begin
-    Page_flags.clear t.flags page Page_flags.pinned;
+  if fget t page Page_flags.pinned then begin
+    fclear t page Page_flags.pinned;
     t.pinned <- t.pinned - 1;
     if pstate t page = st_resident then Lru.push_active_head t.lru page
   end
@@ -723,7 +984,7 @@ let coldest_pages t ~owner ~n =
   let acc = ref [] in
   let count = ref 0 in
   let consider page =
-    if !count < n && in_table t page && opid t page = pid then begin
+    if !count < n && opid t page = pid then begin
       acc := page :: !acc;
       incr count
     end
@@ -734,18 +995,24 @@ let coldest_pages t ~owner ~n =
 
 let pending_notice_count t = Queue.length t.pending_notices
 
-(* O(pages) scan, kept as the debug cross-check for the gauge below. *)
+(* O(materialised pages) scan, kept as the debug cross-check for the
+   gauge below. Only materialised chunks are visited, so the scan stays
+   proportional to touched pages even on 2^30-page address spaces. *)
 let debug_count_resident_owned t proc =
   let pid = Process.pid proc in
   let n = ref 0 in
-  for page = 0 to t.table_len - 1 do
-    if pstate t page = st_resident && opid t page = pid then incr n
-  done;
+  Page_table.iter_chunks t.pt (fun ~chunk_index:_ chunk ->
+      for s = 0 to Page_table.chunk_pages - 1 do
+        if
+          Char.code (Bytes.unsafe_get chunk.Page_table.states s) = st_resident
+          && Array.unsafe_get chunk.Page_table.owners s = pid
+        then incr n
+      done);
   !n
 
 (* Per-process residency is maintained incrementally by [note_residency],
-   so this is a gauge read; the full-table scan survives only as an
-   assertion (compiled out with -noassert). *)
+   so this is a gauge read; the materialised-chunk scan survives only as
+   an assertion (compiled out with -noassert). *)
 let count_resident_owned t proc =
   let n = (Process.stats proc).Vm_stats.resident_pages in
   assert (n = debug_count_resident_owned t proc);

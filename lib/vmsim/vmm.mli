@@ -9,7 +9,97 @@
 
     Every page access in the simulation goes through {!touch}; this is the
     single point where reference bits, dirty bits, faults and the disk
-    penalty are accounted. *)
+    penalty are accounted.
+
+    The address space is backed by {!Page_table}, a sparse two-level
+    chunked table: memory is proportional to the pages actually mapped,
+    so giant (2^30-page) address spaces are cheap, and runs of resident
+    touches can be batched with {!touch_span}'s event-skipping clock. *)
+
+(** The sparse two-level page table.
+
+    A root array of chunk pointers; each chunk holds the struct-of-arrays
+    page metadata (state bytes, packed {!Page_flags}, owner pids) for a
+    fixed [chunk_pages]-page span and is materialised lazily on first
+    {!Page_table.map}. Never-materialised chunks all alias one shared
+    all-zero {!Page_table.sentinel}, so lookups anywhere in the address
+    space are plain array indexing and never allocate.
+
+    Invariants:
+    - [owner_pid t page = 0] means the page was {e never} mapped (pid 0 is
+      reserved); a page unmapped after use keeps its last owner with state
+      unmapped, preserving the "never mapped" / "unmapped after use"
+      distinction the error paths rely on.
+    - The sentinel is never written; every writer materialises first.
+    - A chunk, once materialised, is never replaced — pointers into its
+      arrays (e.g. the VMM's touch-path chunk cache) stay valid for the
+      table's lifetime.
+
+    The chunk span (4096 pages) is aligned with the block granularity the
+    planned Immix/zone collector family reasons about, and the module is
+    exported so that family can reuse the table without reaching into
+    [Vmm] internals. Treat the chunk arrays as read-only outside [Vmm]:
+    like {!Page_flags.set}, they are exposed raw so hot paths can index
+    them without a cross-module call. *)
+module Page_table : sig
+  type t
+
+  type chunk = {
+    states : Bytes.t;  (** one state byte per page *)
+    flags : Page_flags.set;  (** one packed flag byte per page *)
+    owners : int array;  (** owner pid per page; 0 = never mapped *)
+  }
+
+  val chunk_shift : int
+  (** [page lsr chunk_shift] is the chunk index. *)
+
+  val chunk_pages : int
+  (** Pages per chunk ([1 lsl chunk_shift] = 4096). *)
+
+  val chunk_mask : int
+  (** [page land chunk_mask] is the index within the chunk. *)
+
+  val sentinel : chunk
+  (** The shared all-zero chunk that never-materialised slots alias. *)
+
+  val create : unit -> t
+
+  val state : t -> int -> int
+  (** Page state byte; 0 (unmapped) for any never-materialised page,
+      including pages beyond the root array and negative pages. *)
+
+  val owner_pid : t -> int -> int
+  (** Owning pid, or 0 if the page was never mapped. *)
+
+  val flag : t -> int -> int -> bool
+  (** [flag t page bit] tests a {!Page_flags} bit; false wherever the
+      sentinel answers. *)
+
+  val chunk_of : t -> int -> chunk
+  (** The chunk covering a page — possibly {!sentinel}. Total for every
+      [int], so lookups need no bounds check of their own. *)
+
+  val is_materialized : t -> int -> bool
+
+  val materialize : t -> int -> chunk
+  (** The chunk covering a page, materialising (and growing the root) as
+      needed. *)
+
+  val map : t -> page:int -> pid:int -> unit
+  (** Low-level mapping: stamp the page untouched with the given owner,
+      materialising its chunk. Validation (already-mapped checks,
+      accounting) is the caller's job — [Vmm.map_range] is the checked
+      entry point. *)
+
+  val materialized_chunks : t -> int
+  (** Number of materialised chunks — the table's real memory footprint
+      ([materialized_chunks * chunk_pages] pages of metadata) regardless
+      of how high the page numbers reach. *)
+
+  val iter_chunks : t -> (chunk_index:int -> chunk -> unit) -> unit
+  (** Iterate materialised chunks in address order; sentinel (never
+      touched) chunks are skipped, so iteration is O(touched pages). *)
+end
 
 type t
 
@@ -67,6 +157,31 @@ val touch : t -> ?write:bool -> int -> unit
     zero-fills on first touch (minor fault), reloads from swap (major
     fault, charging the disk penalty) and delivers protection-fault and
     made-resident upcalls as appropriate. *)
+
+val touch_span : t -> ?write:bool -> ?cost_ns:int -> first_page:int -> int -> unit
+(** [touch_span t ~first_page npages] touches [npages] consecutive pages,
+    by definition exactly equivalent to
+
+    {[ for page = first_page to first_page + npages - 1 do
+         Clock.advance (clock t) cost_ns; touch t ~write page
+       done ]}
+
+    but detecting runs of resident, unprotected pages and fast-forwarding
+    the clock by [run * cost_ns] in O(1) ({!Clock.skip}) instead of
+    stepping per touch. Resident fast-path touches emit no events, deliver
+    no notices and never advance the clock, so the batching is invisible:
+    all simulated metrics, timestamps and fault interleavings are
+    bit-identical to the per-page loop. The first faulting, protected,
+    swapped or unmapped page falls back to one per-page step.
+    [cost_ns] defaults to 0 (pure touches, no per-access charge). *)
+
+val set_span_skipping : bool -> unit
+(** Globally disable ([false]) or re-enable ([true], the default) span
+    skipping: with it off, {!touch_span} runs the literal per-page loop.
+    Exists so determinism tests can prove traces are byte-identical both
+    ways; simulation results must never depend on the setting. *)
+
+val span_skipping_enabled : unit -> bool
 
 val is_resident : t -> int -> bool
 (** [mincore]: true when the page is in a physical frame. *)
@@ -132,7 +247,14 @@ val pending_notice_count : t -> int
 val count_resident_owned : t -> Process.t -> int
 (** Resident pages owned by a process: an O(1) read of the process's
     [Vm_stats.resident_pages] gauge, which every residency transition
-    maintains. Debug builds cross-check it against a full-table scan. *)
+    maintains. Debug builds cross-check it against a scan of the
+    materialised chunks. *)
+
+val page_table : t -> Page_table.t
+(** The backing sparse page table, for introspection (e.g. asserting that
+    a giant address space materialised only O(touched) chunks) and for
+    future collector families that reason at chunk granularity. Mutate it
+    only through the [Vmm] entry points. *)
 
 val coldest_pages : t -> owner:Process.t -> n:int -> int list
 (** Up to [n] of the owner's reclaim-coldest resident pages, coldest

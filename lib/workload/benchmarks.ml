@@ -158,12 +158,3 @@ let pseudojbb =
     seed = 109;
   }
 
-let all =
-  [
-    compress; jess; raytrace; db; javac; jack; ipsixql; jython; pseudojbb;
-  ]
-
-let find name =
-  match List.find_opt (fun spec -> spec.Spec.name = name) all with
-  | Some spec -> spec
-  | None -> raise Not_found

@@ -6,7 +6,12 @@
     minimum heaps land near Table 1's "Min. Heap" column (scaled):
     e.g. _209_db is small-allocation / big-live-set, _213_javac holds a
     large long-lived structure, pseudoJBB "initially allocates a few
-    immortal objects and then allocates only short-lived objects". *)
+    immortal objects and then allocates only short-lived objects".
+
+    This module only defines the nine specs; enumeration and lookup by
+    name go through the {!Catalog} registry ([Catalog.batch_specs] /
+    [Catalog.find_opt]), which covers both workload families and never
+    raises on a miss. *)
 
 val compress : Spec.t
 
@@ -28,17 +33,3 @@ val pseudojbb : Spec.t
 
 val scale : int
 (** The denominator applied to the paper's byte quantities (8). *)
-
-(** {1 Deprecated flat lookup API}
-
-    Kept as a shim for one release; new code goes through the
-    {!Catalog} registry ([Catalog.all] / [Catalog.find_opt]), which
-    covers both workload families and never raises on a miss. *)
-
-val all : Spec.t list
-[@@deprecated "use Catalog.all / Catalog.batch_specs"]
-(** All nine, in Table 1 order. *)
-
-val find : string -> Spec.t
-[@@deprecated "use Catalog.find_opt"]
-(** Look up by name; raises [Not_found]. *)

@@ -241,23 +241,74 @@ let test_run_pair () =
         (a.Metrics.elapsed_ns > 0 && b.Metrics.elapsed_ns > 0)
   | _ -> Alcotest.fail "pair did not complete"
 
-(* The deprecated flat-record API is kept as a shim for one release: it
-   must still run and agree with the Plan it desugars to. *)
-let test_deprecated_shim () =
-  let[@alert "-deprecated"] shim_outcome =
-    Harness.Run.run
-      (Harness.Run.setup ~collector:"BC" ~spec:small_spec
-         ~heap_bytes:(1024 * 1024) ())
+(* The flat-record shim is gone; the Plan combinators are the only entry
+   point. Two plans that desugar to the same configuration — one built
+   with explicit combinators matching the old setup's defaults, one the
+   bare constructor — must execute bit-identically, and their canonical
+   forms (hence campaign digests) must agree. *)
+let test_plan_equivalence () =
+  let bare =
+    Harness.Run.Plan.make ~collector:"BC" ~spec:small_spec
+      ~heap_bytes:(1024 * 1024)
   in
-  let plan_outcome =
-    Harness.Run.exec
-      (Harness.Run.Plan.make ~collector:"BC" ~spec:small_spec
-         ~heap_bytes:(1024 * 1024))
+  let explicit =
+    Harness.Run.Plan.make_workload ~collector:"BC"
+      ~workload:(Workload.Catalog.Batch_spec small_spec)
+      ~heap_bytes:(1024 * 1024)
+    |> Harness.Run.Plan.with_frames
+         (Harness.Run.ample_frames ~heap_bytes:(1024 * 1024))
+    |> Harness.Run.Plan.with_iterations 1
   in
-  match (shim_outcome, plan_outcome) with
+  check Alcotest.string "canonical forms agree"
+    (Harness.Run.Plan.canonical bare)
+    (Harness.Run.Plan.canonical explicit);
+  match (Harness.Run.exec bare, Harness.Run.exec explicit) with
   | Metrics.Completed a, Metrics.Completed b ->
-      check Alcotest.bool "shim and plan agree bit for bit" true (a = b)
-  | _ -> Alcotest.fail "shim run did not complete"
+      check Alcotest.bool "equivalent plans agree bit for bit" true (a = b)
+  | _ -> Alcotest.fail "plan run did not complete"
+
+(* A 2^30-page address space must cost memory proportional to the pages
+   the run actually touches — the dense tables this PR retired would
+   have needed gigabytes for the state bytes alone. Run a (scaled)
+   Table 1 workload at a giant base and read the process's own VmRSS
+   back from /proc: well under 100 MB, sparse table and all. *)
+let rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmRSS:"
+                then
+                  Scanf.sscanf
+                    (String.sub line 6 (String.length line - 6))
+                    " %d kB"
+                    (fun kb -> Some kb)
+                else scan ()
+          in
+          scan ())
+
+let test_giant_base_small_rss () =
+  let spec = Workload.Spec.scale_volume Workload.Benchmarks.compress 0.1 in
+  let plan =
+    Harness.Run.Plan.make ~collector:"BC" ~spec ~heap_bytes:(1536 * 1024)
+    |> Harness.Run.Plan.with_address_base ((1 lsl 30) - 64)
+  in
+  (match Harness.Run.exec plan with
+  | Metrics.Completed _ -> ()
+  | other ->
+      Alcotest.failf "giant-base run did not complete: %s"
+        (Metrics.outcome_label other));
+  match rss_kb () with
+  | None -> () (* no /proc (non-Linux): the completion check stands alone *)
+  | Some kb ->
+      if kb >= 100 * 1024 then
+        Alcotest.failf "RSS %d kB for a 2^30-page address space" kb
 
 (* ----------------------------------------------------------------- *)
 (* Minheap                                                            *)
@@ -349,7 +400,9 @@ let () =
           Alcotest.test_case "heterogeneous pair" `Quick
             test_run_pair_heterogeneous;
           Alcotest.test_case "two iterations" `Quick test_two_iterations;
-          Alcotest.test_case "deprecated shim" `Quick test_deprecated_shim;
+          Alcotest.test_case "plan equivalence" `Quick test_plan_equivalence;
+          Alcotest.test_case "giant base small RSS" `Quick
+            test_giant_base_small_rss;
         ] );
       ( "minheap",
         [

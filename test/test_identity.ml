@@ -169,6 +169,120 @@ let test_serving_matrix () =
         (read_file serving_golden_path)
         text
 
+(* Sparse cells: the same batch workload, placed at an address base just
+   below 2^30 so the heap straddles the boundary and every page number
+   is giant. Gets its own golden (golden/sparse.golden) — matrix.golden
+   must stay byte-identical to the pre-sparse capture — with the same
+   regeneration protocol. *)
+let sparse_golden_path = "golden/sparse.golden"
+
+(* Just past 2^30, chosen congruent to the default base (16) mod 63 so
+   [Bitset.word_peers] groups pages into the same 63-bit words: BC's
+   residency clustering reasons in word granules, so a base that shifts
+   word boundaries legitimately changes which pages get discarded
+   together (and nothing else). With the alignment pinned, every
+   simulated number must match the default-base run exactly. *)
+let sparse_base = (1 lsl 30) + 15
+
+let run_sparse_cell ~collector ~paging =
+  let plan =
+    Plan.make ~collector ~spec ~heap_bytes
+    |> Plan.with_address_base sparse_base
+    |>
+    if paging then fun p ->
+      p
+      |> Plan.with_frames (heap_pages + 128)
+      |> Plan.with_pressure
+           (Workload.Pressure.Steady
+              { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 })
+    else Fun.id
+  in
+  let outcome = Harness.Run.exec plan in
+  let body =
+    match outcome with
+    | Metrics.Completed m -> Json.to_string (Metrics.to_json m)
+    | other -> Format.asprintf "%a" Metrics.pp_outcome other
+  in
+  Printf.sprintf "%s paging=%b base=%d %s | %s" collector paging sparse_base
+    (Metrics.outcome_label outcome)
+    body
+
+let sparse_lines () =
+  List.concat_map
+    (fun collector ->
+      List.map (fun paging -> run_sparse_cell ~collector ~paging) [ false; true ])
+    [ "BC"; "GenMS"; "GenCopy" ]
+
+let test_sparse_matrix () =
+  let text = String.concat "\n" (sparse_lines ()) ^ "\n" in
+  match Sys.getenv_opt "BCGC_WRITE_GOLDEN" with
+  | Some _ ->
+      (try Unix.mkdir "golden" 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let oc = open_out_bin sparse_golden_path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %d cells to %s\n"
+        (List.length (String.split_on_char '\n' text) - 1)
+        sparse_golden_path
+  | None ->
+      if not (Sys.file_exists sparse_golden_path) then
+        Alcotest.fail
+          "golden/sparse.golden missing — regenerate with BCGC_WRITE_GOLDEN=1";
+      Alcotest.check Alcotest.string "sparse matrix bit-identical"
+        (read_file sparse_golden_path)
+        text
+
+(* All simulated metrics must be independent of the address base: only
+   page *numbers* shift, never counts, faults or times. Compare the
+   outcome JSON of the default-base and giant-base runs directly. *)
+let test_base_independence () =
+  let body line =
+    match String.index_opt line '|' with
+    | Some i -> String.trim (String.sub line i (String.length line - i))
+    | None -> line
+  in
+  let strip_digest s =
+    match String.rindex_opt s '|' with
+    | Some i -> String.trim (String.sub s 0 i)
+    | None -> s
+  in
+  List.iter
+    (fun paging ->
+      let a = run_cell ~collector:"BC" ~paging ~traced:false in
+      let b = run_sparse_cell ~collector:"BC" ~paging in
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "paging=%b" paging)
+        (strip_digest (body a))
+        (body b))
+    [ false; true ]
+
+(* Event-skipping determinism: with span skipping globally disabled,
+   [touch_span] runs the literal per-page loop — and the whole traced
+   cell, trace digest included, must be byte-identical. Timestamps in
+   the trace are virtual, so this proves [Clock.skip] fast-forwards to
+   exactly the instants the per-page advances would have reached. *)
+let test_skip_determinism () =
+  List.iter
+    (fun paging ->
+      let on = run_sparse_cell ~collector:"BC" ~paging in
+      let on_traced = run_cell ~collector:"BC" ~paging ~traced:true in
+      Vmsim.Vmm.set_span_skipping false;
+      let off, off_traced =
+        Fun.protect
+          ~finally:(fun () -> Vmsim.Vmm.set_span_skipping true)
+          (fun () ->
+            ( run_sparse_cell ~collector:"BC" ~paging,
+              run_cell ~collector:"BC" ~paging ~traced:true ))
+      in
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "sparse cell, paging=%b" paging)
+        on off;
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "traced cell, paging=%b" paging)
+        on_traced off_traced)
+    [ false; true ]
+
 (* The traced and untraced run of the same plan must also agree with
    *each other* (the golden proves agreement with the past; this proves
    the sink has no virtual-time effect in the same build). *)
@@ -200,6 +314,10 @@ let () =
           Alcotest.test_case "registry matrix vs seed golden" `Quick test_matrix;
           Alcotest.test_case "serving matrix vs golden" `Quick
             test_serving_matrix;
+          Alcotest.test_case "sparse matrix vs golden" `Quick
+            test_sparse_matrix;
+          Alcotest.test_case "base independence" `Quick test_base_independence;
+          Alcotest.test_case "skip determinism" `Quick test_skip_determinism;
           Alcotest.test_case "traced = untraced" `Quick
             test_traced_untraced_agree;
         ] );

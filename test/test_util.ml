@@ -124,6 +124,32 @@ let test_bitset_reset () =
   Bitset.reset b;
   check Alcotest.int "reset" 0 (Bitset.cardinal b)
 
+(* The set is chunked: giant indices must cost memory proportional to
+   the chunks actually written, and clears on never-written regions must
+   stay no-ops rather than materialising anything. *)
+let test_bitset_giant_sparse () =
+  let b = Bitset.create () in
+  let giant = 1 lsl 30 in
+  Bitset.set b giant;
+  Bitset.set b (giant + 1);
+  Bitset.set b 2;
+  check Alcotest.bool "giant member" true (Bitset.mem b giant);
+  check Alcotest.int "cardinal across the gap" 3 (Bitset.cardinal b);
+  (* clear in the untouched middle: must not allocate a chunk or raise *)
+  Bitset.clear b (giant / 2);
+  check Alcotest.int "no-op clear" 3 (Bitset.cardinal b);
+  let collected = ref [] in
+  Bitset.iter (fun i -> collected := i :: !collected) b;
+  check (Alcotest.list Alcotest.int) "iter ascending across the gap"
+    [ 2; giant; giant + 1 ]
+    (List.rev !collected);
+  check (Alcotest.option Alcotest.int) "first_set_from jumps the gap"
+    (Some giant)
+    (Bitset.first_set_from b 3);
+  Bitset.clear b giant;
+  check (Alcotest.option Alcotest.int) "next after clear" (Some (giant + 1))
+    (Bitset.first_set_from b 3)
+
 (* ----------------------------------------------------------------- *)
 (* Rng                                                                *)
 
@@ -248,6 +274,7 @@ let () =
           Alcotest.test_case "first_set_from" `Quick test_bitset_first_set_from;
           Alcotest.test_case "word_peers" `Quick test_bitset_word_peers;
           Alcotest.test_case "reset" `Quick test_bitset_reset;
+          Alcotest.test_case "giant sparse" `Quick test_bitset_giant_sparse;
         ] );
       ( "rng",
         [

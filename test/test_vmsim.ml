@@ -71,6 +71,23 @@ let test_lru_remove_if_present () =
   (* beyond the grown arrays: trivially absent, must not grow or raise *)
   check Alcotest.bool "way out of range" false (Lru.remove_if_present l 100_000)
 
+(* The link arrays are chunked: pages with giant numbers must list and
+   unlist without the lists ever allocating dense tables. *)
+let test_lru_giant_pages () =
+  let l = Lru.create () in
+  let giant = (1 lsl 30) + 5 in
+  Lru.push_active_head l giant;
+  Lru.push_inactive_head l 3;
+  Lru.push_inactive_head l (giant + 100_000);
+  check Alcotest.bool "giant active member" true
+    (Lru.membership l giant = Some Lru.Active);
+  check (Alcotest.option Alcotest.int) "giant inactive ordering" (Some 3)
+    (Lru.inactive_tail l);
+  Lru.remove l giant;
+  check Alcotest.bool "giant removed" true (Lru.membership l giant = None);
+  check Alcotest.bool "untouched giant region absent" false
+    (Lru.remove_if_present l (giant + 200_000))
+
 (* ----------------------------------------------------------------- *)
 (* Page_flags                                                         *)
 
@@ -599,6 +616,152 @@ let test_swap_full_during_eviction () =
     (Vmsim.Swap.occupancy_pages (Vmm.swap vmm) <= 2);
   check Alcotest.bool "capacity still held" true (Vmm.resident_count vmm <= 4)
 
+(* ----------------------------------------------------------------- *)
+(* Sparse page table, giant address spaces and batched spans           *)
+
+module Page_table = Vmm.Page_table
+
+let test_page_table_api () =
+  let pt = Page_table.create () in
+  let giant = (1 lsl 30) + 3 in
+  check Alcotest.int "fresh table: no chunks" 0
+    (Page_table.materialized_chunks pt);
+  (* reads are total anywhere in the address space, without allocating *)
+  check Alcotest.int "unmapped state" 0 (Page_table.state pt giant);
+  check Alcotest.int "owner 0 = never mapped" 0 (Page_table.owner_pid pt giant);
+  check Alcotest.bool "sentinel covers untouched pages" true
+    (Page_table.chunk_of pt giant == Page_table.sentinel);
+  check Alcotest.bool "negative pages answer sentinel" true
+    (Page_table.chunk_of pt (-5) == Page_table.sentinel);
+  check Alcotest.int "reads materialised nothing" 0
+    (Page_table.materialized_chunks pt);
+  Page_table.map pt ~page:giant ~pid:7;
+  check Alcotest.bool "mapped page materialised" true
+    (Page_table.is_materialized pt giant);
+  check Alcotest.int "exactly one chunk" 1 (Page_table.materialized_chunks pt);
+  check Alcotest.int "owner recorded" 7 (Page_table.owner_pid pt giant);
+  check Alcotest.bool "chunk-mate still never mapped" true
+    (Page_table.owner_pid pt (giant + 1) = 0);
+  let visited = ref [] in
+  Page_table.iter_chunks pt (fun ~chunk_index _ ->
+      visited := chunk_index :: !visited);
+  check
+    (Alcotest.list Alcotest.int)
+    "iter_chunks visits only the materialised chunk"
+    [ giant lsr Page_table.chunk_shift ]
+    !visited
+
+let test_giant_sparse_touch () =
+  let _, vmm, proc = machine ~frames:64 () in
+  (* straddle the 2^30 boundary: two chunks at most *)
+  let base = (1 lsl 30) - 8 in
+  Vmm.map_range vmm proc ~first_page:base ~npages:32;
+  for p = base to base + 31 do
+    Vmm.touch vmm ~write:true p
+  done;
+  check Alcotest.int "all resident" 32 (Vmm.resident_count vmm);
+  check Alcotest.bool "resident at 2^30" true (Vmm.is_resident vmm (1 lsl 30));
+  check Alcotest.bool "metadata stays O(touched)" true
+    (Page_table.materialized_chunks (Vmm.page_table vmm) <= 2);
+  Alcotest.check_raises "far-away page unmapped"
+    (Invalid_argument "Vmm: page 4096 is unmapped") (fun () ->
+      Vmm.touch vmm 4096);
+  Alcotest.check_raises "negative page unmapped"
+    (Invalid_argument "Vmm: page -3 is unmapped") (fun () ->
+      Vmm.touch vmm (-3))
+
+(* The pid side table is chunked too (256 pids per chunk): processes far
+   beyond the first chunk must still resolve as owners. *)
+let test_many_processes () =
+  let _, vmm, _ = machine ~frames:2048 () in
+  let procs =
+    List.init 600 (fun i ->
+        Vmm.create_process vmm ~name:(Printf.sprintf "p%d" i))
+  in
+  List.iteri
+    (fun i proc ->
+      Vmm.map_range vmm proc ~first_page:(i * 4) ~npages:2;
+      Vmm.touch vmm (i * 4))
+    procs;
+  List.iteri
+    (fun i proc ->
+      match Vmm.owner vmm (i * 4) with
+      | Some p ->
+          if Process.pid p <> Process.pid proc then
+            Alcotest.failf "page %d owned by pid %d, expected %d" (i * 4)
+              (Process.pid p) (Process.pid proc)
+      | None -> Alcotest.failf "page %d has no owner" (i * 4))
+    procs
+
+(* [touch_span] is specified as exactly equivalent to the per-page loop
+   with a clock advance before each touch. Drive two identical machines
+   through the same mixed schedule — resident runs, a protected page,
+   cold pages that fault under tight frames — once through [touch_span]
+   and once through the literal loop, and require every observable to
+   agree: clock, global counters, and the full per-page
+   resident/dirty/swapped map. *)
+let span_schedule base =
+  [
+    (base, 16, false, 7);
+    (base + 8, 24, true, 3);
+    (base + 16, 32, false, 11);
+    (base + 40, 24, true, 5);
+    (base, 64, false, 2);
+    (base + 62, 2, true, 0);
+  ]
+
+let span_fingerprint ~driver =
+  let clock = Clock.create () in
+  let vmm = Vmm.create ~reclaim_batch:2 ~clock ~frames:24 () in
+  let proc = Vmm.create_process vmm ~name:"p" in
+  let base = (1 lsl 30) - 16 in
+  let npages = 64 in
+  Vmm.map_range vmm proc ~first_page:base ~npages;
+  for p = base to base + 31 do
+    Vmm.touch vmm p
+  done;
+  Vmm.mprotect vmm (base + 20) ~protect:true;
+  List.iter
+    (fun (first_page, n, write, cost_ns) ->
+      driver vmm ~write ~cost_ns ~first_page n)
+    (span_schedule base);
+  let b = Buffer.create 256 in
+  let s = Vmm.stats vmm in
+  Printf.bprintf b "clock=%d resident=%d minor=%d major=%d evict=%d prot=%d\n"
+    (Clock.now clock) (Vmm.resident_count vmm) s.Vm_stats.minor_faults
+    s.Vm_stats.major_faults s.Vm_stats.evictions s.Vm_stats.protection_faults;
+  for p = base to base + npages - 1 do
+    Printf.bprintf b "%c%c%c"
+      (if Vmm.is_resident vmm p then 'r' else '-')
+      (if Vmm.is_dirty vmm p then 'd' else '-')
+      (if Vmm.is_swapped vmm p then 's' else '-')
+  done;
+  Buffer.contents b
+
+let span_driver vmm ~write ~cost_ns ~first_page n =
+  Vmm.touch_span vmm ~write ~cost_ns ~first_page n
+
+let loop_driver vmm ~write ~cost_ns ~first_page n =
+  for p = first_page to first_page + n - 1 do
+    Clock.advance (Vmm.clock vmm) cost_ns;
+    Vmm.touch vmm ~write p
+  done
+
+let test_touch_span_equivalence () =
+  let by_loop = span_fingerprint ~driver:loop_driver in
+  let by_span = span_fingerprint ~driver:span_driver in
+  check Alcotest.string "span = per-page loop" by_loop by_span;
+  (* and with skipping globally disabled, the span takes the literal
+     path — all three runs must be bit-identical *)
+  Vmm.set_span_skipping false;
+  let by_span_off =
+    Fun.protect
+      ~finally:(fun () -> Vmm.set_span_skipping true)
+      (fun () -> span_fingerprint ~driver:span_driver)
+  in
+  check Alcotest.string "span with skipping off" by_loop by_span_off;
+  check Alcotest.bool "skipping restored" true (Vmm.span_skipping_enabled ())
+
 (* Model property: a random touch/madvise/relinquish sequence keeps the
    VMM's resident count within capacity and consistent with page
    states. *)
@@ -634,6 +797,7 @@ let () =
           Alcotest.test_case "iterate" `Quick test_lru_iterate;
           Alcotest.test_case "remove if present" `Quick
             test_lru_remove_if_present;
+          Alcotest.test_case "giant pages" `Quick test_lru_giant_pages;
         ] );
       ( "page_flags",
         [
@@ -693,6 +857,15 @@ let () =
             test_mlock_when_all_frames_pinned;
           Alcotest.test_case "swap full during eviction" `Quick
             test_swap_full_during_eviction;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "page table api" `Quick test_page_table_api;
+          Alcotest.test_case "giant sparse touch" `Quick
+            test_giant_sparse_touch;
+          Alcotest.test_case "many processes" `Quick test_many_processes;
+          Alcotest.test_case "touch_span equivalence" `Quick
+            test_touch_span_equivalence;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_vmm_model ]);
     ]

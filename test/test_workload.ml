@@ -57,28 +57,42 @@ let test_find () =
   check Alcotest.bool "missing is None" true
     (Workload.Catalog.find_opt "nope" = None)
 
-(* The one-release shim must return the same values the registry holds —
-   old callers see bit-identical specs until the shim goes. *)
-module Shim = struct
-  [@@@alert "-deprecated"]
+(* The Benchmarks shim is gone; the catalog is now the only enumeration
+   and lookup path, so pin the nine Table 1 specs to it: exact names in
+   Table 1 order, and each catalog entry physically equal to the named
+   Benchmarks value old call sites migrated from. *)
+let table1 =
+  [
+    ("_201_compress", Workload.Benchmarks.compress);
+    ("_202_jess", Workload.Benchmarks.jess);
+    ("_205_raytrace", Workload.Benchmarks.raytrace);
+    ("_209_db", Workload.Benchmarks.db);
+    ("_213_javac", Workload.Benchmarks.javac);
+    ("_228_jack", Workload.Benchmarks.jack);
+    ("ipsixql", Workload.Benchmarks.ipsixql);
+    ("jython", Workload.Benchmarks.jython);
+    ("pseudoJBB", Workload.Benchmarks.pseudojbb);
+  ]
 
-  let all = Workload.Benchmarks.all
-
-  let find = Workload.Benchmarks.find
-end
-
-let test_deprecated_shim_bit_identity () =
-  check Alcotest.bool "all = batch_specs" true
-    (Shim.all = Workload.Catalog.batch_specs);
+let test_catalog_pins_table1 () =
+  check
+    Alcotest.(list string)
+    "batch specs are the nine, in Table 1 order"
+    (List.map fst table1)
+    (List.map (fun (s : Spec.t) -> s.Spec.name) Workload.Catalog.batch_specs);
   List.iter
-    (fun (spec : Spec.t) ->
-      check Alcotest.bool (spec.Spec.name ^ " find agrees") true
-        (Shim.find spec.Spec.name == spec))
-    Shim.all;
-  check Alcotest.bool "find still raises Not_found" true
-    (match Shim.find "nope" with
-    | (_ : Spec.t) -> false
-    | exception Not_found -> true)
+    (fun (name, spec) ->
+      check Alcotest.bool (name ^ " batch_specs holds the named value") true
+        (List.memq spec Workload.Catalog.batch_specs);
+      match Workload.Catalog.find_opt name with
+      | Some info -> (
+          match info.Workload.Catalog.params with
+          | Workload.Catalog.Batch_spec s ->
+              check Alcotest.bool (name ^ " find_opt agrees") true (s == spec)
+          | Workload.Catalog.Serving_spec _ ->
+              Alcotest.fail (name ^ " registered as serving"))
+      | None -> Alcotest.fail (name ^ " missing from catalog"))
+    table1
 
 let test_scale_volume () =
   let s = Workload.Benchmarks.jess in
@@ -359,8 +373,8 @@ let () =
           Alcotest.test_case "catalog" `Quick test_spec_catalog;
           Alcotest.test_case "registry" `Quick test_registry;
           Alcotest.test_case "find" `Quick test_find;
-          Alcotest.test_case "deprecated shim" `Quick
-            test_deprecated_shim_bit_identity;
+          Alcotest.test_case "catalog pins Table 1" `Quick
+            test_catalog_pins_table1;
           Alcotest.test_case "scale_volume" `Quick test_scale_volume;
         ] );
       ( "mutator",
