@@ -1,4 +1,4 @@
-.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke perf-guard campaign-smoke slo-smoke perf examples doc clean bench bench-full
+.PHONY: all build test ci trace-smoke multiproc-smoke perf-smoke perf-guard campaign-smoke slo-smoke control-smoke perf examples doc clean bench bench-full
 
 # Worker processes for the experiment matrices; results are byte-identical
 # whatever the fan-out (the simulation runs in virtual time).
@@ -18,7 +18,7 @@ test:
 # traced runs (one solo, one two-process) produce valid Chrome JSON
 # covering every expected GC phase kind.
 ci:
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) perf-guard && $(MAKE) campaign-smoke && $(MAKE) slo-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) multiproc-smoke && $(MAKE) perf-smoke && $(MAKE) perf-guard && $(MAKE) campaign-smoke && $(MAKE) slo-smoke && $(MAKE) control-smoke
 
 # Trace smoke: a small pressured run known (deterministically) to exercise
 # minor, full, compacting and every BC sub-phase; `bcgc trace` re-parses
@@ -82,6 +82,26 @@ slo-smoke:
 	  --slo-out /tmp/bcgc-ci-slo.json | tee /tmp/bcgc-ci-slo.txt
 	grep -q "p999(ms)" /tmp/bcgc-ci-slo.txt
 	grep -q "bcgc-slo-report/1" /tmp/bcgc-ci-slo.json
+
+# Control smoke: the threshold controller's staged-degradation FSM across
+# two fault plans, 1 ms decision windows. Deterministic per seed+plan. On
+# the benign plan (lossy notices under steady pressure) the ladder may
+# reach Pressure but must never touch Failsafe; on the spike plan (three
+# 256-page transient bursts on tight frames) the run must degrade AND
+# recover — end in Normal with no forced failsafe collections.
+control-smoke:
+	./_build/default/bin/bcgc.exe run -c BC -w _202_jess --volume 0.36 \
+	  --heap-kb 3072 --frames 960 --pin 307 --controller threshold \
+	  --control-window 1 --faults 'drop-evict=0.1,delay=0.05' \
+	  | tee /tmp/bcgc-ci-control-benign.txt
+	grep -q "control: threshold" /tmp/bcgc-ci-control-benign.txt
+	! grep -E "peak=failsafe|forced-failsafes=[1-9]" /tmp/bcgc-ci-control-benign.txt
+	./_build/default/bin/bcgc.exe run -c BC -w _202_jess --volume 0.36 \
+	  --heap-kb 3072 --frames 960 --controller threshold \
+	  --control-window 1 --faults 'drop-evict=0.3,spikes=3,spike-pages=256' \
+	  | tee /tmp/bcgc-ci-control-spike.txt
+	grep -q "control: threshold" /tmp/bcgc-ci-control-spike.txt
+	grep -qE "peak=(pressure|emergency) .*final=normal forced-failsafes=0" /tmp/bcgc-ci-control-spike.txt
 
 # Full wall-clock suite; refreshes the committed baseline at the repo root.
 perf:

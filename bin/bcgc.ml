@@ -83,6 +83,23 @@ let coworker_arg =
   in
   Arg.(value & opt (some string) None & info [ "coworker" ] ~docv:"NAME" ~doc)
 
+let controller_arg =
+  let doc =
+    "Attach the online memory controller $(docv) (see `bcgc list'); each \
+     process gets its own instance actuating its collector's heap target, \
+     notice batching and relinquish aggressiveness through the staged \
+     degradation ladder. 'off' (the default) is bit-identical to no \
+     controller at all."
+  in
+  Arg.(value & opt string "off" & info [ "controller" ] ~docv:"NAME" ~doc)
+
+let control_window_arg =
+  let doc =
+    "Controller decision window in virtual milliseconds (default 5)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "control-window" ] ~docv:"MS" ~doc)
+
 let resolve_faults spec_str =
   match Faults.Fault_plan.spec_of_string spec_str with
   | Ok spec -> if spec = Faults.Fault_plan.none then None else Some spec
@@ -133,7 +150,8 @@ let shape_arg =
   Arg.(value & opt (some string) None & info [ "shape" ] ~docv:"SPEC" ~doc)
 
 let run_cmd collector workload spec_file shape heap_kb frames pin volume
-    verbose faults fault_seed verify trace_file timeline coworker =
+    verbose faults fault_seed verify trace_file timeline coworker controller
+    control_window =
   let wparams =
     Workload.Catalog.scale_volume (resolve_workload workload spec_file) volume
   in
@@ -183,6 +201,17 @@ let run_cmd collector workload spec_file shape heap_kb frames pin volume
     |> opt coworker (fun c plan ->
            Plan.with_process_workload ~collector:c
              ~workload:(shift_seed 17 wparams) plan)
+    |> (match controller with
+       | "off" -> Fun.id
+       | name -> (
+           fun plan ->
+             let window_ns =
+               Option.map (fun ms -> ms * 1_000_000) control_window
+             in
+             try Plan.with_controller ?window_ns name plan
+             with Failure msg | Invalid_argument msg ->
+               Printf.eprintf "bad --controller: %s\n" msg;
+               exit 1))
   in
   let outcome = Harness.Run.exec plan in
   (* dump the trace for every outcome — a trace of a thrashed or failed
@@ -267,6 +296,12 @@ let list_cmd () =
       | Workload.Catalog.Serving -> Format.printf "  %a@." Workload.Catalog.pp i
       | Workload.Catalog.Batch -> ())
     Workload.Catalog.all;
+  print_endline "controllers (run --controller NAME):";
+  List.iter
+    (fun (i : Control.Registry.info) ->
+      Printf.printf "  %-14s %s\n" i.Control.Registry.name
+        i.Control.Registry.doc)
+    Control.Registry.all;
   0
 
 let minheap_cmd collector workload volume =
@@ -490,6 +525,7 @@ let bench_cmd target full jobs perf_reps perf_out perf_guard slo_out =
   | "mixed" -> Harness.Experiments.mixed mode
   | "multiproc" -> Harness.Experiments.multiprocess mode
   | "faults" -> Harness.Experiments.faults mode
+  | "control" -> Harness.Experiments.control mode
   | "trace" -> Harness.Experiments.trace_export mode
   | "campaign" -> Harness.Experiments.campaign mode
   | _ -> Harness.Experiments.all mode);
@@ -635,7 +671,8 @@ let run_t =
   Term.(
     const run_cmd $ collector_arg $ workload_arg $ spec_file_arg $ shape_arg
     $ heap_arg $ frames_arg $ pin_arg $ volume_arg $ verbose_arg $ faults_arg
-    $ fault_seed_arg $ verify_arg $ trace_arg $ timeline_arg $ coworker_arg)
+    $ fault_seed_arg $ verify_arg $ trace_arg $ timeline_arg $ coworker_arg
+    $ controller_arg $ control_window_arg)
 
 let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"Run one collector on one workload") run_t
@@ -716,8 +753,8 @@ let cmd_bench =
     (Cmd.info "bench"
        ~doc:
          "Regenerate a paper table or figure, run the request-serving SLO \
-          matrix (target `slo'), or run the wall-clock perf suite (target \
-          `perf')")
+          matrix (target `slo'), the adaptive-controller matrix (target \
+          `control'), or the wall-clock perf suite (target `perf')")
     Term.(
       const bench_cmd $ target $ full $ jobs $ perf_reps $ perf_out
       $ perf_guard $ slo_out)

@@ -96,4 +96,5 @@ let factory config heap =
     stats = t.stats;
     footprint_pages = (fun () -> total_pages t);
     check_invariants = (fun () -> check_invariants t);
+    tuning = Collector.no_tuning;
   }

@@ -1,0 +1,165 @@
+(* The built-in controller policies.
+
+   Two statics (the baselines every adaptive policy is pitted against)
+   and two adaptives sharing the Controller.Fsm degradation ladder but
+   differing in how they drive the footprint target: a pure
+   threshold+hysteresis table, and a proportional-integral loop on the
+   fault-rate error. *)
+
+open Controller
+
+let floor_pages = 64
+
+(* ------------------------------------------------------------------ *)
+
+(* Static baseline: observes and labels every window Normal, actuates
+   nothing — the collector behaves exactly as with no controller, but
+   the decision trace and telemetry events are still emitted. The
+   denominator of every adaptive-vs-static verdict. *)
+module Static = struct
+  let name = "static"
+
+  let doc = "inert baseline: observe only, never actuate"
+
+  let create (_ : config) =
+    make ~policy:name ~decide:(fun _ ->
+        { state = Normal; act = inert_actuation })
+end
+
+(* Static-aggressive: one fixed tight configuration applied every
+   window, whatever the weather — batched notice handling, proactive
+   relinquish, and a footprint cap at 3/4 of physical memory. Wins under
+   sustained pressure, pays for it everywhere else; the adaptive
+   policies exist to get the former without the latter. *)
+module Static_tight = struct
+  let name = "static-tight"
+
+  let doc = "fixed aggressive config: batch=4 relinquish=2, cap at 3/4 frames"
+
+  let create (cfg : config) =
+    let cap = max floor_pages (min cfg.heap_pages (cfg.frames * 3 / 4)) in
+    make ~policy:name ~decide:(fun _ ->
+        {
+          state = Normal;
+          act =
+            {
+              target = Cap cap;
+              notice_batch = 4;
+              relinquish_extra = 2;
+              force_failsafe = false;
+            };
+        })
+end
+
+(* Per-state actuation table shared by the adaptive policies: how hard
+   to reclaim at each degradation stage. The footprint cap leads and the
+   cooperative knobs (batched discards, proactive bookmark-and-evict)
+   trail: capping early — on the low-free-frames signal, before any
+   faulting — keeps the footprint inside physical memory so the VMM
+   never has to evict behind the collector's back, whereas batching and
+   extra relinquish surrender pages that must be faulted back at 5 ms
+   apiece, which only pays once the machine is already deep in a storm.
+   `bench control` shows both halves: the staged table beats every
+   static on the spiked steady-pressure storm, while static-tight —
+   the same knobs applied unconditionally — death-spirals when a large
+   transient spike lands on its permanently surrendered pages. *)
+let staged_batch = function
+  | Normal -> 1
+  | Pressure -> 1
+  | Emergency -> 1
+  | Failsafe -> 4
+
+let staged_relinquish = function
+  | Normal -> 0
+  | Pressure -> 0
+  | Emergency -> 0
+  | Failsafe -> 2
+
+(* Threshold + hysteresis: the Fsm classifies the window, a fixed table
+   actuates it. The footprint cap is deliberately mild — a fraction of
+   physical memory, never of the residency gauge: under paging the gauge
+   reads the squeezed residency, and capping below the working set just
+   converts pressure into extra full collections. Returning to Normal
+   clears the controller's cap exactly once. *)
+module Threshold = struct
+  let name = "threshold"
+
+  let doc = "staged threshold+hysteresis table over the degradation ladder"
+
+  let create (cfg : config) =
+    let fsm = Fsm.create ~frames:cfg.frames () in
+    let prev = ref Normal in
+    let frame_cap num den =
+      Cap (max floor_pages (min cfg.heap_pages (cfg.frames * num / den)))
+    in
+    make ~policy:name ~decide:(fun s ->
+        let st, forced = Fsm.step fsm s in
+        let target =
+          match st with
+          | Normal -> if !prev <> Normal then Clear else Keep
+          | Pressure | Emergency -> frame_cap 3 4
+          | Failsafe -> frame_cap 5 8
+        in
+        prev := st;
+        {
+          state = st;
+          act =
+            {
+              target;
+              notice_batch = staged_batch st;
+              relinquish_extra = staged_relinquish st;
+              force_failsafe = forced;
+            };
+        })
+end
+
+(* Proportional-integral on the fault-rate error, modulating trim below
+   a staged base cap. Entering any degraded state anchors the cap at 3/4
+   of physical memory (the early, pre-fault actuation the ablation
+   singled out — a fault-rate error signal alone cannot act before the
+   first fault); the PI loop then deepens the trim smoothly toward the
+   Failsafe floor of 5/8 while the fault rate exceeds the setpoint, and
+   quiet windows bleed the integral back. Returning to Normal clears
+   the cap. The Fsm still labels the window and runs the watchdog. *)
+module Pi = struct
+  let name = "pi"
+
+  let doc = "PI loop on fault-rate error, trimming below a staged base cap"
+
+  let setpoint = 0.5 (* tolerated major faults per window *)
+  let kp = 4.0 (* trim pages per fault of proportional error *)
+  let ki = 2.0 (* trim pages per fault-window of accumulated error *)
+
+  let create (cfg : config) =
+    let fsm = Fsm.create ~frames:cfg.frames () in
+    let base_cap = max floor_pages (min cfg.heap_pages (cfg.frames * 3 / 4)) in
+    (* at full windup the cap bottoms out at 5/8 of physical memory —
+       the Failsafe stage's cap, approached smoothly instead of stepped *)
+    let max_trim = max 0 ((cfg.frames * 3 / 4) - (cfg.frames * 5 / 8)) in
+    let integral_max = float_of_int max_trim /. ki in
+    let integral = ref 0.0 in
+    let prev = ref Normal in
+    make ~policy:name ~decide:(fun s ->
+        let st, forced = Fsm.step fsm s in
+        let err = float_of_int s.major_faults -. setpoint in
+        integral := max 0.0 (min integral_max (!integral +. err));
+        let u = (kp *. err) +. (ki *. !integral) in
+        let trim = max 0 (min max_trim (int_of_float u)) in
+        let target =
+          match st with
+          | Normal -> if !prev <> Normal then Clear else Keep
+          | Pressure | Emergency | Failsafe ->
+              Cap (max floor_pages (base_cap - trim))
+        in
+        prev := st;
+        {
+          state = st;
+          act =
+            {
+              target;
+              notice_batch = staged_batch st;
+              relinquish_extra = staged_relinquish st;
+              force_failsafe = forced;
+            };
+        })
+end

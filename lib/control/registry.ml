@@ -1,0 +1,35 @@
+(* Controller registry — policies are named and instantiated exactly
+   like collectors (see Gc_common.Collector / Harness.Registry): entries
+   are built from the implementation modules themselves, and plans refer
+   to them by name. *)
+
+type info = {
+  name : string;
+  doc : string;
+  create : Controller.config -> Controller.t;
+}
+
+let entry (module P : Controller.S) =
+  { name = P.name; doc = P.doc; create = P.create }
+
+let all =
+  [
+    entry (module Policies.Static);
+    entry (module Policies.Static_tight);
+    entry (module Policies.Threshold);
+    entry (module Policies.Pi);
+  ]
+
+let names () = List.map (fun i -> i.name) all
+
+let find_opt name = List.find_opt (fun i -> i.name = name) all
+
+let find name =
+  match find_opt name with
+  | Some i -> i
+  | None ->
+      failwith
+        (Printf.sprintf "unknown controller %S (expected one of: %s)" name
+           (String.concat ", " (names ())))
+
+let instantiate ~name config = (find name).create config

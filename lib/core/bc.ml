@@ -56,6 +56,16 @@ type t = {
       (* objects bookmarked while a trace is running; re-seeded so mid-GC
          evictions cannot hide connectivity *)
   mutable target_footprint : int option;  (* pages; None = config limit *)
+  mutable controller_cap : int option;
+      (* external footprint cap (controller knob); composes with
+         [target_footprint] by [min] so §3.3.3's own adaptation keeps
+         running below it rather than clobbering it on the next notice *)
+  mutable notice_batch : int;
+      (* empty pages surrendered per eviction notice (controller knob;
+         default 1 = historical behaviour) *)
+  mutable relinquish_extra : int;
+      (* extra coldest pages bookmarked-and-evicted per notice beyond the
+         victim (controller knob; default 0 = historical behaviour) *)
   mutable epoch : int;
   mutable in_gc : bool;
   mutable gc_requested : bool;
@@ -118,9 +128,14 @@ let track_new_superpage t (sp : Superpage.sp) =
 
 let effective_heap_pages t =
   let config_pages = Gc_config.heap_pages t.config in
-  match t.target_footprint with
-  | None -> config_pages
-  | Some target -> min config_pages (max target footprint_floor_pages)
+  let own =
+    match t.target_footprint with
+    | None -> config_pages
+    | Some target -> min config_pages (max target footprint_floor_pages)
+  in
+  match t.controller_cap with
+  | None -> own
+  | Some cap -> min own (max cap footprint_floor_pages)
 
 let min_nursery_pages =
   Vmsim.Page.count_for_bytes Baselines.Gen_shared.min_nursery_bytes
@@ -1110,6 +1125,48 @@ let choose_victim t victim =
     best
   end
 
+(* Controller batching: after a notice's first discard, surrender up to
+   [notice_batch - 1] further empty pages, amortising notice handling
+   under sustained pressure. A no-op at the default batch of 1. *)
+let discard_batch_extra t =
+  let remaining = ref (t.notice_batch - 1) in
+  let exhausted = ref false in
+  while !remaining > 0 && not !exhausted do
+    (match find_discardable t with
+    | Some page -> ignore (discard_with_peers t page)
+    | None -> exhausted := true);
+    decr remaining
+  done
+
+(* Controller relinquish aggressiveness: beyond the kernel's chosen
+   victim, proactively bookmark-and-evict up to [relinquish_extra] of our
+   coldest evictable pages — trading our own cold pages for headroom
+   before the kernel has to ask again. A no-op at the default of 0. *)
+let relinquish_beyond_victim t ~victim =
+  if t.relinquish_extra > 0 && t.opts.Gc_config.bookmarks_enabled then begin
+    let evictable page =
+      page <> victim
+      && our_page t page
+      && (not (header_in_use t page))
+      && (not (in_nursery_region t page && page_has_objects t page))
+      && Residency.is_resident t.residency page
+    in
+    let cold =
+      List.filter evictable
+        (Vmsim.Vmm.coldest_pages (Heapsim.Heap.vmm t.heap)
+           ~owner:(Heapsim.Heap.process t.heap)
+           ~n:(2 * t.relinquish_extra))
+    in
+    let rec evict n = function
+      | page :: rest when n > 0 ->
+          if Residency.is_resident t.residency page then
+            bookmark_and_evict t page;
+          evict (n - 1) rest
+      | _ -> ()
+    in
+    evict t.relinquish_extra cold
+  end
+
 let handle_eviction_notice t victim =
   let vmm = Heapsim.Heap.vmm t.heap in
   if our_page t victim then begin
@@ -1121,12 +1178,14 @@ let handle_eviction_notice t victim =
       shrink_target t;
       if discardable t victim then begin
         ignore (discard_with_peers t victim);
+        discard_batch_extra t;
         maybe_request_gc t
       end
       else begin
         match find_discardable t with
         | Some page ->
             ignore (discard_with_peers t page);
+            discard_batch_extra t;
             maybe_request_gc t
         | None ->
             (* no empty page in the store: ask for a collection at the
@@ -1145,7 +1204,8 @@ let handle_eviction_notice t victim =
               if chosen <> victim then
                 (* keep the kernel's choice in memory instead *)
                 Vmsim.Vmm.touch vmm ~write:false victim;
-              bookmark_and_evict t chosen
+              bookmark_and_evict t chosen;
+              relinquish_beyond_victim t ~victim:chosen
             end
             else begin
               (* resizing-only variant: let the page go to disk *)
@@ -1447,6 +1507,9 @@ let factory config heap =
       empty_candidates = Vec.create ();
       pending_roots = Vec.create ();
       target_footprint = None;
+      controller_cap = None;
+      notice_batch = 1;
+      relinquish_extra = 0;
       epoch = 0;
       in_gc = false;
       gc_requested = false;
@@ -1500,6 +1563,25 @@ let factory config heap =
       stats = t.stats;
       footprint_pages = (fun () -> total_pages t);
       check_invariants = (fun () -> check_invariants t);
+      tuning =
+        {
+          Collector.set_target_pages =
+            (fun target ->
+              t.controller_cap <-
+                Option.map (max footprint_floor_pages) target);
+          set_notice_batch = (fun n -> t.notice_batch <- max 1 n);
+          set_relinquish_extra = (fun n -> t.relinquish_extra <- max 0 n);
+          request_failsafe =
+            (fun () ->
+              (* deferred to the next allocation's escalation ladder —
+                 forcing a collection inside the decision path would need
+                 frames the machine may not have (§3.4.3's reserve
+                 discipline applies to the controller too) *)
+              if t.opts.Gc_config.bookmarks_enabled then
+                t.failsafe_needed <- true
+              else t.gc_requested <- true);
+          target_pages = (fun () -> t.controller_cap);
+        };
     }
   in
   debug_registry := (t.stats, make_debug t) :: !debug_registry;

@@ -1,5 +1,22 @@
 exception Heap_exhausted of string
 
+type tuning = {
+  set_target_pages : int option -> unit;
+  set_notice_batch : int -> unit;
+  set_relinquish_extra : int -> unit;
+  request_failsafe : unit -> unit;
+  target_pages : unit -> int option;
+}
+
+let no_tuning =
+  {
+    set_target_pages = (fun _ -> ());
+    set_notice_batch = (fun _ -> ());
+    set_relinquish_extra = (fun _ -> ());
+    request_failsafe = (fun () -> ());
+    target_pages = (fun () -> None);
+  }
+
 type t = {
   name : string;
   heap : Heapsim.Heap.t;
@@ -9,6 +26,7 @@ type t = {
   stats : Gc_stats.t;
   footprint_pages : unit -> int;
   check_invariants : unit -> unit;
+  tuning : tuning;
 }
 
 type factory = Gc_config.t -> Heapsim.Heap.t -> t

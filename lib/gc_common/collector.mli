@@ -8,6 +8,36 @@ exception Heap_exhausted of string
 (** Raised by [alloc] when a request cannot be satisfied even after a full
     collection at the configured maximum heap size. *)
 
+type tuning = {
+  set_target_pages : int option -> unit;
+      (** Cap the collector's footprint at [Some n] pages (clamped to its
+          own floor), or lift the cap with [None]. The online
+          controller's primary actuator. The cap {e composes} with the
+          collector's own footprint adaptation (BC's §3.3.3 target) by
+          [min], so the collector keeps adapting below the cap instead of
+          clobbering it on the next eviction notice. *)
+  set_notice_batch : int -> unit;
+      (** Empty discardable pages surrendered per eviction notice
+          (default 1): batching amortises notice handling under
+          sustained pressure. *)
+  set_relinquish_extra : int -> unit;
+      (** Extra coldest pages bookmarked-and-evicted per notice beyond
+          the victim itself (default 0) — the [vm_relinquish]
+          aggressiveness knob. *)
+  request_failsafe : unit -> unit;
+      (** Schedule a fail-safe collection (§3.5) at the next allocation;
+          the controller watchdog's escape hatch out of a no-progress
+          window. *)
+  target_pages : unit -> int option;
+      (** The current footprint target, when one is set. *)
+}
+(** Online-control actuators a collector may expose. Collectors without
+    these knobs use {!no_tuning}, under which every setter is a no-op —
+    an unactuated collector behaves bit-identically to one with no
+    controller attached. *)
+
+val no_tuning : tuning
+
 type t = {
   name : string;
   heap : Heapsim.Heap.t;
@@ -22,6 +52,9 @@ type t = {
           not residency). *)
   check_invariants : unit -> unit;
       (** Internal consistency checks for tests; may be expensive. *)
+  tuning : tuning;
+      (** Online-control actuators; {!no_tuning} for collectors without
+          them. *)
 }
 
 type factory = Gc_config.t -> Heapsim.Heap.t -> t

@@ -12,6 +12,7 @@ type t = {
   heap_multipliers : float list;
   fault_plans : string list;
   pressures : string list;
+  controllers : string list;
   fault_seed : int;
   iterations : int;
   frames_fraction : float option;
@@ -126,9 +127,9 @@ let failf fmt = Printf.ksprintf (fun m -> raise (Spec_error m)) fmt
 let allowed_keys =
   [
     "schema"; "name"; "collectors"; "workloads"; "volume";
-    "heap_multipliers"; "fault_plans"; "pressures"; "fault_seed";
-    "iterations"; "frames_fraction"; "deadline_s"; "event_cap"; "retry";
-    "journal";
+    "heap_multipliers"; "fault_plans"; "pressures"; "controllers";
+    "fault_seed"; "iterations"; "frames_fraction"; "deadline_s";
+    "event_cap"; "retry"; "journal";
   ]
 
 let str_field j key =
@@ -250,6 +251,19 @@ let of_json j =
         | Error e -> failf "pressures: %s" e)
       pressures;
     check_distinct "pressures" Fun.id pressures;
+    let controllers =
+      match Json.member "controllers" j with
+      | None -> [ "off" ]
+      | Some _ -> str_list j "controllers"
+    in
+    if controllers = [] then failf "controllers: must not be empty";
+    List.iter
+      (fun c ->
+        if c <> "off" && Control.Registry.find_opt c = None then
+          failf "unknown controller %S (known: off, %s)" c
+            (String.concat ", " (Control.Registry.names ())))
+      controllers;
+    check_distinct "controllers" Fun.id controllers;
     let fault_seed =
       Option.value (opt_int j "fault_seed") ~default:Run.default_fault_seed
     in
@@ -298,6 +312,7 @@ let of_json j =
         heap_multipliers;
         fault_plans;
         pressures;
+        controllers;
         fault_seed;
         iterations;
         frames_fraction;
@@ -395,19 +410,31 @@ let cells t =
                         | Some c -> Run.Plan.with_event_cap c plan
                         | None -> plan
                       in
-                      let label =
-                        Printf.sprintf "%s/%s x%g faults=%s press=%s"
-                          collector wname mult fstr pstr
-                      in
-                      acc :=
-                        {
-                          index = !idx;
-                          label;
-                          digest = Run.Plan.digest plan;
-                          plan;
-                        }
-                        :: !acc;
-                      incr idx)
+                      List.iter
+                        (fun ctl ->
+                          let plan =
+                            if ctl = "off" then plan
+                            else Run.Plan.with_controller ctl plan
+                          in
+                          (* "off" cells keep the historical label (and
+                             plan digest), so controller-less specs
+                             enumerate exactly as before *)
+                          let label =
+                            Printf.sprintf "%s/%s x%g faults=%s press=%s%s"
+                              collector wname mult fstr pstr
+                              (if ctl = "off" then ""
+                               else " ctl=" ^ ctl)
+                          in
+                          acc :=
+                            {
+                              index = !idx;
+                              label;
+                              digest = Run.Plan.digest plan;
+                              plan;
+                            }
+                            :: !acc;
+                          incr idx)
+                        t.controllers)
                     t.pressures)
                 t.fault_plans)
             t.heap_multipliers)

@@ -27,6 +27,10 @@ type t = {
   heap_multipliers : float list;  (** x the workload's paper min heap *)
   fault_plans : string list;  (** {!Faults.Fault_plan.spec_of_string} *)
   pressures : string list;  (** see {!pressure_of_string} *)
+  controllers : string list;
+      (** ["off"] or {!Control.Registry} policy names; the innermost
+          sweep axis. Defaults to [["off"]], under which cells enumerate
+          exactly as in controller-less specs. *)
   fault_seed : int;
   iterations : int;
   frames_fraction : float option;

@@ -851,7 +851,320 @@ let faults mode =
      swap errors, 2 swap-full episodes) ==\n";
   Table.print_table
     ~header:[ "benchmark/collector"; "outcome"; "time(s)/exn"; "injected" ]
-    ~rows:(List.map2 (fun (name, _) o -> describe name o) cells outcomes)
+    ~rows:(List.map2 (fun (name, _) o -> describe name o) cells outcomes);
+  (* The same reference fault plan against a serving workload: BC and a
+     GenMS coworker share one memory-tight machine, and each process
+     gets its own SLO verdict — does the tail survive an unreliable
+     kernel, not just complete under one? *)
+  let srv_volume = match mode with Quick -> 0.35 | Full -> 1.0 in
+  let scale_srv (s : Workload.Request.spec) =
+    match
+      Workload.Catalog.scale_volume (Workload.Catalog.Serving_spec s)
+        srv_volume
+    with
+    | Workload.Catalog.Serving_spec s -> s
+    | Workload.Catalog.Batch_spec _ -> assert false
+  in
+  let srv = scale_srv Workload.Catalog.srv_shaped in
+  let coworker =
+    (* a distinct arrival stream, same shape — the processes must not
+       fault in lockstep *)
+    scale_srv
+      {
+        Workload.Catalog.srv_shaped with
+        Workload.Request.seed = Workload.Catalog.srv_shaped.Workload.Request.seed + 17;
+      }
+  in
+  let heap_bytes =
+    2 * Workload.Catalog.base_heap_bytes (Workload.Catalog.Serving_spec srv)
+  in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let total_pages = 2 * heap_pages in
+  let frames = total_pages + 128 in
+  let available = int_of_float (0.62 *. float_of_int total_pages) in
+  let pin = max 0 (frames - available) in
+  let srv_plan =
+    Plan.make_workload ~collector:"BC"
+      ~workload:(Workload.Catalog.Serving_spec srv) ~heap_bytes
+    |> Plan.with_process_workload ~collector:"GenMS"
+         ~workload:(Workload.Catalog.Serving_spec coworker)
+    |> Plan.with_frames frames
+    |> Plan.with_ops_per_slice 16
+    |> Plan.with_pressure
+         (Pressure.Steady { after_progress = 0.0; pin_pages = pin })
+    |> Plan.with_faults fault_spec
+    |> Plan.with_verify
+  in
+  let bc_o, gen_o =
+    match run_pairs [ srv_plan ] with
+    | [ pair ] -> pair
+    | _ -> assert false
+  in
+  let serving_of = function
+    | Metrics.Completed m -> m.Metrics.serving
+    | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> None
+  in
+  let msf ns = float_of_int ns /. 1e6 in
+  let srv_row pname outcome =
+    let label = Metrics.outcome_label outcome in
+    let injected =
+      match outcome with
+      | Metrics.Completed { Metrics.faults = Some s; _ } ->
+          Format.asprintf "%a" Faults.Fault_plan.pp_stats s
+      | _ -> "-"
+    in
+    match serving_of outcome with
+    | Some s ->
+        [
+          pname;
+          label;
+          Printf.sprintf "%.2f" (msf s.Workload.Slo.p50_ns);
+          Printf.sprintf "%.2f" (msf s.Workload.Slo.p999_ns);
+          string_of_int s.Workload.Slo.violations;
+          (if Workload.Slo.meets_p999 s then "meets p999"
+           else "violates p999");
+          injected;
+        ]
+    | None -> [ pname; label; "-"; "-"; "-"; "-"; injected ]
+  in
+  Printf.printf
+    "\n== Fault injection x serving: %s, BC + GenMS on one machine (62%% \
+     of combined heaps) ==\n"
+    srv.Workload.Request.name;
+  Table.print_table
+    ~header:
+      [ "process"; "outcome"; "p50(ms)"; "p999(ms)"; "viol"; "verdict";
+        "injected" ]
+    ~rows:[ srv_row "BC (primary)" bc_o; srv_row "GenMS (coworker)" gen_o ]
+
+(* ---------------------------------------------------------------- *)
+(* Closed-loop controller matrix                                      *)
+
+(* A light plan the threshold/pi controllers should ride through
+   without ever leaving Normal/Pressure... *)
+let benign_fault_spec =
+  {
+    Faults.Fault_plan.none with
+    Faults.Fault_plan.drop_eviction = 0.1;
+    delay_notice = 0.05;
+  }
+
+(* ...and a hostile one: most notices lost, swap errors, repeated
+   scripted spikes — the regime the degradation ladder exists for. *)
+let storm_fault_spec =
+  {
+    Faults.Fault_plan.none with
+    Faults.Fault_plan.drop_eviction = 0.5;
+    drop_resident = 0.2;
+    delay_notice = 0.2;
+    swap_write_error = 0.03;
+    swap_read_error = 0.02;
+    swap_full_episodes = 2;
+    spike_count = 3;
+    spike_pages = 256;
+  }
+
+let control_statics = [ "off"; "static"; "static-tight" ]
+
+let control_adaptives = [ "threshold"; "pi" ]
+
+let control mode =
+  let p = params mode in
+  (* a longer run than the fault matrix uses: the control loop needs a
+     timeline — many decision windows, several collections — to react
+     within. A cliff of pressure that lands and collects inside one
+     window is static-tuning territory by construction. *)
+  let volume = min 1.0 (6.0 *. p.suite_volume) in
+  let spec =
+    Spec.scale_volume
+      (List.find
+         (fun s -> s.Spec.name = "_202_jess")
+         Workload.Catalog.batch_specs)
+      volume
+  in
+  let heap_bytes = max (2 * spec.Spec.paper_min_heap_bytes) 1_500_000 in
+  let heap_pages = Vmsim.Page.count_for_bytes heap_bytes in
+  let frames = heap_pages + 192 in
+  let fault_plans =
+    match mode with
+    | Quick -> [ ("none", None); ("storm", Some storm_fault_spec) ]
+    | Full ->
+        [
+          ("none", None);
+          ("benign", Some benign_fault_spec);
+          ("storm", Some storm_fault_spec);
+        ]
+  in
+  let pressures =
+    [
+      ( "steady",
+        Pressure.Steady
+          { after_progress = 0.1; pin_pages = heap_pages * 4 / 10 } );
+      ( "ramp",
+        Pressure.Ramp
+          {
+            after_progress = 0.05;
+            initial_pages = heap_pages / 8;
+            pages_per_step = heap_pages / 32;
+            step_ns = 10_000_000;
+            max_pages = heap_pages * 11 / 20;
+          } );
+    ]
+  in
+  (* 1 ms decision windows: the ramp steps every 10 ms, so the
+     controller gets several looks between pressure increments *)
+  let window_ns = 1_000_000 in
+  let controllers = control_statics @ control_adaptives in
+  let cells =
+    List.concat_map
+      (fun (fname, fplan) ->
+        List.concat_map
+          (fun (pname, pressure) ->
+            List.map
+              (fun controller ->
+                let plan =
+                  Plan.make ~collector:"BC" ~spec ~heap_bytes
+                  |> Plan.with_frames frames
+                  |> Plan.with_pressure pressure
+                  |> (match fplan with
+                     | None -> Fun.id
+                     | Some f -> Plan.with_faults f)
+                  |>
+                  match controller with
+                  | "off" -> Fun.id
+                  | name -> Plan.with_controller ~window_ns name
+                in
+                ((controller, fname, pname), plan))
+              controllers)
+          pressures)
+      fault_plans
+  in
+  let outcomes = run_cells (List.map snd cells) in
+  let tagged = List.combine (List.map fst cells) outcomes in
+  (* exact nearest-rank p99 over the cell's recorded pauses — Metrics
+     precomputes p50/p95/max only *)
+  let p99_pause_ms (m : Metrics.t) =
+    match List.sort compare (List.map snd m.Metrics.pauses) with
+    | [] -> 0.0
+    | ds ->
+        let n = List.length ds in
+        let idx =
+          max 0 (int_of_float (ceil (0.99 *. float_of_int n)) - 1)
+        in
+        float_of_int (List.nth ds idx) /. 1e6
+  in
+  let control_of = function
+    | Metrics.Completed m -> m.Metrics.control
+    | Metrics.Exhausted _ | Metrics.Thrashed _ | Metrics.Failed _ -> None
+  in
+  Printf.printf
+    "\n== Closed-loop controllers: BC/%s, controllers x fault plans x \
+     pressure schedules (%s mode) ==\n"
+    spec.Spec.name p.label;
+  Table.print_table
+    ~header:
+      [ "controller"; "faults"; "pressure"; "outcome"; "time(s)";
+        "failsafe"; "p99(ms)"; "mfaults"; "peak"; "final" ]
+    ~rows:
+      (List.map
+         (fun ((controller, fname, pname), outcome) ->
+           let base = [ controller; fname; pname ] in
+           match outcome with
+           | Metrics.Completed m ->
+               base
+               @ [
+                   Metrics.outcome_label outcome;
+                   Table.fmt_seconds (Metrics.elapsed_s m);
+                   string_of_int m.Metrics.failsafes;
+                   Printf.sprintf "%.2f" (p99_pause_ms m);
+                   string_of_int m.Metrics.major_faults;
+                 ]
+               @ (match control_of outcome with
+                 | Some c ->
+                     [
+                       Control.Controller.state_name
+                         c.Control.Controller.peak_state;
+                       Control.Controller.state_name
+                         c.Control.Controller.final_state;
+                     ]
+                 | None -> [ "-"; "-" ])
+           | o ->
+               base
+               @ [ Metrics.outcome_label o; "-"; "-"; "-"; "-"; "-"; "-" ])
+         tagged);
+  (* Verdicts. On a fault plan the adaptive controllers must earn their
+     keep against every static configuration (fewer failsafe
+     collections, or the same with a lower p99 pause); on the no-fault
+     plan they must not cost anything (elapsed within noise of the best
+     static). *)
+  let cell controller fname pname =
+    List.assoc_opt (controller, fname, pname) tagged
+  in
+  let completed = function
+    | Some (Metrics.Completed m) -> Some m
+    | _ -> None
+  in
+  let configs =
+    List.concat_map
+      (fun (fname, _) -> List.map (fun (pname, _) -> (fname, pname)) pressures)
+      fault_plans
+  in
+  List.iter
+    (fun (fname, pname) ->
+      List.iter
+        (fun adaptive ->
+          match completed (cell adaptive fname pname) with
+          | None ->
+              Printf.printf
+                "control verdict: %s did not complete on %s/%s\n" adaptive
+                fname pname
+          | Some a ->
+              if fname = "none" then (
+                let worst_ratio =
+                  List.fold_left
+                    (fun acc static ->
+                      match completed (cell static fname pname) with
+                      | None -> acc
+                      | Some s ->
+                          max acc
+                            (float_of_int a.Metrics.elapsed_ns
+                            /. float_of_int s.Metrics.elapsed_ns))
+                    0.0 control_statics
+                in
+                if worst_ratio <= 1.05 then
+                  Printf.printf
+                    "control verdict: %s within noise of statics on \
+                     %s/%s (worst ratio %.3f)\n"
+                    adaptive fname pname worst_ratio
+                else
+                  Printf.printf
+                    "control verdict: %s SLOWER than a static on %s/%s \
+                     (worst ratio %.3f)\n"
+                    adaptive fname pname worst_ratio)
+              else
+                let beats static =
+                  match completed (cell static fname pname) with
+                  | None -> true (* the static died; surviving wins *)
+                  | Some s ->
+                      (* the issue's disjunction verbatim: a forced
+                         fail-safe that buys a lower tail is a win, not
+                         a tie-breaker loss *)
+                      a.Metrics.failsafes < s.Metrics.failsafes
+                      || p99_pause_ms a < p99_pause_ms s
+                in
+                if List.for_all beats control_statics then
+                  Printf.printf
+                    "control verdict: %s beats every static on %s/%s \
+                     (failsafes=%d p99=%.2fms)\n"
+                    adaptive fname pname a.Metrics.failsafes
+                    (p99_pause_ms a)
+                else
+                  Printf.printf
+                    "control verdict: %s does not dominate statics on \
+                     %s/%s\n"
+                    adaptive fname pname)
+        control_adaptives)
+    configs
 
 (* ---------------------------------------------------------------- *)
 (* Telemetry trace export                                             *)
@@ -918,6 +1231,7 @@ let campaign mode =
       heap_multipliers = [ 2.0; 3.0 ];
       fault_plans = [ "none"; "drop-evict=0.3,spikes=1" ];
       pressures = [ "none"; "steady:300" ];
+      controllers = [ "off" ];
       fault_seed = Run.default_fault_seed;
       iterations = 1;
       frames_fraction = None;

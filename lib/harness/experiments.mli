@@ -79,7 +79,21 @@ val faults : mode -> unit
     under a standard fault plan (≈30% of eviction notices dropped, swap
     I/O errors, two swap-full episodes, a scripted pressure spike) with
     the post-run invariant verifier on; prints per-cell
-    ok/degraded/failed outcomes and the injected-fault counters. *)
+    ok/degraded/failed outcomes and the injected-fault counters. A
+    second table runs the same fault plan against a serving workload
+    (BC + a GenMS coworker sharing one memory-tight machine) and prints
+    each process's request-latency percentiles and p999 SLO verdict. *)
+
+val control : mode -> unit
+(** Closed-loop adaptive memory control: BC on jess across every
+    registered controller (plus controller-off) × fault plans (none /
+    benign / storm) × two pressure schedules (steady, ramp); prints
+    per-cell outcome, failsafe count, p99 pause and the controller's
+    peak/final degradation state, then ["control verdict:"] lines —
+    each adaptive controller must beat every static configuration on a
+    fault plan (fewer failsafes, or equal with a lower p99 pause) while
+    staying within noise of the statics with no faults. Not part of
+    {!all}. *)
 
 val trace_export : mode -> unit
 (** Telemetry showcase: run BC and GenMS on pseudoJBB under dynamic

@@ -4,6 +4,17 @@ type policy = Round_robin | Proportional | Priority
 
 exception Budget_exceeded of string
 
+(* Per-process controller attachment: the policy instance plus the
+   snapshot pair its next window will diff against. *)
+type ctl = {
+  ctl_c : Control.Controller.t;
+  window_ns : int;
+  mutable next_ns : int;
+  mutable prev_gc : Gc_common.Gc_stats.snapshot;
+  mutable prev_vm : Vmsim.Vm_stats.snapshot;
+  mutable windows : int;
+}
+
 type process = {
   name : string;
   vproc : Vmsim.Process.t;
@@ -17,6 +28,7 @@ type process = {
   mutable workload : Workload.Catalog.params option;
   mutable finish_ns : int option;
   mutable window_start_ns : int;
+  mutable control : ctl option;
 }
 
 type t = {
@@ -80,6 +92,7 @@ let spawn ?(share = 1) ?(priority = 0) t ~name ~heap_bytes =
       workload = None;
       finish_ns = None;
       window_start_ns = Vmsim.Clock.now t.clock;
+      control = None;
     }
   in
   t.procs <- t.procs @ [ p ];
@@ -143,6 +156,32 @@ let serving_summary p =
   | Some d -> d.Workload.Driver.serving ()
   | None -> None
 
+let set_controller p ~window_ns c =
+  if window_ns < 1 then invalid_arg "Machine.set_controller: window_ns";
+  let gc =
+    match p.collector with
+    | Some col -> Gc_common.Gc_stats.snapshot col.Gc_common.Collector.stats
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Machine.set_controller: process %S has no collector" p.name)
+  in
+  p.control <-
+    Some
+      {
+        ctl_c = c;
+        window_ns;
+        next_ns = Vmsim.Clock.now (Heapsim.Heap.clock p.heap) + window_ns;
+        prev_gc = gc;
+        prev_vm = Vmsim.Vm_stats.snapshot (Vmsim.Process.stats p.vproc);
+        windows = 0;
+      }
+
+let controller_instance p = Option.map (fun c -> c.ctl_c) p.control
+
+let control_summary p =
+  Option.map (fun c -> Control.Controller.summary c.ctl_c) p.control
+
 let driver_exn p =
   match p.driver with
   | Some d -> d
@@ -180,18 +219,30 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
         | Some after when prog >= after -> ramp_start := Some now
         | Some _ | None -> ())
     | Some _ -> ());
-    (match t.plan with
-    | Some p ->
-        let opened, rest =
-          List.partition (fun (from, _, _) -> prog >= from) !unseen_spikes
-        in
-        List.iter (fun _ -> Fault_plan.note_spike_applied p) opened;
-        unseen_spikes := rest
-    | None -> ());
+    let jumped =
+      match t.plan with
+      | Some p ->
+          let opened, rest =
+            List.partition (fun (from, _, _) -> prog >= from) !unseen_spikes
+          in
+          List.iter (fun _ -> Fault_plan.note_spike_applied p) opened;
+          unseen_spikes := rest;
+          (* a spike whose whole [from,until) window was jumped within one
+             round — a skipped span fast-forwarded progress past it — must
+             still fire at its virtual timestamp: pin its pages for exactly
+             this round (the schedule's own due_pages sees it as already
+             receded). Next round jumped is 0 again and the pin retires. *)
+          List.fold_left
+            (fun acc (_, until, pages) ->
+              if prog >= until then acc + pages else acc)
+            0 opened
+      | None -> 0
+    in
     let start_ns = Option.value !ramp_start ~default:now in
     let due =
-      Workload.Pressure.due_pages pressure ~now_ns:now ~start_ns
-        ~progress:prog
+      jumped
+      + Workload.Pressure.due_pages pressure ~now_ns:now ~start_ns
+          ~progress:prog
     in
     let have = Workload.Signalmem.pinned_pages signalmem in
     if due > have then Workload.Signalmem.pin_pages signalmem (due - have)
@@ -231,6 +282,83 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
     if p.finish_ns = None then spent := !spent + ops_per_slice;
     step_slice t ~ops_per_slice p
   in
+  (* One controller decision per elapsed window per live process: diff
+     the process's stat snapshots, let the policy decide, actuate via
+     the collector's tuning interface. The controller is a virtual-time
+     observer — deciding costs nothing on the clock — so with no
+     controller attached (or an inert one) the run is bit-identical. *)
+  let control_tick () =
+    List.iter
+      (fun p ->
+        match p.control with
+        | None -> ()
+        | Some ctl ->
+            let now = Vmsim.Clock.now t.clock in
+            if p.finish_ns = None && now >= ctl.next_ns then begin
+              let c = collector p in
+              let gc_now =
+                Gc_common.Gc_stats.snapshot c.Gc_common.Collector.stats
+              in
+              let vm_now =
+                Vmsim.Vm_stats.snapshot (Vmsim.Process.stats p.vproc)
+              in
+              let dgc = Gc_common.Gc_stats.Snapshot.diff ctl.prev_gc gc_now in
+              let dvm = Vmsim.Vm_stats.Snapshot.diff ctl.prev_vm vm_now in
+              ctl.prev_gc <- gc_now;
+              ctl.prev_vm <- vm_now;
+              let sample =
+                {
+                  Control.Controller.window_ns = ctl.window_ns;
+                  major_faults = dvm.Vmsim.Vm_stats.Snapshot.major_faults;
+                  minor_faults = dvm.Vmsim.Vm_stats.Snapshot.minor_faults;
+                  evictions = dvm.Vmsim.Vm_stats.Snapshot.evictions;
+                  notices = dvm.Vmsim.Vm_stats.Snapshot.eviction_notices;
+                  discards = dvm.Vmsim.Vm_stats.Snapshot.discards;
+                  resident_pages = vm_now.Vmsim.Vm_stats.Snapshot.resident_pages;
+                  free_frames = Vmsim.Vmm.free_frames t.vmm;
+                  heap_pages =
+                    Gc_common.Gc_config.heap_pages
+                      c.Gc_common.Collector.config;
+                  allocated_bytes =
+                    dgc.Gc_common.Gc_stats.Snapshot.allocated_bytes;
+                  p99_pause_ms =
+                    Gc_common.Gc_stats.Snapshot.pause_percentile_ms dgc 0.99;
+                  failsafes = dgc.Gc_common.Gc_stats.Snapshot.failsafes;
+                }
+              in
+              let before = Control.Controller.state ctl.ctl_c in
+              let d = Control.Controller.decide ctl.ctl_c sample in
+              let tu = c.Gc_common.Collector.tuning in
+              (match d.Control.Controller.act.Control.Controller.target with
+              | Control.Controller.Keep -> ()
+              | Control.Controller.Clear ->
+                  tu.Gc_common.Collector.set_target_pages None
+              | Control.Controller.Cap n ->
+                  tu.Gc_common.Collector.set_target_pages (Some n));
+              tu.Gc_common.Collector.set_notice_batch
+                d.Control.Controller.act.Control.Controller.notice_batch;
+              tu.Gc_common.Collector.set_relinquish_extra
+                d.Control.Controller.act.Control.Controller.relinquish_extra;
+              if d.Control.Controller.act.Control.Controller.force_failsafe
+              then tu.Gc_common.Collector.request_failsafe ();
+              (match t.trace with
+              | None -> ()
+              | Some sink ->
+                  Telemetry.Sink.emit sink ~ts_ns:now
+                    Telemetry.Event.Control_decision
+                    (Control.Controller.state_code d.Control.Controller.state)
+                    ctl.windows;
+                  if d.Control.Controller.state <> before then
+                    Telemetry.Sink.emit sink ~ts_ns:now
+                      Telemetry.Event.Control_state_change
+                      (Control.Controller.state_code before)
+                      (Control.Controller.state_code
+                         d.Control.Controller.state));
+              ctl.windows <- ctl.windows + 1;
+              ctl.next_ns <- now + ctl.window_ns
+            end)
+      t.procs
+  in
   let round () =
     match t.policy with
     | Round_robin -> List.iter step t.procs
@@ -258,6 +386,7 @@ let run ?(pressure = Workload.Pressure.None_) ?(ops_per_slice = default_slice)
     round ();
     slice_event ();
     apply_pressure ();
+    control_tick ();
     match event_cap with
     | Some cap when !spent > cap ->
         raise

@@ -138,6 +138,24 @@ val serving_summary : process -> Workload.Slo.summary option
 (** Latency percentiles and SLO-violation windows accumulated by a
     serving workload; [None] before {!load} or for batch workloads. *)
 
+val set_controller :
+  process -> window_ns:int -> Control.Controller.t -> unit
+(** Attach an online memory controller to the process. Each elapsed
+    [window_ns] of virtual time during {!run}, the controller receives a
+    windowed sample (GC/VM snapshot diffs plus residency and free-frame
+    gauges), and its decision is actuated through the collector's
+    {!Gc_common.Collector.tuning} interface. Deciding costs no virtual
+    time; an unattached (or inert) controller leaves the run
+    bit-identical. Requires {!set_collector} first. Each process on a
+    shared machine gets its own controller instance — they compete for
+    the one frame pool through their own collectors. *)
+
+val controller_instance : process -> Control.Controller.t option
+
+val control_summary : process -> Control.Controller.summary option
+(** Decision/transition counts, peak and final degradation state, and
+    the decision-trace digest; [None] when no controller is attached. *)
+
 val run :
   ?pressure:Workload.Pressure.t ->
   ?ops_per_slice:int ->

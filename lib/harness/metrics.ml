@@ -26,6 +26,7 @@ type t = {
   pauses : (int * int) list;
   faults : Faults.Fault_plan.stats option;
   serving : Workload.Slo.summary option;
+  control : Control.Controller.summary option;
 }
 
 type failure = {
@@ -46,8 +47,8 @@ let elapsed_s t = Vmsim.Clock.ns_to_s t.elapsed_ns
 (* Derive a result purely from immutable snapshots — a cell can be built
    for any interval by [diff]ing two snapshots, and the collector's
    mutable counters are read exactly once. *)
-let of_snapshots ?faults ?serving ~collector ~workload ~heap_bytes ~gc ~vm
-    ~start_ns ~end_ns () =
+let of_snapshots ?faults ?serving ?control ~collector ~workload ~heap_bytes
+    ~gc ~vm ~start_ns ~end_ns () =
   {
     collector;
     workload;
@@ -76,16 +77,19 @@ let of_snapshots ?faults ?serving ~collector ~workload ~heap_bytes ~gc ~vm
         gc.Gc_stats.Snapshot.pauses;
     faults;
     serving;
+    control;
   }
 
-let of_run ?faults ?serving ~collector ~workload ~start_ns ~end_ns () =
+let of_run ?faults ?serving ?control ~collector ~workload ~start_ns ~end_ns ()
+    =
   let gc = Gc_stats.snapshot collector.Gc_common.Collector.stats in
   let vm =
     Vmsim.Vm_stats.snapshot
       (Vmsim.Process.stats
          (Heapsim.Heap.process collector.Gc_common.Collector.heap))
   in
-  of_snapshots ?faults ?serving ~collector:collector.Gc_common.Collector.name
+  of_snapshots ?faults ?serving ?control
+    ~collector:collector.Gc_common.Collector.name
     ~workload
     ~heap_bytes:
       collector.Gc_common.Collector.config.Gc_common.Gc_config.heap_bytes
@@ -130,6 +134,28 @@ let to_json t =
     | None -> []
     | Some s -> [ ("serving", Workload.Slo.to_json s) ]
   in
+  (* the "control" key is conditional for the same reason: controller-off
+     cells serialise byte-identically to the committed golden matrices *)
+  let control =
+    match t.control with
+    | None -> []
+    | Some (c : Control.Controller.summary) ->
+        [
+          ( "control",
+            Json.Obj
+              [
+                ("policy", Json.Str c.policy);
+                ("decisions", Json.int c.decisions);
+                ("transitions", Json.int c.transitions);
+                ( "final_state",
+                  Json.Str (Control.Controller.state_name c.final_state) );
+                ( "peak_state",
+                  Json.Str (Control.Controller.state_name c.peak_state) );
+                ("forced_failsafes", Json.int c.forced_failsafes);
+                ("trace_digest", Json.Str c.trace_digest);
+              ] );
+        ]
+  in
   Json.Obj
     ([
       ("collector", Json.Str t.collector);
@@ -161,7 +187,7 @@ let to_json t =
       ( "faults",
         match t.faults with None -> Json.Null | Some s -> fault_json s );
     ]
-    @ serving)
+    @ serving @ control)
 
 (* Whole-outcome serialisation, for the campaign journal and its
    consolidated reports: every constructor round-trips, and Failed
@@ -205,8 +231,11 @@ let pp ppf t =
   | Some stats when Faults.Fault_plan.injected_total stats > 0 ->
       Format.fprintf ppf " [%a]" Faults.Fault_plan.pp_stats stats
   | Some _ | None -> ());
-  match t.serving with
+  (match t.serving with
   | Some s -> Format.fprintf ppf "@   serving: %a" Workload.Slo.pp s
+  | None -> ());
+  match t.control with
+  | Some c -> Format.fprintf ppf "@   %a" Control.Controller.pp_summary c
   | None -> ()
 
 let pp_outcome ppf = function

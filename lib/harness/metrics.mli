@@ -32,6 +32,11 @@ type t = {
       (** request-latency percentiles and SLO-violation windows; only
           for serving workloads — batch cells serialise exactly as
           before *)
+  control : Control.Controller.summary option;
+      (** the online controller's decision/transition counts, peak and
+          final degradation state and decision-trace digest; only when a
+          controller ran — controller-off cells serialise exactly as
+          before *)
 }
 
 type failure = {
@@ -59,6 +64,7 @@ val outcome_label : outcome -> string
 val of_snapshots :
   ?faults:Faults.Fault_plan.stats ->
   ?serving:Workload.Slo.summary ->
+  ?control:Control.Controller.summary ->
   collector:string ->
   workload:string ->
   heap_bytes:int ->
@@ -74,6 +80,7 @@ val of_snapshots :
 val of_run :
   ?faults:Faults.Fault_plan.stats ->
   ?serving:Workload.Slo.summary ->
+  ?control:Control.Controller.summary ->
   collector:Gc_common.Collector.t ->
   workload:string ->
   start_ns:int ->

@@ -32,6 +32,10 @@ module Plan = struct
     (* address-space base page; None = the Address_space default (16).
        Giant bases exercise the sparse page table. *)
     address_base : int option;
+    (* online memory controller: registry policy name and decision
+       window in virtual ns; None = no controller (bit-identical to the
+       historical runs). One instance per process. *)
+    controller : (string * int) option;
   }
 
   let make_workload ~collector ~workload ~heap_bytes =
@@ -49,6 +53,7 @@ module Plan = struct
       policy = Machine.Round_robin;
       event_cap = None;
       address_base = None;
+      controller = None;
     }
 
   let make ~collector ~spec ~heap_bytes =
@@ -97,6 +102,15 @@ module Plan = struct
   let with_address_base base t =
     if base < 0 then invalid_arg "Plan.with_address_base";
     { t with address_base = Some base }
+
+  let default_control_window_ns = 5_000_000
+
+  let with_controller ?(window_ns = default_control_window_ns) name t =
+    if window_ns < 1 then invalid_arg "Plan.with_controller: window_ns";
+    (* validate eagerly: a plan naming an unknown policy should fail at
+       construction, not deep inside a campaign worker *)
+    ignore (Control.Registry.find name);
+    { t with controller = Some (name, window_ns) }
 
   let with_share share t =
     match t.procs with
@@ -155,6 +169,8 @@ module Plan = struct
   let event_cap t = t.event_cap
 
   let address_base t = t.address_base
+
+  let controller t = t.controller
 
   (* Frames needed to run without any physical-memory pressure: room for
      every process's heap plus slack. *)
@@ -254,6 +270,11 @@ module Plan = struct
     (match t.address_base with
     | None -> ()
     | Some base -> Printf.bprintf b "|base=%d" base);
+    (* same append-only discipline as |base= *)
+    (match t.controller with
+    | None -> ()
+    | Some (name, window_ns) ->
+        Printf.bprintf b "|controller=%s@%d" name window_ns);
     Buffer.contents b
 
   let digest t = Digest.to_hex (Digest.string (canonical t))
@@ -306,7 +327,8 @@ let exec_all (p : Plan.t) =
             try
               Some
                 (Metrics.of_run ?faults:(fault_stats ())
-                   ?serving:(Machine.serving_summary mp) ~collector:c
+                   ?serving:(Machine.serving_summary mp)
+                   ?control:(Machine.control_summary mp) ~collector:c
                    ~workload:(Workload.Catalog.params_name pr.Plan.workload)
                    ~start_ns:(Machine.window_start_ns mp)
                    ~end_ns:(Vmsim.Clock.now clock) ())
@@ -333,6 +355,25 @@ let exec_all (p : Plan.t) =
     List.iter
       (fun ((pr : Plan.proc), mp) -> Machine.load mp pr.Plan.workload)
       pairs;
+    (* controllers attach after the measurement window opens, so their
+       first window diffs against the measured run's baseline (not the
+       warm-up residue). One instance per process. *)
+    (match p.Plan.controller with
+    | None -> ()
+    | Some (cname, window_ns) ->
+        List.iter
+          (fun ((pr : Plan.proc), mp) ->
+            let cfg =
+              {
+                Control.Controller.heap_pages =
+                  Vmsim.Page.count_for_bytes pr.Plan.heap_bytes;
+                frames = Plan.frames p;
+                window_ns;
+              }
+            in
+            Machine.set_controller mp ~window_ns
+              (Control.Registry.instantiate ~name:cname cfg))
+          pairs);
     Machine.run
       ~pressure:(effective_pressure p plan)
       ~ops_per_slice:p.Plan.ops_per_slice ?event_cap:p.Plan.event_cap m;
@@ -351,6 +392,7 @@ let exec_all (p : Plan.t) =
         Metrics.Completed
           (Metrics.of_run ?faults:(fault_stats ())
              ?serving:(Machine.serving_summary mp)
+             ?control:(Machine.control_summary mp)
              ~collector:(Machine.collector mp)
              ~workload:(Workload.Catalog.params_name pr.Plan.workload)
              ~start_ns:(Machine.window_start_ns mp) ~end_ns ()))

@@ -107,6 +107,16 @@ module Plan : sig
       pages share a discard granule. Appended to {!canonical} only when
       set, so existing plan digests are unchanged. *)
 
+  val with_controller : ?window_ns:int -> string -> t -> t
+  (** Attach an online memory controller (a {!Control.Registry} policy
+      name) deciding every [window_ns] of virtual time (default 5 ms).
+      Each process gets its own controller instance, actuating its own
+      collector's {!Gc_common.Collector.tuning} knobs; on a shared
+      machine the instances compete for the one frame pool. Raises
+      [Failure] on an unknown policy name. Appended to {!canonical} only
+      when set, so existing plan digests are unchanged; without a
+      controller the run is bit-identical to seed. *)
+
   val with_share : int -> t -> t
   (** Slice weight of the {e primary} process under [Proportional]. *)
 
@@ -166,6 +176,9 @@ module Plan : sig
   val event_cap : t -> int option
 
   val address_base : t -> int option
+
+  val controller : t -> (string * int) option
+  (** Policy name and decision window, when one is attached. *)
 
   val frames : t -> int
   (** The explicit frame count, or the ample default. *)

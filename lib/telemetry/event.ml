@@ -124,7 +124,9 @@ let injection_name = function
      Gauge_resident             a = resident frames        b = free frames
      Proc_progress              a = owner pid              b = allocated bytes
      Request_arrival            a = request index          b = owner pid
-     Request_done               a = request index          b = latency ns *)
+     Request_done               a = request index          b = latency ns
+     Control_decision           a = controller state code  b = window index
+     Control_state_change       a = old state code         b = new state code *)
 type kind =
   | Phase_begin
   | Phase_end
@@ -146,6 +148,8 @@ type kind =
   | Proc_progress
   | Request_arrival
   | Request_done
+  | Control_decision
+  | Control_state_change
 
 let kind_code = function
   | Phase_begin -> 0
@@ -168,14 +172,17 @@ let kind_code = function
   | Proc_progress -> 17
   | Request_arrival -> 18
   | Request_done -> 19
+  | Control_decision -> 20
+  | Control_state_change -> 21
 
-let kind_count = 20
+let kind_count = 22
 
 let all_kinds =
   [ Phase_begin; Phase_end; Alloc_slice; Eviction_notice; Made_resident;
     Major_fault; Minor_fault; Protection_fault; Eviction; Forced_eviction;
     Discard; Relinquish; Swap_read; Swap_write; Fault_injected; Pressure_step;
-    Gauge_resident; Proc_progress; Request_arrival; Request_done ]
+    Gauge_resident; Proc_progress; Request_arrival; Request_done;
+    Control_decision; Control_state_change ]
 
 let kind_name = function
   | Phase_begin -> "phase-begin"
@@ -198,6 +205,8 @@ let kind_name = function
   | Proc_progress -> "proc-progress"
   | Request_arrival -> "request-arrival"
   | Request_done -> "request-done"
+  | Control_decision -> "control-decision"
+  | Control_state_change -> "control-state-change"
 
 (* Decoded view handed to consumers (exporters, summaries, tests). *)
 type t = { ts_ns : int; kind : kind; a : int; b : int }
@@ -216,4 +225,6 @@ let pp ppf e =
   | Proc_progress -> Format.fprintf ppf " pid=%d bytes=%d" e.a e.b
   | Request_arrival -> Format.fprintf ppf " req=%d pid=%d" e.a e.b
   | Request_done -> Format.fprintf ppf " req=%d latency=%dns" e.a e.b
+  | Control_decision -> Format.fprintf ppf " state=%d window=%d" e.a e.b
+  | Control_state_change -> Format.fprintf ppf " %d->%d" e.a e.b
   | _ -> Format.fprintf ppf " page=%d pid=%d" e.a e.b

@@ -92,6 +92,38 @@ let chrome_event (e : Event.t) =
                 ("latency_ns", Json.int e.Event.b);
               ] );
         ]
+  | Event.Control_decision ->
+      (* a carries the state code, b the window index: book on pid 0 *)
+      Json.Obj
+        [
+          ("name", Json.Str "control-decision");
+          ("cat", Json.Str "ctl");
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("ts", Json.Num (us_of_ns e.Event.ts_ns));
+          ("pid", Json.int 0);
+          ("tid", Json.int 0);
+          ( "args",
+            Json.Obj
+              [
+                ("state", Json.int e.Event.a);
+                ("window", Json.int e.Event.b);
+              ] );
+        ]
+  | Event.Control_state_change ->
+      Json.Obj
+        [
+          ("name", Json.Str "control-state-change");
+          ("cat", Json.Str "ctl");
+          ("ph", Json.Str "i");
+          ("s", Json.Str "t");
+          ("ts", Json.Num (us_of_ns e.Event.ts_ns));
+          ("pid", Json.int 0);
+          ("tid", Json.int 0);
+          ( "args",
+            Json.Obj
+              [ ("from", Json.int e.Event.a); ("to", Json.int e.Event.b) ] );
+        ]
   | Event.Eviction_notice | Event.Made_resident | Event.Major_fault
   | Event.Minor_fault | Event.Protection_fault | Event.Eviction
   | Event.Forced_eviction | Event.Discard | Event.Relinquish
@@ -181,11 +213,13 @@ let lane_of (e : Event.t) =
   | Event.Fault_injected -> Some 8
   | Event.Pressure_step -> Some 9
   | Event.Request_done -> Some 10
+  | Event.Control_state_change -> Some 11
   | _ -> None
 
 let lane_labels =
   [| "minor gc"; "full gc"; "compacting"; "major fault"; "evict notice";
-     "eviction"; "discard"; "swap io"; "injected"; "pressure"; "requests" |]
+     "eviction"; "discard"; "swap io"; "injected"; "pressure"; "requests";
+     "control" |]
 
 let ascii_timeline ?(width = 72) sink ppf =
   let first, last = Sink.span_ns sink in

@@ -38,10 +38,15 @@ let pin_pages t n =
     step_event t ~delta:n
   end
 
+(* A receding burst models a competing process freeing its memory, so the
+   frames must actually return to the pool: munlock alone would leave the
+   pages resident and the machine permanently short of free frames. *)
 let unpin_pages t n =
   let released = min n (Vec.length t.pinned) in
   for _ = 1 to released do
-    Vmsim.Vmm.munlock t.vmm (Vec.pop t.pinned)
+    let page = Vec.pop t.pinned in
+    Vmsim.Vmm.munlock t.vmm page;
+    Vmsim.Vmm.madvise_dontneed t.vmm page
   done;
   step_event t ~delta:(-released)
 

@@ -13,8 +13,11 @@ val pin_pages : t -> int -> unit
 (** Pin [n] more pages right now (mmap + touch + mlock). *)
 
 val unpin_pages : t -> int -> unit
-(** Unlock the [n] most recently pinned pages (a pressure spike
-    receding). The pages stay mapped; the kernel may now evict them. *)
+(** Release the [n] most recently pinned pages (a pressure spike
+    receding): they are unlocked and discarded ([madvise_dontneed]), so
+    their frames return to the free pool immediately — a receding burst
+    models a competing process freeing its memory, not merely making it
+    evictable. *)
 
 val unpin_all : t -> unit
 

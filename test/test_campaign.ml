@@ -166,6 +166,7 @@ let tiny ?(volume = 0.01) ?(collectors = [ "BC"; "GenMS" ])
     heap_multipliers = mults;
     fault_plans = [ "none" ];
     pressures = [ "none" ];
+    controllers = [ "off" ];
     fault_seed = Harness.Run.default_fault_seed;
     iterations = 1;
     frames_fraction = None;
@@ -526,6 +527,53 @@ let test_serving_digests () =
   check Alcotest.bool "batch canonical carries no serving marker" true
     (not (contains (Plan.canonical (mk ())) "serving:"))
 
+(* ----------------------------------------------------------------- *)
+(* Controllers in the campaign grammar                                *)
+
+let test_controller_spec_cells () =
+  (match Campaign.of_json (spec_json []) with
+  | Ok t ->
+      check
+        Alcotest.(list string)
+        "controllers default to off"
+        [ "off" ] t.Campaign.controllers
+  | Error e -> Alcotest.fail e);
+  match
+    Campaign.of_json
+      (spec_json
+         [ ("controllers", Json.List [ Json.Str "off"; Json.Str "threshold" ]) ])
+  with
+  | Error e -> Alcotest.fail e
+  | Ok t -> (
+      match Campaign.cells t with
+      | [ off_cell; ctl_cell ] ->
+          check Alcotest.bool "off cell keeps the historical canonical" true
+            (not (contains (Plan.canonical off_cell.Campaign.plan) "controller="));
+          check Alcotest.bool "off cell keeps the historical label" true
+            (not (contains off_cell.Campaign.label "ctl="));
+          check Alcotest.bool "controller lands in the canonical" true
+            (contains
+               (Plan.canonical ctl_cell.Campaign.plan)
+               "controller=threshold");
+          check Alcotest.bool "controller lands in the label" true
+            (contains ctl_cell.Campaign.label "ctl=threshold");
+          check Alcotest.bool "controller changes the cell digest" true
+            (off_cell.Campaign.digest <> ctl_cell.Campaign.digest)
+      | cs ->
+          Alcotest.failf "expected 2 cells (off + threshold), got %d"
+            (List.length cs))
+
+let test_controller_spec_rejections () =
+  rejects "unknown controller"
+    [ ("controllers", Json.List [ Json.Str "nope" ]) ]
+    "unknown controller";
+  rejects "duplicate controller"
+    [ ("controllers", Json.List [ Json.Str "off"; Json.Str "off" ]) ]
+    "duplicate";
+  rejects "empty controller list"
+    [ ("controllers", Json.List []) ]
+    "must not be empty"
+
 let () =
   Alcotest.run "campaign"
     [
@@ -578,5 +626,9 @@ let () =
           Alcotest.test_case "serving rejections" `Quick
             test_serving_spec_rejections;
           Alcotest.test_case "serving digests" `Quick test_serving_digests;
+          Alcotest.test_case "controller cells build" `Quick
+            test_controller_spec_cells;
+          Alcotest.test_case "controller rejections" `Quick
+            test_controller_spec_rejections;
         ] );
     ]

@@ -194,6 +194,59 @@ let test_determinism () =
     (Format.asprintf "%a" FP.pp_stats (Option.get a.Metrics.faults))
     (Format.asprintf "%a" FP.pp_stats (Option.get b.Metrics.faults))
 
+(* Pressure spikes vs the event-skipping clock: a spike whose whole
+   [from, until) progress window falls inside one scheduling round — a
+   skipped span fast-forwarded progress right over it — must still fire:
+   counted in the fault stats, pages pinned for one round, then released.
+   The slice here is sized so every round jumps more progress than the
+   widest spike window (0.15), so without the machine's jumped-spike
+   handling no spike would ever pin a page. *)
+let test_spikes_fire_inside_skipped_spans () =
+  let spike_plan = { FP.none with FP.spike_count = 3; spike_pages = 64 } in
+  let fault_seed = 5 in
+  let expected_spikes =
+    List.length (FP.spikes (FP.create ~seed:fault_seed spike_plan))
+  in
+  check Alcotest.bool "seed generates spikes" true (expected_spikes >= 1);
+  let sink = Telemetry.Sink.create () in
+  let plan =
+    Harness.Run.Plan.make ~collector:"BC" ~spec:mini_spec
+      ~heap_bytes:1_500_000
+    |> Harness.Run.Plan.with_faults ~seed:fault_seed spike_plan
+    |> Harness.Run.Plan.with_ops_per_slice 8192
+    |> Harness.Run.Plan.with_trace sink
+  in
+  (match Harness.Run.exec plan with
+  | Metrics.Completed m ->
+      let s = Option.get m.Metrics.faults in
+      check Alcotest.int "every spike fired despite the jumps"
+        expected_spikes s.FP.spikes_applied
+  | _ -> Alcotest.fail "run did not complete");
+  let rounds = Telemetry.Sink.count sink Telemetry.Event.Alloc_slice in
+  check Alcotest.bool "rounds jump wider than any spike window" true
+    (rounds >= 2 && rounds <= 6);
+  (* event order: pins and releases alternate and the running pinned
+     total is consistent — each spike rises before it falls *)
+  let steps = ref [] in
+  Telemetry.Sink.iter sink (fun e ->
+      if e.Telemetry.Event.kind = Telemetry.Event.Pressure_step then
+        steps := (e.Telemetry.Event.a, e.Telemetry.Event.b) :: !steps);
+  let steps = List.rev !steps in
+  check Alcotest.bool "spikes pinned pages" true (steps <> []);
+  (match steps with
+  | (a0, b0) :: _ ->
+      check Alcotest.bool "first step is a rise from zero" true
+        (b0 > 0 && a0 = b0)
+  | [] -> ());
+  check Alcotest.bool "a jumped spike recedes after its round" true
+    (List.exists (fun (_, b) -> b < 0) steps);
+  ignore
+    (List.fold_left
+       (fun prev (a, b) ->
+         check Alcotest.int "pinned total tracks the deltas" (prev + b) a;
+         a)
+       0 steps)
+
 let test_different_seed_differs () =
   let stats_for seed =
     match Harness.Run.exec (pressured_setup ~faults:degradation_plan ~fault_seed:seed ()) with
@@ -225,6 +278,8 @@ let () =
             test_bc_degrades_gracefully;
           Alcotest.test_case "swap-full episodes" `Quick test_swap_full_episodes;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "spikes fire inside skipped spans" `Quick
+            test_spikes_fire_inside_skipped_spans;
           Alcotest.test_case "seed sensitivity" `Quick test_different_seed_differs;
         ] );
     ]

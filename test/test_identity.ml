@@ -283,6 +283,75 @@ let test_skip_determinism () =
         on_traced off_traced)
     [ false; true ]
 
+(* Skip determinism under fault injection: the event-skipping fast path
+   must commute with the fault plan's RNG draws — a dropped, delayed or
+   duplicated notice consumes exactly the same draws at exactly the same
+   virtual instants whether the touches arrive one page at a time or as
+   a span. A fingerprint mismatch here means the fast path reordered or
+   coalesced a VMM event the fault layer observes. *)
+let run_faulted_cell ~traced =
+  let sink = if traced then Some (Telemetry.Sink.create ()) else None in
+  let faults =
+    {
+      Faults.Fault_plan.none with
+      Faults.Fault_plan.drop_eviction = 0.3;
+      drop_resident = 0.1;
+      delay_notice = 0.2;
+      duplicate_notice = 0.1;
+      swap_write_error = 0.02;
+    }
+  in
+  let plan =
+    Plan.make ~collector:"BC" ~spec ~heap_bytes
+    |> Plan.with_frames (heap_pages + 128)
+    |> Plan.with_pressure
+         (Workload.Pressure.Steady
+            { after_progress = 0.1; pin_pages = heap_pages * 6 / 10 })
+    |> Plan.with_faults ~seed:11 faults
+    |> match sink with None -> Fun.id | Some s -> Plan.with_trace s
+  in
+  let outcome = Harness.Run.exec plan in
+  let body =
+    match outcome with
+    | Metrics.Completed m -> Json.to_string (Metrics.to_json m)
+    | other -> Format.asprintf "%a" Metrics.pp_outcome other
+  in
+  let trace_digest =
+    match sink with
+    | None -> "-"
+    | Some s ->
+        Digest.to_hex
+          (Digest.string (Json.to_string (Telemetry.Export.chrome_json s)))
+  in
+  Printf.sprintf "%s | trace=%s" body trace_digest
+
+let test_skip_determinism_faulted () =
+  List.iter
+    (fun traced ->
+      let on = run_faulted_cell ~traced in
+      Vmsim.Vmm.set_span_skipping false;
+      let off =
+        Fun.protect
+          ~finally:(fun () -> Vmsim.Vmm.set_span_skipping true)
+          (fun () -> run_faulted_cell ~traced)
+      in
+      (* the cell must actually exercise the fault machinery *)
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "faults injected, traced=%b" traced)
+        true
+        (let contains hay needle =
+           let nh = String.length hay and nn = String.length needle in
+           let rec go i =
+             i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+           in
+           nn = 0 || go 0
+         in
+         contains on "\"faults\"");
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "span = scalar under faults, traced=%b" traced)
+        on off)
+    [ false; true ]
+
 (* The traced and untraced run of the same plan must also agree with
    *each other* (the golden proves agreement with the past; this proves
    the sink has no virtual-time effect in the same build). *)
@@ -318,6 +387,8 @@ let () =
             test_sparse_matrix;
           Alcotest.test_case "base independence" `Quick test_base_independence;
           Alcotest.test_case "skip determinism" `Quick test_skip_determinism;
+          Alcotest.test_case "skip determinism under faults" `Quick
+            test_skip_determinism_faulted;
           Alcotest.test_case "traced = untraced" `Quick
             test_traced_untraced_agree;
         ] );

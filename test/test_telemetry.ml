@@ -270,6 +270,7 @@ let mk_metrics ?(failsafes = 0) ?faults () =
     pauses = [ (0, 100); (200, 300) ];
     faults;
     serving = None;
+    control = None;
   }
 
 let test_outcome_label () =
