@@ -1434,7 +1434,25 @@ type debug = {
   handler_faults : unit -> int;
 }
 
+(* Process-wide instance registry keyed by the collector's stats record
+   (physical identity). Collectors are created concurrently once the
+   harness runs cells on the domain pool, so registration and lookup
+   take a lock; entries are immutable pairs, so readers need nothing
+   more. *)
 let debug_registry : (Gc_stats.t * debug) list ref = ref []
+
+let debug_registry_lock = Mutex.create ()
+
+let register_debug stats debug =
+  Mutex.lock debug_registry_lock;
+  debug_registry := (stats, debug) :: !debug_registry;
+  Mutex.unlock debug_registry_lock
+
+let find_debug stats =
+  Mutex.lock debug_registry_lock;
+  let r = List.find_opt (fun (s, _) -> s == stats) !debug_registry in
+  Mutex.unlock debug_registry_lock;
+  r
 
 let make_debug t =
   {
@@ -1465,7 +1483,7 @@ let make_debug t =
   }
 
 let debug_of (c : Collector.t) =
-  match List.find_opt (fun (stats, _) -> stats == c.Collector.stats) !debug_registry with
+  match find_debug c.Collector.stats with
   | Some (_, debug) -> debug
   | None -> invalid_arg "Bc.debug_of: not a bookmarking collector instance"
 
@@ -1584,5 +1602,5 @@ let factory config heap =
         };
     }
   in
-  debug_registry := (t.stats, make_debug t) :: !debug_registry;
+  register_debug t.stats (make_debug t);
   collector

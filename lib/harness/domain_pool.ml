@@ -1,0 +1,248 @@
+(* Persistent pool of OCaml 5 domains executing experiment cells in
+   shared memory, with Chase–Lev work stealing across per-domain deques
+   (see Ws_deque). The shared-memory counterpart of the forked
+   Supervisor: no fork, no Marshal, results are ordinary heap values.
+
+   Execution is round-based. The coordinator (the domain that calls
+   [run]) waits until every worker is parked, loads the per-worker
+   deques — owner-only pushes are safe precisely because the owners are
+   parked — then bumps the epoch and broadcasts. Workers drain their own
+   deque LIFO and steal FIFO from peers when empty; a round never grows
+   (cells do not spawn cells), so one clean sweep over every deque
+   proves a worker is done. Completions stream back to the coordinator
+   through a mutex-protected queue, so the [on_result] callback (the
+   campaign journal's append point) always runs in the coordinating
+   domain, in completion order — single writer, same as the fork
+   supervisor's select loop.
+
+   Results land in a spec-order array: slot [i] is written by whichever
+   worker ran cell [i], and the completion handshake through the mutex
+   orders that write before the coordinator's read.
+
+   One process-wide constraint shapes everything around this module:
+   once any domain has ever been spawned, the OCaml runtime refuses
+   [Unix.fork] for the remainder of the process — even after every
+   domain is joined. So fork-backend work must run before the first
+   [create]/[get], and [ever_created] lets the Supervisor turn the
+   runtime's late failure into an actionable error. *)
+
+type stats = { steals : int; executed : int array }
+
+type t = {
+  jobs : int;
+  deques : (unit -> unit) Ws_deque.t array;  (* one per worker *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* workers: new epoch or shutdown *)
+  progress : Condition.t;  (* coordinator: completion landed / worker parked *)
+  mutable epoch : int;
+  mutable live_tasks : int;  (* cells not yet finished this round *)
+  mutable idle : int;  (* workers parked awaiting an epoch *)
+  mutable stopping : bool;
+  mutable in_run : bool;
+  completions : int Queue.t;  (* finished cell indices, completion order *)
+  steals : int Atomic.t;
+  executed : int array;  (* per-worker cells run this round; owner-written *)
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+(* --- worker side --------------------------------------------------- *)
+
+let run_task t me ~stolen task =
+  if stolen then Atomic.incr t.steals;
+  t.executed.(me) <- t.executed.(me) + 1;
+  task ()
+
+(* Drain until every deque is empty: own deque first (cheap owner pops),
+   then one stealing sweep over the peers; any successful steal restarts
+   the cycle. Rounds are closed (no task spawns tasks), so a full sweep
+   that finds nothing is conclusive. *)
+let drain t me =
+  let rec own () =
+    match Ws_deque.pop t.deques.(me) with
+    | Some task ->
+        run_task t me ~stolen:false task;
+        own ()
+    | None -> steal 0
+  and steal k =
+    if k < t.jobs - 1 then
+      let victim = (me + 1 + k) mod t.jobs in
+      match Ws_deque.steal t.deques.(victim) with
+      | Some task ->
+          run_task t me ~stolen:true task;
+          own ()
+      | None -> steal (k + 1)
+  in
+  own ()
+
+let worker t me () =
+  (* backtrace recording is domain-local state *)
+  Printexc.record_backtrace true;
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock t.mutex;
+    t.idle <- t.idle + 1;
+    if t.idle = t.jobs then Condition.signal t.progress;
+    while t.epoch = !seen && not t.stopping do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      live := false
+    end
+    else begin
+      seen := t.epoch;
+      t.idle <- t.idle - 1;
+      Mutex.unlock t.mutex;
+      drain t me
+    end
+  done
+
+(* --- coordinator side ---------------------------------------------- *)
+
+let ever = Atomic.make false
+
+let ever_created () = Atomic.get ever
+
+let create ~jobs =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Domain_pool.create: jobs must be >= 1 (got %d)" jobs);
+  Atomic.set ever true;
+  let t =
+    {
+      jobs;
+      deques = Array.init jobs (fun _ -> Ws_deque.create ());
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      progress = Condition.create ();
+      epoch = 0;
+      live_tasks = 0;
+      idle = 0;
+      stopping = false;
+      in_run = false;
+      completions = Queue.create ();
+      steals = Atomic.make 0;
+      executed = Array.make jobs 0;
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun me -> Domain.spawn (worker t me));
+  t
+
+let complete t idx =
+  Mutex.lock t.mutex;
+  Queue.add idx t.completions;
+  t.live_tasks <- t.live_tasks - 1;
+  Condition.signal t.progress;
+  Mutex.unlock t.mutex
+
+let default_partition i = i
+
+let run t ?(partition = default_partition) ?on_result f xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  if n > 0 then begin
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    if t.in_run then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.run: reentrant run on the same pool"
+    end;
+    t.in_run <- true;
+    (* quiesce: owner-only deque pushes below need every worker parked *)
+    while t.idle < t.jobs do
+      Condition.wait t.progress t.mutex
+    done;
+    Atomic.set t.steals 0;
+    Array.fill t.executed 0 t.jobs 0;
+    Queue.clear t.completions;
+    for i = 0 to n - 1 do
+      let task () =
+        (match f xs.(i) with
+        | v -> results.(i) <- Some (Ok v)
+        | exception e ->
+            let bt = Printexc.get_backtrace () in
+            results.(i) <- Some (Error (e, bt)));
+        complete t i
+      in
+      let w = ((partition i mod t.jobs) + t.jobs) mod t.jobs in
+      Ws_deque.push t.deques.(w) task
+    done;
+    t.live_tasks <- n;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_ready;
+    (* completion pump: deliver on_result here, in the coordinating
+       domain, in completion order — the single-writer append point *)
+    let delivered = ref 0 in
+    while !delivered < n do
+      while Queue.is_empty t.completions && t.live_tasks > 0 do
+        Condition.wait t.progress t.mutex
+      done;
+      while not (Queue.is_empty t.completions) do
+        let idx = Queue.pop t.completions in
+        incr delivered;
+        match on_result with
+        | None -> ()
+        | Some g ->
+            (* the callback may append+fsync a journal: don't hold the
+               pool lock over it *)
+            Mutex.unlock t.mutex;
+            (match results.(idx) with
+            | Some r -> g idx r
+            | None -> assert false);
+            Mutex.lock t.mutex
+      done
+    done;
+    (* wait for workers to park so the next round may refill the deques *)
+    while t.idle < t.jobs do
+      Condition.wait t.progress t.mutex
+    done;
+    t.in_run <- false;
+    Mutex.unlock t.mutex
+  end;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let last_stats t =
+  { steals = Atomic.get t.steals; executed = Array.copy t.executed }
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else if t.in_run then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.shutdown: pool is mid-run"
+  end
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+(* --- shared pool ---------------------------------------------------- *)
+
+(* One process-wide pool reused across rounds so repeated sweeps (bench
+   matrices, campaigns) don't pay domain spawns per call. Coordinator-
+   only state, like Experiments.jobs: rounds are driven from one
+   coordinating domain at a time ([run] rejects reentrancy). *)
+let global : t option ref = ref None
+
+let get ~jobs =
+  match !global with
+  | Some p when p.jobs = jobs && not p.stopping -> p
+  | prior ->
+      Option.iter (fun p -> if not p.stopping then shutdown p) prior;
+      let p = create ~jobs in
+      global := Some p;
+      p
+
+let shutdown_global () =
+  Option.iter shutdown !global;
+  global := None

@@ -1,0 +1,74 @@
+(** Persistent pool of OCaml 5 domains executing experiment cells in
+    shared memory, with work stealing across per-domain Chase–Lev
+    deques ({!Ws_deque}).
+
+    The shared-memory counterpart of the forked {!Supervisor} engine:
+    cells run as ordinary closures on pooled domains — no fork, no
+    Marshal, results come back as heap values in spec order. The
+    simulation is deterministic in virtual time, so a pool sweep is
+    byte-identical to a sequential or forked one; only the wall-clock
+    changes. What the pool gives up relative to fork is isolation: a
+    cell that corrupts memory or diverges takes the process with it
+    (cells are expected to contain their own failures, as {!Run.exec}
+    does), and chaos/deadline kills don't exist because a domain cannot
+    be SIGKILLed.
+
+    {b Fork interaction.} The OCaml runtime permanently refuses
+    [Unix.fork] once any domain has ever been spawned — joining them
+    does not restore it. Run fork-backend work before the first
+    {!create}/{!get} of the process; {!ever_created} is how the fork
+    paths detect the situation and fail with a real error. *)
+
+type t
+
+type stats = {
+  steals : int;  (** cells executed by a non-owner domain last round *)
+  executed : int array;  (** per-worker cells executed last round *)
+}
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] worker domains (parked between rounds).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val run :
+  t ->
+  ?partition:(int -> int) ->
+  ?on_result:(int -> ('b, exn * string) result -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * string) result array
+(** [run t f xs] executes every [f xs.(i)] on the pool and returns the
+    per-cell results in spec (input) order. A cell whose [f] raises
+    yields [Error (exn, backtrace)].
+
+    [partition i] names the worker whose deque initially receives cell
+    [i] (default: round-robin by index, taken mod the pool size) —
+    load skew is then repaired by stealing. [on_result] fires in the
+    {e coordinating} domain, in completion order, as each cell finishes:
+    the campaign journal's single-writer append point.
+
+    Must be called from one coordinating domain at a time; reentrant
+    calls on the same pool raise [Invalid_argument]. *)
+
+val last_stats : t -> stats
+(** Steal and per-worker execution counters of the round that {!run}
+    last completed. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain. Idempotent. *)
+
+val get : jobs:int -> t
+(** The process-wide shared pool, created on first use and recreated
+    (after an orderly {!shutdown}) when [jobs] changes. Coordinator-only
+    state, like [Experiments.set_jobs]. *)
+
+val shutdown_global : unit -> unit
+(** Shut down the shared pool, if any. Idle pooled domains are parked
+    on a condition variable and cost nothing, but wall-clock-sensitive
+    callers (the perf suite) shut them down anyway. *)
+
+val ever_created : unit -> bool
+(** Whether any pool was ever created in this process — from then on
+    the runtime forbids [Unix.fork], permanently. *)

@@ -54,11 +54,20 @@ let dist_of_samples samples =
     samples;
   }
 
-(* Run [f] once as warm-up, then [reps] measured times. [f] returns the
-   wall-seconds its hot loop took (setup excluded); [per] scales each
-   sample (ops per rep for a rate, 1.0 for a duration). *)
-let measure ~reps ~per f =
-  ignore (f () : float);
+(* Run [f] [warmups] times unrecorded, then [reps] measured times. [f]
+   returns the wall-seconds its hot loop took (setup excluded); [per]
+   scales each sample (ops per rep for a rate, 1.0 for a duration).
+   Two warm-up passes by default: the first still pays one-time costs
+   outside the benchmark's own setup (code paths compiling their inline
+   caches warm, the major heap growing to the working set), which is
+   exactly the profile of the historical write_ref outlier — a first
+   measured sample ~30% under the rest of its set. *)
+let default_warmups = 2
+
+let measure ?(warmups = default_warmups) ~reps ~per f =
+  for _ = 1 to warmups do
+    ignore (f () : float)
+  done;
   let samples =
     List.init reps (fun _ ->
         let s = f () in
@@ -228,6 +237,50 @@ let bench_read_ref () = ref_bench ~write:false ()
 let bench_write_ref () = ref_bench ~write:true ()
 
 (* ------------------------------------------------------------------ *)
+(* Microbenchmarks: the experiment drivers                              *)
+
+(* 64 deliberately short cells: small heaps, 1% volume. Short cells are
+   where driver overhead dominates — the fork backend pays a worker
+   spawn amortised over the sweep plus Marshal + pipe + select per
+   cell, the domain pool only a deque push/pop per cell — so this pair
+   is the scaling story of the two engines. One op = one cell. *)
+let driver_cells = 64
+
+let driver_spec =
+  {
+    (Workload.Spec.scale_volume Workload.Benchmarks.compress 0.01)
+    with
+    Workload.Spec.immortal_bytes = 60_000;
+    window_bytes = 30_000;
+  }
+
+let driver_plans () =
+  Array.init driver_cells (fun i ->
+      let collector = if i land 1 = 0 then "BC" else "GenMS" in
+      let heap_bytes = (512 * 1024) + ((i land 3) * 16_384) in
+      Run.Plan.make ~collector ~spec:driver_spec ~heap_bytes)
+
+let driver_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* [force_fork] so the fork number is honest even at one core: the fork
+   backend's defining costs (spawn, Marshal, pipes, select) are paid
+   regardless of fan-out. NOTE the suite must run the fork sweep —
+   warm-ups included — before the domains sweep ever creates a pool:
+   the runtime forbids Unix.fork once any domain was spawned. The
+   [micro_benches] list order below is that ordering. *)
+let bench_driver_sweep ~backend () =
+  let plans = driver_plans () in
+  let jobs = driver_jobs () in
+  let t0 = now () in
+  let cells, _ = Supervisor.run ~jobs ~backend ~force_fork:true Run.exec plans in
+  ignore (cells : Metrics.outcome Supervisor.cell array);
+  (float_of_int driver_cells, now () -. t0)
+
+let bench_driver_fork_sweep () = bench_driver_sweep ~backend:`Fork ()
+
+let bench_driver_domains_sweep () = bench_driver_sweep ~backend:`Domains ()
+
+(* ------------------------------------------------------------------ *)
 (* Per-collector wall times                                             *)
 
 let perf_spec =
@@ -278,14 +331,16 @@ let bench_reclaim_storm ~collector () =
 
 (* Duration benchmarks report milliseconds (lower is better); reuse
    [measure] by sampling the duration directly. *)
-let measure_ms ~reps f =
+let measure_ms ?(warmups = default_warmups) ~reps f =
   let last = ref None in
   let sample () =
     let ms, extra = f () in
     last := Some extra;
     ms
   in
-  ignore (sample ());
+  for _ = 1 to warmups do
+    ignore (sample () : float)
+  done;
   let samples = List.init reps (fun _ -> sample ()) in
   (dist_of_samples samples, !last)
 
@@ -299,6 +354,8 @@ type t = {
       (* name, full-collection ms, reclaim-storm ms, storm outcome *)
 }
 
+(* Order matters at the end: driver_fork_sweep must precede
+   driver_domains_sweep — fork is impossible once a domain exists. *)
 let micro_benches =
   [
     ("touch_resident", bench_touch_resident);
@@ -308,6 +365,8 @@ let micro_benches =
     ("alloc_free", bench_alloc_free);
     ("read_ref", bench_read_ref);
     ("write_ref", bench_write_ref);
+    ("driver_fork_sweep", bench_driver_fork_sweep);
+    ("driver_domains_sweep", bench_driver_domains_sweep);
   ]
 
 let run ?(repetitions = default_repetitions) ?(progress = fun _ -> ()) () =
@@ -327,6 +386,9 @@ let run ?(repetitions = default_repetitions) ?(progress = fun _ -> ()) () =
         (name, d))
       micro_benches
   in
+  (* the driver sweeps leave idle pooled domains behind; join them so
+     the collector wall-times below run in a single-domain process *)
+  Domain_pool.shutdown_global ();
   let collectors =
     List.map
       (fun name ->
@@ -493,7 +555,17 @@ let guard ?(tolerance = default_guard_tolerance) ~baseline fresh =
   let name_of e = Option.bind (Json.member "name" e) Json.str_opt in
   let median_of e = Option.bind (Json.member "median" e) Json.num_opt in
   let errs = ref [] in
-  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let tripped = ref [] in
+  (* [who] is the offending benchmark's name, kept separately so the
+     error report can lead with a one-line summary of which benchmarks
+     tripped, not just a wall of per-line diagnostics *)
+  let fail ~who fmt =
+    Printf.ksprintf
+      (fun s ->
+        errs := s :: !errs;
+        if not (List.mem who !tripped) then tripped := who :: !tripped)
+      fmt
+  in
   let base_micro =
     Option.value ~default:[]
       (Option.bind (Json.member "micro" baseline) Json.to_list_opt)
@@ -508,8 +580,9 @@ let guard ?(tolerance = default_guard_tolerance) ~baseline fresh =
       | Some old when old > 0.0 ->
           let best = List.fold_left Float.max d.median d.samples in
           if best < (1.0 -. tolerance) *. old then
-            fail "micro %s: best %.3e ops/s is %.0f%% below baseline %.3e"
-              name best
+            fail ~who:name
+              "micro %s: best %.3e ops/s is %.0f%% below baseline %.3e" name
+              best
               (100.0 *. (1.0 -. (best /. old)))
               old
       | Some _ | None -> ())
@@ -529,6 +602,7 @@ let guard ?(tolerance = default_guard_tolerance) ~baseline fresh =
                 let best = List.fold_left Float.min d.median d.samples in
                 if best > (1.0 +. tolerance) *. old then
                   fail
+                    ~who:(Printf.sprintf "%s.%s" name key)
                     "collector %s: %s best %.3f ms is %.0f%% above baseline \
                      %.3f"
                     name key best
@@ -539,7 +613,14 @@ let guard ?(tolerance = default_guard_tolerance) ~baseline fresh =
           check "full_collection_ms" full;
           check "reclaim_storm_ms" storm)
     fresh.collectors;
-  match List.rev !errs with [] -> Ok () | l -> Error l
+  match List.rev !errs with
+  | [] -> Ok ()
+  | l ->
+      let who = List.rev !tripped in
+      Error
+        (Printf.sprintf "%d benchmark(s) tripped the guard: %s"
+           (List.length who) (String.concat ", " who)
+        :: l)
 
 let guard_file ?tolerance ~baseline_path fresh =
   match read_json_file baseline_path with

@@ -40,14 +40,26 @@ val default_output : string
 val required_micro : string list
 (** Microbenchmark names the suite always carries (touch_resident,
     touch_span_resident, touch_faulting, sparse_map_giant, alloc_free,
-    read_ref, write_ref); {!validate} requires a positive median for
-    each. *)
+    read_ref, write_ref, driver_fork_sweep, driver_domains_sweep);
+    {!validate} requires a positive median for each. *)
+
+val default_warmups : int
+(** Unrecorded warm-up passes before the timed repetitions (2): the
+    first pass still pays one-time process costs — inline caches, major
+    heap growth to the working set — which is what made single-warm-up
+    [write_ref] samples flaky. *)
 
 val run : ?repetitions:int -> ?progress:(string -> unit) -> unit -> t
-(** Run the whole suite: one warm-up plus [repetitions] measured
-    repetitions of every microbenchmark, then the per-collector full
-    collection and reclaim-storm wall times for each headline registry
-    entry. [progress] is called with a label as each benchmark starts. *)
+(** Run the whole suite: {!default_warmups} warm-up passes plus
+    [repetitions] measured repetitions of every microbenchmark, then
+    the per-collector full collection and reclaim-storm wall times for
+    each headline registry entry. [progress] is called with a label as
+    each benchmark starts.
+
+    The driver sweeps run 64 short experiment cells through
+    {!Supervisor.run} on the fork backend and then on the domain pool
+    (in that order — fork is impossible once a domain exists); the pool
+    is shut down again before the collector wall-times run. *)
 
 val to_json : t -> Telemetry.Json.t
 
@@ -80,7 +92,8 @@ val guard :
     best-vs-median because a genuine regression slows every sample
     while a transient load burst slows only some. Benchmarks present on
     only one side are skipped, so the guard survives suite additions
-    and retirements. [Error] carries one line per regression. *)
+    and retirements. [Error] leads with a one-line summary naming every
+    benchmark that tripped, followed by one line per regression. *)
 
 val guard_file :
   ?tolerance:float ->

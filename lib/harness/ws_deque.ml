@@ -1,0 +1,105 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, "Dynamic Circular
+   Work-Stealing Deque", SPAA 2005), on OCaml 5 atomics.
+
+   One domain owns the deque: only it may [push] and [pop], both at the
+   bottom. Any other domain may [steal] from the top. The owner's
+   operations are cheap (no CAS except the single-element race); thieves
+   contend on a CAS over [top].
+
+   Slot values are themselves atomics, not plain array cells: the OCaml
+   memory model only promises a thief reading a plain cell some value
+   that was once there, while an [Atomic.t] read synchronises with the
+   write it observes. Cells here are whole experiment runs (milliseconds
+   of work), so the extra indirection per transfer is noise.
+
+   Invariants the operations rely on:
+   - [top] is monotonically increasing (never decremented), so a
+     successful CAS [top: t -> t+1] proves no other claim of index [t]
+     happened — there is no ABA.
+   - a slot in [top, bottom) always holds [Some _]: [push] fills the
+     slot before publishing the new [bottom], and only the claimant of
+     an index empties it.
+   - [grow] (owner-only) copies the live window into a fresh array of
+     fresh atomics; a thief still holding the old array reads values
+     the owner will never mutate again, and its claim is still
+     arbitrated by the shared [top]. *)
+
+type 'a t = {
+  mutable buf : 'a option Atomic.t array;  (* length always a power of 2 *)
+  top : int Atomic.t;  (* next index to steal *)
+  bottom : int Atomic.t;  (* next index to push *)
+}
+
+let min_capacity = 16
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = min_capacity) () =
+  if capacity < 1 then invalid_arg "Ws_deque.create: capacity";
+  let cap = pow2 capacity min_capacity in
+  {
+    buf = Array.init cap (fun _ -> Atomic.make None);
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let length q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let is_empty q = length q = 0
+
+let slot buf i = buf.(i land (Array.length buf - 1))
+
+(* Owner-only. Doubles the buffer, copying the live window [t, b). *)
+let grow q t b =
+  let buf' = Array.init (2 * Array.length q.buf) (fun _ -> Atomic.make None) in
+  for i = t to b - 1 do
+    Atomic.set (slot buf' i) (Atomic.get (slot q.buf i))
+  done;
+  q.buf <- buf'
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  if b - t >= Array.length q.buf then grow q t b;
+  Atomic.set (slot q.buf b) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then
+    (* more than one element: index [b] is unreachable by thieves *)
+    Atomic.exchange (slot q.buf b) None
+  else begin
+    (* exactly one element: race any thief for it via [top] *)
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then Atomic.exchange (slot q.buf b) None else None
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = q.buf in
+    let v = Atomic.get (slot buf t) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      (* the CAS arbitrates: we own index [t], and [v] was its value
+         (monotone [top] rules out ABA; see the invariants above) *)
+      v
+    else steal q (* lost to another thief or the owner's last-element pop *)
+  end
+
+(* Owner-only, quiescent: drop any claimed-but-lingering references so a
+   pooled deque does not pin the last round's cells across rounds. *)
+let reset q =
+  Array.iter (fun s -> Atomic.set s None) q.buf;
+  let t = Atomic.get q.top in
+  Atomic.set q.bottom t

@@ -1,0 +1,39 @@
+(** Chase–Lev work-stealing deque on OCaml 5 atomics.
+
+    A single {e owner} domain pushes and pops at the bottom; any number
+    of {e thief} domains steal from the top. This is the per-domain
+    run queue under {!Domain_pool}: the coordinator loads each worker's
+    deque while the pool is quiescent, the worker drains its own deque
+    LIFO, and idle workers steal the oldest cell from a loaded peer.
+
+    Thread-safety contract: [push], [pop] and [reset] may only be called
+    by the deque's owner (or while no other domain touches the deque);
+    [steal] may be called from any domain, concurrently with the owner's
+    operations and with other thieves. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty deque. [capacity] is a hint (rounded up to a power of two,
+    minimum 16); the buffer doubles on demand. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner-only: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner-only: remove the most recently pushed element, or [None] when
+    the deque is empty (losing the last element to a concurrent thief
+    counts as empty). *)
+
+val steal : 'a t -> 'a option
+(** Thief: remove the {e oldest} element, or [None] when the deque is
+    empty. Safe from any domain; retries internally on contention. *)
+
+val length : 'a t -> int
+(** Snapshot size; exact only while the deque is quiescent. *)
+
+val is_empty : 'a t -> bool
+
+val reset : 'a t -> unit
+(** Owner-only, quiescent: empty the deque and clear lingering slot
+    references so pooled deques do not pin the previous round's data. *)

@@ -819,14 +819,20 @@ let touch t ?(write = false) page =
    [set_span_skipping false] forces the literal per-page loop; the
    determinism test compares traces produced both ways byte-for-byte. *)
 
-let span_skipping = ref true
+(* Atomic, not a plain ref: the harness's domain-pool backend runs
+   machines concurrently in one process, and this is process-wide mode
+   state every machine reads on the touch_span hot path. It is toggled
+   only while machines are quiescent (the determinism test), so a
+   sequentially-consistent read costs nothing measurable against the
+   span bookkeeping around it. *)
+let span_skipping = Atomic.make true
 
-let set_span_skipping b = span_skipping := b
+let set_span_skipping b = Atomic.set span_skipping b
 
-let span_skipping_enabled () = !span_skipping
+let span_skipping_enabled () = Atomic.get span_skipping
 
 let touch_span t ?(write = false) ?(cost_ns = 0) ~first_page npages =
-  if not !span_skipping then
+  if not (Atomic.get span_skipping) then
     for page = first_page to first_page + npages - 1 do
       if cost_ns > 0 then Clock.advance t.clock cost_ns;
       touch t ~write page
